@@ -1,0 +1,55 @@
+"""Ablation benchmarks: staleness, schedules, interlacing, delay models."""
+
+from conftest import publish, run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_staleness(benchmark):
+    rows = run_once(benchmark, ablations.staleness_ablation)
+    publish("ablation_staleness", ablations.format_report(rows))
+    # More staleness never speeds convergence (weak monotonicity, 10% slack
+    # for random-schedule noise).
+    metrics = [r.metric for r in rows]
+    assert metrics[-1] >= metrics[0] * 0.9
+
+
+def test_ablation_schedules(benchmark):
+    rows = run_once(benchmark, ablations.schedule_ablation)
+    publish("ablation_schedules", ablations.format_report(rows))
+    by_config = {r.config: r.metric for r in rows}
+    # Sequencing is the advantage: block-sequential beats synchronous.
+    assert by_config["block sequential"] < by_config["synchronous"]
+
+
+def test_ablation_interlacing(benchmark):
+    rows = run_once(benchmark, ablations.interlacing_ablation)
+    publish("ablation_interlacing", ablations.format_report(rows))
+    sub = [r.metric for r in rows if "worst" not in r.config]
+    assert all(b <= a + 1e-9 for a, b in zip(sub, sub[1:]))
+
+
+def test_ablation_delays(benchmark):
+    rows = run_once(benchmark, ablations.delay_distribution_ablation)
+    publish("ablation_delays", ablations.format_report(rows))
+    assert len(rows) == 3
+
+
+def test_ablation_damping(benchmark):
+    rows = run_once(benchmark, ablations.damping_ablation)
+    publish("ablation_damping", ablations.format_report(rows))
+    by_config = {r.config: r.metric for r in rows}
+    # Undamped sync diverges; damping or asynchrony (or both) fix it.
+    assert by_config["sync omega=1"] > 1e3
+    assert by_config["sync omega=0.8"] < 1.0
+    assert by_config["async omega=0.8, 50 thr"] < 1.0
+
+
+def test_ablation_eager(benchmark):
+    rows = run_once(benchmark, ablations.eager_ablation)
+    publish("ablation_eager", ablations.format_report(rows))
+    relax = {
+        r.config: r.metric for r in rows if r.metric_name.startswith("relax")
+    }
+    # Eager never needs more relaxations than racy (within noise).
+    assert relax["eager"] <= relax["racy"] * 1.05

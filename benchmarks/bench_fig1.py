@@ -1,0 +1,14 @@
+"""Figure 1 benchmark: replay the paper's worked reconstruction examples."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark):
+    results = run_once(benchmark, fig1.run)
+    publish("fig1", fig1.format_report(results))
+    a, b = results
+    assert a.phi == [[4], [1, 2], [3]]  # the paper's exact Phi for (a)
+    assert a.non_propagated == 0
+    assert b.propagated == 3 and b.non_propagated == 1

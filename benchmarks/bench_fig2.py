@@ -1,0 +1,16 @@
+"""Figure 2 benchmark: propagated-relaxation fractions vs thread count."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark):
+    points = run_once(benchmark, fig2.run, iterations=20)
+    publish("fig2", fig2.format_report(points))
+    # Paper claims: the majority of relaxations are propagated, and the
+    # fraction is (near-)perfect at one row per thread.
+    assert all(p.fraction_propagated > 0.5 for p in points)
+    for platform in ("CPU", "Phi"):
+        last = [p for p in points if p.platform == platform][-1]
+        assert last.fraction_propagated > 0.95

@@ -1,0 +1,20 @@
+"""Figure 3 benchmark: async-over-sync speedup vs injected delay."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3_model(benchmark):
+    points = run_once(benchmark, fig3.run_model)
+    publish("fig3_model", fig3.format_report(points))
+    speedups = [p.speedup for p in points]
+    assert speedups[-1] > 10  # paper: plateau above 40; model here: ~25-30
+
+
+def test_fig3_simulator(benchmark):
+    points = run_once(benchmark, fig3.run_simulator, samples=2)
+    publish("fig3_simulator", fig3.format_report(points))
+    by_delay = {p.delay: p.speedup for p in points}
+    assert by_delay[0] > 1.0
+    assert by_delay[3000] > 3 * by_delay[0]

@@ -1,0 +1,16 @@
+"""Figure 4 benchmark: residual-vs-time curves for graded delays."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    curves = run_once(benchmark, fig4.run)
+    publish("fig4", fig4.format_report(curves))
+    # The second-largest model delay shows the saw-tooth; the largest still
+    # reduces the residual.
+    model_async = [c for c in curves if c.source == "model" and c.mode == "async"]
+    big = [c for c in model_async if c.delay >= 50]
+    assert any(fig4.has_sawtooth(c) for c in big)
+    assert all(c.final_residual < c.residual_norms[0] for c in model_async)

@@ -1,0 +1,19 @@
+"""Figure 5 benchmark: shared-memory strong scaling on FD-4624."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark):
+    points = run_once(
+        benchmark, fig5.run, threads=(1, 4, 17, 68, 136, 272), max_iterations=15_000
+    )
+    publish("fig5", fig5.format_report(points))
+    best_async = min(points, key=lambda p: p.async_time_to_tol)
+    best_sync = min(points, key=lambda p: p.sync_time_to_tol)
+    assert best_async.n_threads == 272  # async fastest at full thread count
+    assert best_sync.n_threads < 272  # sync fastest below it
+    by_t = {p.n_threads: p for p in points}
+    assert by_t[272].speedup > 4
+    assert by_t[272].sync_time_100 > by_t[68].sync_time_100  # Fig 5(b)

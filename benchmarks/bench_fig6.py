@@ -1,0 +1,16 @@
+"""Figure 6 benchmark: FE divergence rescued by thread count."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark):
+    result = run_once(benchmark, fig6.run, max_iterations=2200, long_run_iterations=2600)
+    publish("fig6", fig6.format_report(result))
+    sync = [c for c in result["panel_a"] if c.mode == "sync"]
+    asy = {c.n_threads: c for c in result["panel_a"] if c.mode == "async"}
+    assert all(c.diverged for c in sync)
+    assert asy[68].final_residual > 1e2  # async-68 fails too
+    assert asy[272].final_residual < 1e-1  # async-272 converges
+    assert result["panel_b"].final_residual < 1e-1  # and stays converged

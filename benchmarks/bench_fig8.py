@@ -1,0 +1,15 @@
+"""Figure 8 benchmark: distributed wall-clock time vs rank count."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark):
+    points = run_once(benchmark, fig8.run, rank_counts=(4, 16, 64), max_iterations=2500)
+    publish("fig8", fig8.format_report(points))
+    # Async is faster than sync everywhere (the paper's headline).
+    assert all(p.async_time < p.sync_time for p in points)
+    # Sync degrades with rank count on the smallest problem.
+    tdm = {p.n_ranks: p for p in points if p.problem == "thermomech_dm"}
+    assert tdm[64].sync_time > tdm[4].sync_time

@@ -1,0 +1,16 @@
+"""Figure 9 benchmark: Dubcova2 rescued by node count."""
+
+from conftest import publish, run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark):
+    curves = run_once(benchmark, fig9.run, max_iterations=1000)
+    publish("fig9", fig9.format_report(curves))
+    sync = next(c for c in curves if c.mode == "sync")
+    assert sync.final_residual > sync.residual_norms[0]  # sync diverges
+    asy = {c.nodes: c for c in curves if c.mode == "async"}
+    top = max(asy)
+    assert asy[top].final_residual < 0.05 * asy[top].residual_norms[0]
+    assert asy[top].final_residual < asy[1].final_residual

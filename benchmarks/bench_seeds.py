@@ -1,0 +1,15 @@
+"""Seed-sensitivity benchmark: spread of the headline speedups."""
+
+from conftest import publish, run_once
+
+from repro.experiments import seeds
+
+
+def test_seed_sensitivity(benchmark):
+    studies = run_once(benchmark, seeds.run, quick=True)
+    publish("seeds", seeds.format_report(studies))
+    fig3 = next(s for s in studies if s.metric.startswith("fig3"))
+    # The Figure 3 plateau is stable across seeds: >10x always.
+    assert fig3.low > 10
+    fig5 = next(s for s in studies if s.metric.startswith("fig5"))
+    assert fig5.low > 3  # Figure 5's 272-thread win holds for every seed

@@ -1,0 +1,11 @@
+"""Table I benchmark: build + verify every SuiteSparse stand-in."""
+
+from conftest import publish, run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1.run)
+    publish("table1", table1.format_report(rows))
+    assert all(r.matches_expectation for r in rows)

@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding ``repro.experiments`` module under pytest-benchmark (one
+round — these are experiment replays, not microbenchmarks), prints the
+rows/series the paper reports, and archives them under
+``benchmarks/results/``.
+
+Scale note: parameters default to reduced-but-faithful settings so the whole
+suite completes in minutes on one core; the experiment modules accept larger
+values for full runs (see EXPERIMENTS.md).
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, report: str) -> None:
+    """Print a report and archive it under benchmarks/results/."""
+    print(f"\n{report}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+"""Calibrating the simulator to your own machine.
+
+The machine presets (KNL, CPU20, Cori-Haswell) encode the paper's testbeds.
+To trust simulated wall-clock numbers on different hardware, fit the cost
+model from two microbenchmarks you can run anywhere: per-iteration timings
+at a few block sizes, and barrier timings at a few thread counts.
+
+This example fakes the "measurements" from a hypothetical machine (so it
+runs offline), fits a MachineModel, reports the fit quality, and compares
+sync-vs-async Jacobi on the fitted machine against the KNL preset.
+
+Run:  python examples/custom_machine.py
+"""
+
+import numpy as np
+
+from repro.matrices import fd_laplacian_2d
+from repro.runtime import KNL, SharedMemoryJacobi, calibrated_machine
+from repro.runtime.calibration import fit_barrier_costs, fit_compute_costs
+
+
+def fake_measurements():
+    """Pretend microbenchmark data from a hypothetical 16-core machine.
+
+    In practice you would time your own relaxation kernel and an OpenMP
+    barrier; here the numbers follow a machine with 12 ns/nonzero, 25
+    ns/row, 4 us iteration overhead and a pricey barrier, plus 3%
+    measurement noise.
+    """
+    rng = np.random.default_rng(0)
+    compute = []
+    for nnz, rows in [(120, 24), (600, 120), (2400, 480), (9600, 1920), (300, 20)]:
+        t = (nnz * 12e-9 + rows * 25e-9 + 4e-6) * (1 + 0.03 * rng.standard_normal())
+        compute.append((nnz, rows, t))
+    barrier = []
+    for threads in (2, 4, 8, 16, 32, 64):
+        t = (2e-6 + 1.5e-6 * np.log2(threads)) * max(1.0, threads / 16) ** 1.8
+        barrier.append((threads, t * (1 + 0.03 * rng.standard_normal())))
+    return compute, barrier
+
+
+def main() -> None:
+    compute, barrier = fake_measurements()
+    cfit = fit_compute_costs(compute)
+    bfit = fit_barrier_costs(barrier, cores=16)
+    print("Fitted compute model:")
+    print(f"  time_per_nnz       = {cfit.time_per_nnz * 1e9:6.2f} ns (true 12)")
+    print(f"  time_per_row       = {cfit.time_per_row * 1e9:6.2f} ns (true 25)")
+    print(f"  iteration_overhead = {cfit.iteration_overhead * 1e6:6.2f} us (true 4)")
+    print(f"  relative RMS error = {cfit.relative_rms:.3f}")
+    print("Fitted barrier model:")
+    print(f"  base = {bfit.barrier_base * 1e6:.2f} us, log coeff = "
+          f"{bfit.barrier_log_coeff * 1e6:.2f} us, oversub exp = "
+          f"{bfit.barrier_oversub_exp:.2f} (true 1.8)")
+
+    from dataclasses import replace
+
+    machine = replace(
+        calibrated_machine(KNL, compute, barrier, name="hypothetical-16c"),
+        cores=16, smt=2,
+    )
+
+    A = fd_laplacian_2d(40, 40)
+    rng = np.random.default_rng(1)
+    b = rng.uniform(-1, 1, A.nrows)
+    x0 = rng.uniform(-1, 1, A.nrows)
+    print("\nSync vs async on the fitted machine (1600-row FD, tol 1e-3):")
+    for threads in (8, 16, 32):
+        sim = SharedMemoryJacobi(A, b, n_threads=threads, machine=machine, seed=2)
+        ra = sim.run_async(x0=x0, tol=1e-3, max_iterations=30_000)
+        rs = sim.run_sync(x0=x0, tol=1e-3, max_iterations=30_000)
+        ta, ts = ra.time_to_tolerance(1e-3), rs.time_to_tolerance(1e-3)
+        print(f"  T={threads:2d}: sync {ts * 1e3:7.2f} ms, async {ta * 1e3:7.2f} ms, "
+              f"speedup {ts / ta:4.2f}x")
+
+
+if __name__ == "__main__":
+    main()

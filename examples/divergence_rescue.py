@@ -1,0 +1,56 @@
+"""Asynchrony rescues a divergent iteration (the Figure 6 surprise).
+
+The FE stiffness matrix here has Jacobi spectral radius > 1: synchronous
+Jacobi *diverges* on it, at any thread count. Yet the racy asynchronous
+version converges once enough threads are used — oversubscribed threads
+de-synchronize, neighboring blocks stop relaxing simultaneously, and the
+iteration turns multiplicative (Gauss-Seidel-like), which is convergent for
+this SPD matrix.
+
+Uses a reduced FE matrix (770 rows) so the demo runs in seconds; the full
+3081-row reproduction is `repro.experiments.fig6`.
+
+Run:  python examples/divergence_rescue.py
+"""
+
+import numpy as np
+
+from repro.matrices import fe_laplacian_square, jacobi_spectral_radius
+from repro.runtime import KNL, SharedMemoryJacobi
+
+
+def main() -> None:
+    A = fe_laplacian_square(770, seed=7, stretch=6.0)
+    n = A.nrows
+    rho = jacobi_spectral_radius(A, iters=2000)
+    print(f"FE matrix: {n} rows, {A.nnz} nonzeros, rho(G) = {rho:.4f} (> 1!)\n")
+
+    rng = np.random.default_rng(3)
+    b = rng.uniform(-1, 1, n)
+    x0 = rng.uniform(-1, 1, n)
+
+    sim = SharedMemoryJacobi(A, b, n_threads=68, machine=KNL, seed=9)
+    rs = sim.run_sync(x0=x0, tol=1e-3, max_iterations=400)
+    print(f"synchronous, 68 threads : residual {rs.final_residual:10.2e}  (diverged)")
+
+    for n_threads in (68, 136, 272):
+        sim = SharedMemoryJacobi(A, b, n_threads=n_threads, machine=KNL, seed=9)
+        ra = sim.run_async(x0=x0, tol=1e-3, max_iterations=2500)
+        verdict = "CONVERGED" if ra.converged else (
+            "diverged" if ra.final_residual > 1e3 else "stalled"
+        )
+        print(
+            f"asynchronous, {n_threads:3d} threads: residual {ra.final_residual:10.2e}  "
+            f"({verdict}, mean {ra.mean_iterations:.0f} iterations)"
+        )
+
+    print(
+        "\nMore concurrency means smaller blocks relaxed at staggered times —"
+        "\nthe iteration sheds its divergent simultaneous modes. Section IV-D"
+        "\nexplains this through the shrinking spectral radius of the active"
+        "\nprincipal submatrices."
+    )
+
+
+if __name__ == "__main__":
+    main()

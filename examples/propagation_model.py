@@ -1,0 +1,89 @@
+"""A tour of the paper's theory toolkit.
+
+1. Builds the propagation matrices G-hat / H-hat for a delayed-row mask and
+   verifies Theorem 1 numerically (all norms and spectral radii equal 1).
+2. Replays the paper's Figure 1 traces through the reconstruction algorithm,
+   recovering the published Phi sequences.
+3. Shows the interlacing/decoupling analysis of Section IV-C/D: deleting a
+   grid line splits the active submatrix into blocks with strictly smaller
+   spectral radius.
+
+Run:  python examples/propagation_model.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ExecutionTrace,
+    decoupling_report,
+    reconstruct_propagation_steps,
+    relaxation_mask,
+    theorem1_report,
+)
+from repro.matrices import fd_laplacian_2d, paper_fd_matrix
+
+
+def theorem1_demo() -> None:
+    A = paper_fd_matrix(68)
+    mask = relaxation_mask(68, np.delete(np.arange(68), [34]))  # row 34 delayed
+    rep = theorem1_report(A, mask)
+    print("Theorem 1 on FD-68 with row 34 delayed:")
+    print(f"  ||G-hat||_inf      = {rep.g_norm_inf:.12f}")
+    print(f"  ||H-hat||_1        = {rep.h_norm_1:.12f}")
+    print(f"  rho(G-hat)         = {rep.g_spectral_radius:.12f}")
+    print(f"  rho(H-hat)         = {rep.h_spectral_radius:.12f}")
+    print(f"  Theorem 1 holds    : {rep.theorem1_holds}\n")
+
+
+def figure1_demo() -> None:
+    print("Figure 1(a): four asynchronous relaxations, reorderable")
+    tr = ExecutionTrace(4)
+    tr.record(0, 1.0, {1: 0, 2: 0})
+    tr.record(3, 2.0, {1: 0, 2: 0})
+    tr.record(1, 3.0, {0: 0, 3: 1})
+    tr.record(2, 4.0, {0: 1, 3: 1})
+    rec = reconstruct_propagation_steps(tr)
+    phi = ", ".join("{" + ", ".join(f"p{r + 1}" for r in step) + "}" for step in rec.phi)
+    print(f"  propagated {rec.propagated}/4 via Phi = {phi}")
+
+    print("Figure 1(b): one relaxation uses stale data")
+    tr = ExecutionTrace(4)
+    tr.record(3, 1.0, {1: 0, 2: 0})
+    tr.record(0, 2.0, {1: 1, 2: 0})
+    tr.record(1, 3.0, {0: 0, 3: 1})
+    tr.record(2, 4.0, {0: 1, 3: 0})
+    rec = reconstruct_propagation_steps(tr)
+    phi = ", ".join("{" + ", ".join(f"p{r + 1}" for r in step) + "}" for step in rec.phi)
+    print(f"  propagated {rec.propagated}/4 via Phi = {phi} "
+          f"(+{rec.non_propagated} out-of-band)\n")
+
+
+def decoupling_demo() -> None:
+    nx, ny = 9, 6
+    A = fd_laplacian_2d(nx, ny)
+    print(f"Decoupling on a {nx}x{ny} grid Laplacian:")
+    full = decoupling_report(A, np.arange(nx * ny))
+    print(f"  no delays          : rho(G) = {full.rho_full:.4f}")
+    # Delay one full grid line: the domain splits in two.
+    line = np.arange(4 * ny, 5 * ny)
+    active = np.setdiff1d(np.arange(nx * ny), line)
+    rep = decoupling_report(A, active)
+    print(f"  one grid line delayed: {rep.n_blocks} decoupled blocks "
+          f"of sizes {rep.block_sizes}")
+    print(f"  rho(active submatrix) = {rep.rho_submatrix:.4f}")
+    print(f"  worst block rho       = {rep.rho_max_block:.4f}")
+    print(
+        "\nSmaller active radii mean faster convergence while rows are"
+        "\ndelayed — and with many processes, snapshots of the iteration"
+        "\nconstantly look like this."
+    )
+
+
+def main() -> None:
+    theorem1_demo()
+    figure1_demo()
+    decoupling_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: solve a sparse system five ways with one call each.
+
+Builds a 2-D Laplacian, then runs classical synchronous Jacobi,
+Gauss-Seidel, the asynchronous propagation-matrix model, the shared-memory
+machine simulator, and the distributed machine simulator — all through the
+``repro.solve`` front-end — and compares iterations and accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import solve
+from repro.matrices import fd_laplacian_2d
+
+def main() -> None:
+    # A 32x32 grid Laplacian (unit diagonal scaled, SPD, W.D.D.).
+    A = fd_laplacian_2d(32, 32)
+    n = A.nrows
+    rng = np.random.default_rng(0)
+    x_exact = rng.standard_normal(n)
+    b = A @ x_exact
+
+    configs = [
+        ("jacobi", {}),
+        ("gauss_seidel", {}),
+        ("async_model", {"blocks": 32}),
+        ("shared_sim", {"n_threads": 32, "mode": "async", "seed": 0}),
+        ("distributed_sim", {"n_ranks": 16, "mode": "async", "seed": 0}),
+    ]
+
+    print(f"Solving a {n}x{n} FD Laplacian system to rel. residual 1e-6\n")
+    print(f"{'method':18s} {'converged':>9s} {'iterations':>11s} {'error':>10s}")
+    for method, kwargs in configs:
+        result = solve(A, b, method=method, tol=1e-6, max_iterations=20_000, **kwargs)
+        err = float(np.max(np.abs(result.x - x_exact)))
+        print(f"{method:18s} {str(result.converged):>9s} {result.iterations:11.0f} {err:10.2e}")
+
+    print(
+        "\nNote how the multiplicative methods (gauss_seidel, async_model with"
+        "\nblock-sequential scheduling) need far fewer relaxations than"
+        "\nsynchronous Jacobi — the effect behind the paper's results."
+    )
+
+
+if __name__ == "__main__":
+    main()

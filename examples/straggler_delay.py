@@ -1,0 +1,58 @@
+"""A straggling thread: why asynchronous Jacobi shrugs off delays.
+
+Reproduces the Figure 3/4 scenario at example scale: one thread (owning the
+middle row) sleeps for ``delta`` per iteration. Synchronous Jacobi waits at
+the barrier for the sleeper every sweep; asynchronous Jacobi keeps going and
+even exploits the extra relaxations the fast threads perform — Theorem 1
+guarantees the frozen rows cannot increase the error.
+
+Compares the paper's propagation-matrix *model* against the shared-memory
+*machine simulator* for the same sweep of delays, showing the agreement the
+paper reports.
+
+Run:  python examples/straggler_delay.py
+"""
+
+import numpy as np
+
+from repro.core.model import model_speedup
+from repro.matrices import paper_fd_matrix
+from repro.runtime import ConstantDelay, KNL, SharedMemoryJacobi
+
+DELAYED_ROW = 34
+TOL = 1e-3
+
+
+def main() -> None:
+    A = paper_fd_matrix(68)  # the paper's FD matrix: 68 rows, 298 nonzeros
+    rng = np.random.default_rng(1)
+    b = rng.uniform(-1, 1, 68)
+    x0 = rng.uniform(-1, 1, 68)
+
+    print("Model (time in unit steps):")
+    print(f"{'delay':>7s} {'speedup':>8s}")
+    for delay in (0, 10, 25, 50, 100):
+        speedup, _, _ = model_speedup(A, b, delay=delay, delayed_row=DELAYED_ROW, x0=x0, tol=TOL)
+        print(f"{delay:7d} {speedup:8.2f}")
+
+    print("\nShared-memory simulator (delay in microseconds, 68 threads):")
+    print(f"{'delay':>7s} {'sync (ms)':>10s} {'async (ms)':>11s} {'speedup':>8s}")
+    for delay_us in (0, 250, 1000, 3000):
+        delay = ConstantDelay({DELAYED_ROW: delay_us * 1e-6}) if delay_us else None
+        kwargs = {"delay": delay} if delay else {}
+        sim = SharedMemoryJacobi(A, b, n_threads=68, machine=KNL, seed=5, **kwargs)
+        ra = sim.run_async(x0=x0, tol=TOL, max_iterations=500_000, observe_every=68)
+        rs = sim.run_sync(x0=x0, tol=TOL, max_iterations=20_000)
+        ta = ra.time_to_tolerance(TOL)
+        ts = rs.time_to_tolerance(TOL)
+        print(f"{delay_us:7d} {ts * 1e3:10.3f} {ta * 1e3:11.3f} {ts / ta:8.2f}")
+
+    print(
+        "\nBoth halves plateau: once the delay exceeds what the other threads"
+        "\nneed to converge around the frozen row, extra delay only hurts the"
+        "\nsynchronous method."
+    )
+
+
+if __name__ == "__main__":
+    main()

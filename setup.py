@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The container this reproduction targets has no network access and no
+``wheel`` package, so PEP 660 editable installs (``pip install -e .``) cannot
+build an editable wheel. This shim lets ``python setup.py develop`` provide
+the same editable install with bare setuptools. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

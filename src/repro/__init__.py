@@ -1,0 +1,36 @@
+"""repro — reproduction of Wolfson-Pou & Chow, "Convergence Models and
+Surprising Results for the Asynchronous Jacobi Method" (IPDPS 2018).
+
+The package implements, from scratch:
+
+* the paper's propagation-matrix model of asynchronous Jacobi and its
+  analysis toolkit (Theorem 1, interlacing, trace reconstruction) —
+  :mod:`repro.core`;
+* the sparse-matrix substrate, problem generators and SuiteSparse
+  stand-ins — :mod:`repro.matrices`;
+* a METIS-substitute partitioner with subdomain/ghost-layer machinery —
+  :mod:`repro.partition`;
+* discrete-event shared-memory (OpenMP-substitute) and distributed
+  (MPI/RMA-substitute) machine simulators — :mod:`repro.runtime`;
+* a real-thread racy backend — :mod:`repro.threads`;
+* a one-call solver front-end — :func:`repro.solve`;
+* one experiment module per paper table/figure — :mod:`repro.experiments`.
+
+Quickstart::
+
+    import numpy as np
+    from repro import solve
+    from repro.matrices import fd_laplacian_2d
+
+    A = fd_laplacian_2d(16, 16)
+    b = np.random.default_rng(0).uniform(-1, 1, A.nrows)
+    result = solve(A, b, method="shared_sim", n_threads=8, mode="async")
+    print(result.converged, result.iterations)
+"""
+
+from repro.matrices.sparse import CSRMatrix
+from repro.solvers.api import SolveResult, solve
+
+__version__ = "1.0.0"
+
+__all__ = ["CSRMatrix", "SolveResult", "solve", "__version__"]

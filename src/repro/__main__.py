@@ -1,0 +1,70 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro table1 fig3 fig6     # run specific experiments
+    python -m repro all                  # run everything (several minutes)
+
+Each experiment prints the same rows/series the paper's table or figure
+reports (see EXPERIMENTS.md for the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    seeds,
+    table1,
+)
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "ablations": ablations,
+    "seeds": seeds,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args == ["list"]:
+        print(__doc__)
+        print("available experiments:", ", ".join(EXPERIMENTS), sep="\n  ")
+        return 0
+    names = list(EXPERIMENTS) if args == ["all"] else args
+    unknown = [a for a in names if a not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        mod = EXPERIMENTS[name]
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        print(mod.format_report(mod.run()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Convergence diagnostics for residual histories.
+
+The paper reads everything off residual-norm curves: convergence rates,
+divergence, stalls, and the saw-tooth of a delayed row. This module turns
+those readings into code usable by solvers and experiments:
+
+* :class:`ResidualTracker` — online tracker fed one norm at a time;
+  classifies the run as converging/diverging/stalled and estimates the
+  per-step contraction factor over a sliding window;
+* :func:`asymptotic_rate` — least-squares estimate of the geometric decay
+  rate of a history's tail (the observable counterpart of ``rho``);
+* :func:`detect_divergence` / :func:`detect_stall` — the guards a
+  production asynchronous solver needs, since Theorem 1 only promises
+  non-increase for W.D.D. matrices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def asymptotic_rate(residual_norms, tail_fraction: float = 0.5) -> float:
+    """Per-step geometric decay factor of a history's tail.
+
+    Fits ``log(r_k) ~ a + k log(rate)`` by least squares over the last
+    ``tail_fraction`` of the (positive) history. A value below 1 means
+    convergence; for synchronous Jacobi it estimates ``rho(G)``.
+    Returns NaN when fewer than three usable points exist.
+    """
+    res = np.asarray(residual_norms, dtype=float)
+    res = res[res > 0]
+    if res.size < 3:
+        return float("nan")
+    start = int(res.size * (1.0 - tail_fraction))
+    tail = np.log(res[start:])
+    if tail.size < 3:
+        tail = np.log(res[-3:])
+    k = np.arange(tail.size, dtype=float)
+    slope = np.polyfit(k, tail, 1)[0]
+    return float(np.exp(slope))
+
+
+def detect_divergence(residual_norms, factor: float = 1e3) -> bool:
+    """True when the residual grew by ``factor`` over its running minimum."""
+    res = np.asarray(residual_norms, dtype=float)
+    if res.size < 2:
+        return False
+    running_min = np.minimum.accumulate(res)
+    return bool(np.any(res > factor * np.maximum(running_min, 1e-300)))
+
+
+def detect_stall(residual_norms, window: int = 20, min_decay: float = 1e-3) -> bool:
+    """True when the last ``window`` steps reduced the residual by less than
+    ``min_decay`` in relative terms (log scale)."""
+    res = np.asarray(residual_norms, dtype=float)
+    res = res[res > 0]
+    if res.size < window + 1:
+        return False
+    start, end = res[-window - 1], res[-1]
+    return bool(end > start * (1.0 - min_decay))
+
+
+@dataclass(frozen=True)
+class TrackerVerdict:
+    """Snapshot classification of an ongoing iteration."""
+
+    status: str  # "converged" | "converging" | "stalled" | "diverging" | "warming-up"
+    rate: float  # windowed per-step contraction estimate (NaN while warming up)
+    best: float  # smallest residual seen
+
+
+class ResidualTracker:
+    """Online residual-norm tracker with windowed rate estimation.
+
+    Feed norms with :meth:`update`; read the classification from
+    :meth:`verdict`. Designed for asynchronous runs where the residual need
+    not be monotone: divergence is judged against the running best, stalls
+    against a sliding window.
+    """
+
+    def __init__(
+        self,
+        tol: float,
+        window: int = 20,
+        divergence_factor: float = 1e3,
+        stall_decay: float = 1e-3,
+    ):
+        self.tol = check_positive(tol, "tol")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = int(window)
+        self.divergence_factor = check_positive(divergence_factor, "divergence_factor")
+        self.stall_decay = check_positive(stall_decay, "stall_decay")
+        self._recent = deque(maxlen=self.window + 1)
+        self._best = float("inf")
+        self._count = 0
+
+    def update(self, norm: float) -> TrackerVerdict:
+        """Record one residual norm and return the current verdict."""
+        norm = float(norm)
+        if not np.isfinite(norm) or norm < 0:
+            # Overflowed residuals count as divergence, not an error: racy
+            # runs on divergent matrices genuinely produce inf.
+            self._count += 1
+            return TrackerVerdict(status="diverging", rate=float("inf"), best=self._best)
+        self._recent.append(norm)
+        self._best = min(self._best, norm)
+        self._count += 1
+        return self.verdict()
+
+    @property
+    def count(self) -> int:
+        """Norms recorded so far."""
+        return self._count
+
+    def windowed_rate(self) -> float:
+        """Geometric mean contraction over the current window (NaN early)."""
+        if len(self._recent) < 2:
+            return float("nan")
+        first, last = self._recent[0], self._recent[-1]
+        if first <= 0 or last <= 0:
+            return float("nan")
+        steps = len(self._recent) - 1
+        return float((last / first) ** (1.0 / steps))
+
+    def verdict(self) -> TrackerVerdict:
+        """Classify the iteration right now."""
+        rate = self.windowed_rate()
+        if self._recent and self._recent[-1] < self.tol:
+            return TrackerVerdict(status="converged", rate=rate, best=self._best)
+        if self._recent and self._recent[-1] > self.divergence_factor * max(
+            self._best, 1e-300
+        ):
+            return TrackerVerdict(status="diverging", rate=rate, best=self._best)
+        if len(self._recent) <= self.window:
+            return TrackerVerdict(status="warming-up", rate=rate, best=self._best)
+        first, last = self._recent[0], self._recent[-1]
+        if last > first * (1.0 - self.stall_decay):
+            return TrackerVerdict(status="stalled", rate=rate, best=self._best)
+        return TrackerVerdict(status="converging", rate=rate, best=self._best)

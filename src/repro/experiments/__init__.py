@@ -1,0 +1,37 @@
+"""One module per paper table/figure, plus ablations.
+
+Each module exposes ``run(...)`` (returns structured results),
+``format_report(results)`` (the table/series the paper shows, as text), and
+a ``main()`` CLI hook (``python -m repro.experiments.fig3``). The benchmark
+suite under ``benchmarks/`` wraps these runners with pytest-benchmark.
+"""
+
+from repro.experiments import (
+    ablations,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    seeds,
+    table1,
+)
+
+__all__ = [
+    "ablations",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "seeds",
+    "table1",
+]

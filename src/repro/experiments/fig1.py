@@ -1,0 +1,85 @@
+"""Figure 1: the paper's two worked reconstruction examples.
+
+Figure 1 shows four processes each relaxing once asynchronously. In example
+(a) the relaxations can be reordered into propagation-matrix steps
+Phi = {p4}, {p1, p2}, {p3}; in example (b) (where p1 reads a newer value and
+p3 an older one) p3's relaxation cannot be expressed and is applied
+separately. This experiment replays both traces through the reconstruction
+algorithm and reports the recovered Phi sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reconstruct import ExecutionTrace, reconstruct_propagation_steps
+
+
+def example_a_trace() -> ExecutionTrace:
+    """Figure 1(a): fully expressible."""
+    tr = ExecutionTrace(4)
+    tr.record(0, 1.0, {1: 0, 2: 0})  # p1 reads s12=0, s13=0
+    tr.record(3, 2.0, {1: 0, 2: 0})  # p4 reads s42=0, s43=0
+    tr.record(1, 3.0, {0: 0, 3: 1})  # p2 reads s21=0, s24=1
+    tr.record(2, 4.0, {0: 1, 3: 1})  # p3 reads s31=1, s34=1
+    return tr
+
+
+def example_b_trace() -> ExecutionTrace:
+    """Figure 1(b): p3 reads an old version of p4."""
+    tr = ExecutionTrace(4)
+    tr.record(3, 1.0, {1: 0, 2: 0})
+    tr.record(0, 2.0, {1: 1, 2: 0})  # s12 = 1
+    tr.record(1, 3.0, {0: 0, 3: 1})
+    tr.record(2, 4.0, {0: 1, 3: 0})  # s34 = 0 (old)
+    return tr
+
+
+@dataclass
+class Fig1Result:
+    """One example's reconstruction."""
+
+    example: str
+    phi: list  # steps as 1-based process lists, matching the paper's text
+    propagated: int
+    non_propagated: int
+
+
+def run() -> list:
+    """Reconstruct both Figure 1 examples."""
+    out = []
+    for name, trace in (("(a)", example_a_trace()), ("(b)", example_b_trace())):
+        rec = reconstruct_propagation_steps(trace)
+        out.append(
+            Fig1Result(
+                example=name,
+                phi=[[int(r) + 1 for r in step] for step in rec.phi],
+                propagated=rec.propagated,
+                non_propagated=rec.non_propagated,
+            )
+        )
+    return out
+
+
+def format_report(results: list) -> str:
+    """Both examples' Phi sequences, in the paper's 1-based notation."""
+    lines = ["Figure 1: reconstructing propagation-matrix steps from traces"]
+    for r in results:
+        phi = ", ".join("{" + ", ".join(f"p{p}" for p in step) + "}" for step in r.phi)
+        lines.append(
+            f"  example {r.example}: Phi = {phi}  "
+            f"({r.propagated} propagated, {r.non_propagated} out-of-band)"
+        )
+    lines.append(
+        "  paper: (a) Phi = {p4}, {p1, p2}, {p3}, all propagated;"
+        " (b) three propagated, p3 separate"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

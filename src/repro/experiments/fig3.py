@@ -1,0 +1,138 @@
+"""Figure 3: speedup of asynchronous over synchronous Jacobi vs delay.
+
+One thread (the one owning the middle row) sleeps for ``delta`` per
+iteration. Synchronous Jacobi waits for the sleeper at every barrier, so
+its time scales with ``delta``; asynchronous Jacobi lets everyone else keep
+relaxing. The paper sweeps the delay for both the *model* (time in unit
+steps, delta in steps) and the *OpenMP implementation* (delta in
+microseconds) on the FD matrix with 68 rows / 298 nonzeros at 68 threads,
+tolerance 1e-3, and finds the same shape: speedup grows roughly linearly
+with the delay, then plateaus (above 40x in the paper's runs) once the
+asynchronous convergence is limited by the delayed row's staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import model_speedup
+from repro.experiments.report import format_table
+from repro.matrices.laplacian import paper_fd_matrix
+from repro.runtime.delays import ConstantDelay
+from repro.runtime.machine import KNL
+from repro.runtime.shared import SharedMemoryJacobi
+from repro.util.rng import as_rng
+
+#: The paper sweeps delta = 0..100 model steps and 0..3000 microseconds.
+MODEL_DELAYS = (0, 5, 10, 20, 35, 50, 75, 100)
+SIM_DELAYS_US = (0, 100, 250, 500, 1000, 2000, 3000)
+
+N_ROWS = 68
+N_THREADS = 68
+DELAYED_ROW = 34
+
+
+@dataclass
+class Fig3Point:
+    """One delay's speedup measurement."""
+
+    source: str  # "model" or "simulator"
+    delay: float  # steps (model) or microseconds (simulator)
+    speedup: float
+    sync_time: float
+    async_time: float
+
+
+def run_model(tol: float = 1e-3, seed: int = 1) -> list:
+    """The propagation-matrix model half of Figure 3."""
+    rng = as_rng(seed)
+    A = paper_fd_matrix(N_ROWS)
+    b = rng.uniform(-1, 1, N_ROWS)
+    x0 = rng.uniform(-1, 1, N_ROWS)
+    points = []
+    for delay in MODEL_DELAYS:
+        speedup, sync_res, async_res = model_speedup(
+            A, b, delay=delay, delayed_row=DELAYED_ROW, tol=tol, x0=x0
+        )
+        points.append(
+            Fig3Point(
+                source="model",
+                delay=float(delay),
+                speedup=speedup,
+                sync_time=sync_res.time_to_tolerance(tol),
+                async_time=async_res.time_to_tolerance(tol),
+            )
+        )
+    return points
+
+
+def run_simulator(
+    tol: float = 1e-3, seed: int = 5, samples: int = 3, max_iterations: int = 500_000
+) -> list:
+    """The shared-memory-machine half of Figure 3.
+
+    The paper averages 100 OpenMP samples per delay; ``samples`` keeps this
+    tractable on one core (the shapes are stable from a few samples).
+    """
+    rng = as_rng(seed)
+    A = paper_fd_matrix(N_ROWS)
+    b = rng.uniform(-1, 1, N_ROWS)
+    x0 = rng.uniform(-1, 1, N_ROWS)
+    points = []
+    for delay_us in SIM_DELAYS_US:
+        sync_times, async_times = [], []
+        for s in range(samples):
+            delay = ConstantDelay({DELAYED_ROW: delay_us * 1e-6}) if delay_us else None
+            kwargs = {"delay": delay} if delay else {}
+            sim = SharedMemoryJacobi(
+                A, b, n_threads=N_THREADS, machine=KNL, seed=seed + s, **kwargs
+            )
+            ra = sim.run_async(
+                x0=x0, tol=tol, max_iterations=max_iterations, observe_every=N_THREADS
+            )
+            rs = sim.run_sync(x0=x0, tol=tol, max_iterations=20_000)
+            sync_times.append(rs.time_to_tolerance(tol))
+            async_times.append(ra.time_to_tolerance(tol))
+        st = float(np.mean(sync_times))
+        at = float(np.mean(async_times))
+        points.append(
+            Fig3Point(
+                source="simulator",
+                delay=float(delay_us),
+                speedup=st / at if at > 0 else float("nan"),
+                sync_time=st,
+                async_time=at,
+            )
+        )
+    return points
+
+
+def run(tol: float = 1e-3, samples: int = 3) -> list:
+    """Both halves of Figure 3."""
+    return run_model(tol=tol) + run_simulator(tol=tol, samples=samples)
+
+
+def format_report(points: list) -> str:
+    """Figure 3 as two speedup tables."""
+    out = ["Figure 3: speedup of async over sync Jacobi vs delay (FD-68, 68 threads)"]
+    for source, unit in (("model", "steps"), ("simulator", "microseconds")):
+        rows = [p for p in points if p.source == source]
+        if not rows:
+            continue
+        out.append(
+            format_table(
+                [f"delay ({unit})", "speedup", "sync time", "async time"],
+                [(p.delay, p.speedup, p.sync_time, p.async_time) for p in rows],
+            )
+        )
+    return "\n\n".join(out)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,131 @@
+"""Figure 6: asynchronous Jacobi converging where synchronous diverges.
+
+The FE matrix (3081 rows, unstructured P1 stiffness, ``rho(G) > 1``) makes
+synchronous Jacobi diverge at any thread count. The paper's plot (a) shows
+the relative residual vs (mean local) iterations for 68/136/272 threads:
+synchronous curves explode; the asynchronous curve converges once enough
+threads are used — concurrency *improves* the convergence rate to the
+point of rescuing a divergent iteration. Plot (b) extends the best
+asynchronous run to confirm it truly converges rather than diverging later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import downsample, format_table
+from repro.matrices.fem import paper_fe_matrix
+from repro.runtime.machine import KNL
+from repro.runtime.shared import SharedMemoryJacobi
+from repro.util.rng import as_rng
+
+THREADS = (68, 136, 272)
+
+
+@dataclass
+class Fig6Curve:
+    """One (mode, thread count) residual history vs mean iterations."""
+
+    mode: str
+    n_threads: int
+    iterations: list  # mean local iterations at each observation
+    residual_norms: list
+    converged: bool
+
+    @property
+    def final_residual(self) -> float:
+        """Last recorded residual."""
+        return self.residual_norms[-1]
+
+    @property
+    def diverged(self) -> bool:
+        """Whether the residual blew up past 1e3."""
+        return self.final_residual > 1e3
+
+
+def run(
+    tol: float = 1e-3,
+    max_iterations: int = 2500,
+    long_run_iterations: int = 4000,
+    seed: int = 9,
+) -> dict:
+    """Panel (a) curves for each mode/thread count plus the panel (b) run."""
+    rng = as_rng(seed)
+    A = paper_fe_matrix()
+    n = A.nrows
+    b = rng.uniform(-1, 1, n)
+    x0 = rng.uniform(-1, 1, n)
+    curves = []
+    for n_threads in THREADS:
+        sim = SharedMemoryJacobi(A, b, n_threads=n_threads, machine=KNL, seed=seed)
+        rs = sim.run_sync(x0=x0, tol=tol, max_iterations=min(600, max_iterations))
+        curves.append(
+            Fig6Curve(
+                mode="sync",
+                n_threads=n_threads,
+                iterations=[c / n for c in rs.relaxation_counts],
+                residual_norms=rs.residual_norms,
+                converged=rs.converged,
+            )
+        )
+        ra = sim.run_async(
+            x0=x0, tol=tol, max_iterations=max_iterations, observe_every=2 * n_threads
+        )
+        curves.append(
+            Fig6Curve(
+                mode="async",
+                n_threads=n_threads,
+                iterations=[c / n for c in ra.relaxation_counts],
+                residual_norms=ra.residual_norms,
+                converged=ra.converged,
+            )
+        )
+    # Panel (b): the 272-thread asynchronous run, longer, tighter tolerance.
+    sim = SharedMemoryJacobi(A, b, n_threads=272, machine=KNL, seed=seed)
+    long_run = sim.run_async(
+        x0=x0, tol=tol / 10, max_iterations=long_run_iterations, observe_every=544
+    )
+    long_curve = Fig6Curve(
+        mode="async-long",
+        n_threads=272,
+        iterations=[c / n for c in long_run.relaxation_counts],
+        residual_norms=long_run.residual_norms,
+        converged=long_run.converged,
+    )
+    return {"panel_a": curves, "panel_b": long_curve}
+
+
+def format_report(result: dict, max_points: int = 8) -> str:
+    """Figure 6 as residual-vs-iterations tables."""
+    out = [
+        "Figure 6(a): FE-3081 (rho(G) > 1) — residual vs iterations",
+        "(paper: sync diverges at all thread counts; async converges at high ones)",
+    ]
+    for c in result["panel_a"]:
+        it, r = downsample(c.iterations, c.residual_norms, max_points)
+        status = "CONVERGED" if c.converged else ("diverged" if c.diverged else "stalled")
+        out.append(
+            f"{c.mode} T={c.n_threads} [{status}]\n"
+            + format_table(
+                ["iterations", "rel. residual"],
+                [(f"{i:.4g}", f"{ri:.3e}") for i, ri in zip(it, r)],
+            )
+        )
+    c = result["panel_b"]
+    it, r = downsample(c.iterations, c.residual_norms, max_points)
+    out.append(
+        "Figure 6(b): long asynchronous run at 272 threads (true convergence)\n"
+        + format_table(
+            ["iterations", "rel. residual"],
+            [(f"{i:.4g}", f"{ri:.3e}") for i, ri in zip(it, r)],
+        )
+    )
+    return "\n\n".join(out)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,55 @@
+"""Plain-text reporting helpers for the experiment modules.
+
+Every experiment prints the same rows/series the paper's table or figure
+shows, as aligned text tables — the reproduction's equivalent of the plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Align ``rows`` under ``headers``; floats get compact formatting."""
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            if math.isinf(v):
+                return "inf"
+            if math.isnan(v):
+                return "nan"
+            if v == 0:
+                return "0"
+            if abs(v) >= 1e4 or abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, xs: Sequence, ys: Sequence, xlabel: str, ylabel: str) -> str:
+    """One labeled (x, y) series as a two-column block."""
+    body = format_table([xlabel, ylabel], zip(xs, ys))
+    return f"{title}\n{body}"
+
+
+def downsample(xs: Sequence, ys: Sequence, max_points: int = 20):
+    """Thin a long history to at most ``max_points`` (always keeps the ends)."""
+    n = len(xs)
+    if n <= max_points:
+        return list(xs), list(ys)
+    idx = [round(i * (n - 1) / (max_points - 1)) for i in range(max_points)]
+    return [xs[i] for i in idx], [ys[i] for i in idx]

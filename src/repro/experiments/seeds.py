@@ -1,0 +1,115 @@
+"""Seed-sensitivity study: how stable are the headline numbers?
+
+The paper averages 100 OpenMP samples per data point; this reproduction
+usually runs 1-3 simulator samples. This study quantifies the spread the
+averaging hides: it reruns the two headline measurements across seeds
+(timing jitter AND right-hand side/initial guess) and reports mean,
+standard deviation, and range.
+
+* Figure 3's plateau speedup (delay 1000 us, FD-68, 68 threads);
+* Figure 5's 272-thread speedup (FD-4624, tol 1e-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matrices.laplacian import paper_fd_matrix
+from repro.runtime.delays import ConstantDelay
+from repro.runtime.machine import KNL
+from repro.runtime.shared import SharedMemoryJacobi
+from repro.util.rng import as_rng
+
+
+@dataclass
+class SeedStudy:
+    """Spread of one headline metric across seeds."""
+
+    metric: str
+    samples: list
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples))
+
+    @property
+    def low(self) -> float:
+        return float(np.min(self.samples))
+
+    @property
+    def high(self) -> float:
+        return float(np.max(self.samples))
+
+
+def fig3_plateau_speedups(seeds=(0, 1, 2, 3, 4), delay_us: float = 1000.0, tol=1e-3):
+    """Figure 3 plateau speedup across rhs/jitter seeds."""
+    A = paper_fd_matrix(68)
+    out = []
+    for seed in seeds:
+        rng = as_rng(seed)
+        b = rng.uniform(-1, 1, 68)
+        x0 = rng.uniform(-1, 1, 68)
+        sim = SharedMemoryJacobi(
+            A, b, n_threads=68, machine=KNL, seed=seed,
+            delay=ConstantDelay({34: delay_us * 1e-6}),
+        )
+        ra = sim.run_async(x0=x0, tol=tol, max_iterations=500_000, observe_every=68)
+        rs = sim.run_sync(x0=x0, tol=tol, max_iterations=20_000)
+        out.append(rs.time_to_tolerance(tol) / ra.time_to_tolerance(tol))
+    return SeedStudy(metric=f"fig3 speedup @ {delay_us:g}us", samples=out)
+
+
+def fig5_272_speedups(seeds=(0, 1, 2), tol=1e-3, max_iterations=15_000):
+    """Figure 5's async-over-sync speedup at 272 threads across seeds."""
+    A = paper_fd_matrix(4624)
+    out = []
+    for seed in seeds:
+        rng = as_rng(seed)
+        b = rng.uniform(-1, 1, A.nrows)
+        x0 = rng.uniform(-1, 1, A.nrows)
+        sim = SharedMemoryJacobi(A, b, n_threads=272, machine=KNL, seed=seed)
+        ra = sim.run_async(
+            x0=x0, tol=tol, max_iterations=max_iterations, observe_every=544
+        )
+        rs = sim.run_sync(x0=x0, tol=tol, max_iterations=max_iterations)
+        out.append(rs.time_to_tolerance(tol) / ra.time_to_tolerance(tol))
+    return SeedStudy(metric="fig5 speedup @ 272 threads", samples=out)
+
+
+def run(quick: bool = False) -> list:
+    """Both studies (quick mode trims the expensive Figure 5 sweep)."""
+    studies = [fig3_plateau_speedups()]
+    studies.append(fig5_272_speedups(seeds=(0,) if quick else (0, 1, 2)))
+    return studies
+
+
+def format_report(studies: list) -> str:
+    """Mean/std/range per metric."""
+    from repro.experiments.report import format_table
+
+    table = format_table(
+        ["metric", "n", "mean", "std", "min", "max"],
+        [
+            (s.metric, len(s.samples), s.mean, s.std, s.low, s.high)
+            for s in studies
+        ],
+    )
+    return (
+        "Seed sensitivity of the headline speedups\n"
+        "(the paper averages 100 hardware samples; this is the simulator's spread)\n"
+        + table
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

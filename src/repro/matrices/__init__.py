@@ -1,0 +1,69 @@
+"""Problem matrices: CSR substrate, generators, and property analysis."""
+
+from repro.matrices.sparse import CSRMatrix
+from repro.matrices.laplacian import (
+    PAPER_FD_GRIDS,
+    fd_laplacian_1d,
+    fd_laplacian_2d,
+    fd_laplacian_3d,
+    near_square_grid,
+    paper_fd_matrix,
+)
+from repro.matrices.fem import PAPER_FE_ROWS, fe_laplacian_square, paper_fe_matrix
+from repro.matrices.stencil import (
+    anisotropic_laplacian_2d,
+    nine_point_laplacian_2d,
+    variable_coefficient_laplacian_2d,
+)
+from repro.matrices.io import (
+    MatrixMarketError,
+    dumps,
+    loads,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.matrices.properties import (
+    MatrixReport,
+    analyze,
+    chazan_miranker_converges,
+    chazan_miranker_radius,
+    is_irreducible,
+    is_spd,
+    is_weakly_diagonally_dominant,
+    jacobi_spectral_radius,
+    symmetric_extreme_eigenvalues,
+    wdd_fraction,
+    wdd_rows,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "PAPER_FD_GRIDS",
+    "fd_laplacian_1d",
+    "fd_laplacian_2d",
+    "fd_laplacian_3d",
+    "near_square_grid",
+    "paper_fd_matrix",
+    "PAPER_FE_ROWS",
+    "fe_laplacian_square",
+    "paper_fe_matrix",
+    "anisotropic_laplacian_2d",
+    "nine_point_laplacian_2d",
+    "variable_coefficient_laplacian_2d",
+    "MatrixMarketError",
+    "dumps",
+    "loads",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixReport",
+    "analyze",
+    "chazan_miranker_converges",
+    "chazan_miranker_radius",
+    "is_irreducible",
+    "is_spd",
+    "is_weakly_diagonally_dominant",
+    "jacobi_spectral_radius",
+    "symmetric_extreme_eigenvalues",
+    "wdd_fraction",
+    "wdd_rows",
+]

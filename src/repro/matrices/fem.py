@@ -1,0 +1,133 @@
+"""Unstructured P1 finite-element Laplacian on the unit square.
+
+The paper's "FE" matrix is an unstructured finite-element discretization of
+the Laplace equation on a square: SPD, *not* weakly diagonally dominant
+(about half the rows have the W.D.D. property), and with Jacobi spectral
+radius ``rho(G) > 1`` — so synchronous Jacobi diverges on it. That divergence
+is the point: Figure 6 shows asynchronous Jacobi converging on this matrix
+anyway once enough threads are used.
+
+We reproduce the construction directly: scatter points in the unit square,
+triangulate with Delaunay (scipy.spatial), assemble the P1 stiffness matrix,
+eliminate the Dirichlet boundary, and symmetrically scale to unit diagonal.
+Low-quality (obtuse) triangles from the random point cloud produce positive
+off-diagonal entries, which is what breaks diagonal dominance and pushes
+``rho(G)`` above 1; the ``stretch`` parameter (anisotropic diffusion) gives
+extra control when a specific radius is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices.sparse import CSRMatrix
+from repro.util.errors import ShapeError
+from repro.util.rng import as_rng
+
+#: Row count of the paper's FE test matrix (nnz = 20,971 in the paper).
+PAPER_FE_ROWS = 3081
+
+
+def _p1_stiffness_triangles(points: np.ndarray, triangles: np.ndarray, diffusion=(1.0, 1.0)):
+    """Element stiffness contributions for all triangles, vectorized.
+
+    Returns COO triplets of the assembled stiffness matrix for the
+    anisotropic Laplacian ``-div(diag(diffusion) grad u)``.
+    """
+    p = points[triangles]  # (m, 3, 2)
+    x = p[:, :, 0]
+    y = p[:, :, 1]
+    # Gradient coefficients of the three hat functions.
+    b = np.stack((y[:, 1] - y[:, 2], y[:, 2] - y[:, 0], y[:, 0] - y[:, 1]), axis=1)
+    c = np.stack((x[:, 2] - x[:, 1], x[:, 0] - x[:, 2], x[:, 1] - x[:, 0]), axis=1)
+    # Signed doubled area; Delaunay triangles are CCW so this is positive.
+    area2 = b[:, 0] * c[:, 1] - b[:, 1] * c[:, 0]
+    area2 = np.where(area2 == 0, np.finfo(float).tiny, area2)
+    kx, ky = diffusion
+    # K_ij = (kx * b_i b_j + ky * c_i c_j) / (2 * area2)
+    K = (kx * b[:, :, None] * b[:, None, :] + ky * c[:, :, None] * c[:, None, :]) / (
+        2.0 * area2[:, None, None]
+    )
+    m = triangles.shape[0]
+    rows = np.repeat(triangles, 3, axis=1).reshape(m * 9)
+    cols = np.tile(triangles, (1, 3)).reshape(m * 9)
+    vals = K.reshape(m * 9)
+    return rows, cols, vals
+
+
+def fe_laplacian_square(
+    n_interior: int = PAPER_FE_ROWS,
+    seed: int = 7,
+    stretch: float = 1.0,
+    boundary_per_side: int | None = None,
+    scaled: bool = True,
+) -> CSRMatrix:
+    """P1 stiffness matrix for Laplace on the unit square, Dirichlet boundary.
+
+    Parameters
+    ----------
+    n_interior
+        Number of interior nodes == number of matrix rows. Defaults to the
+        paper's 3081.
+    seed
+        RNG seed for the interior point cloud (deterministic mesh).
+    stretch
+        Anisotropy ratio ``ky/kx`` of the diffusion tensor. 1.0 is isotropic
+        Laplace; values > 1 increase ``rho(G)``.
+    boundary_per_side
+        Boundary points per square side (defaults to ``~sqrt(n_interior)``).
+    scaled
+        Symmetrically scale the result to unit diagonal (paper convention).
+
+    Returns
+    -------
+    CSRMatrix
+        The ``n_interior`` x ``n_interior`` stiffness matrix restricted to
+        interior nodes.
+    """
+    from scipy.spatial import Delaunay
+
+    if n_interior < 3:
+        raise ShapeError(f"n_interior must be >= 3, got {n_interior}")
+    rng = as_rng(seed)
+    if boundary_per_side is None:
+        boundary_per_side = max(4, int(np.sqrt(n_interior)))
+
+    interior = rng.uniform(0.02, 0.98, size=(n_interior, 2))
+    t = np.linspace(0.0, 1.0, boundary_per_side, endpoint=False)
+    boundary = np.concatenate(
+        (
+            np.column_stack((t, np.zeros_like(t))),
+            np.column_stack((np.ones_like(t), t)),
+            np.column_stack((1.0 - t, np.ones_like(t))),
+            np.column_stack((np.zeros_like(t), 1.0 - t)),
+        )
+    )
+    points = np.concatenate((interior, boundary))
+
+    tri = Delaunay(points)
+    rows, cols, vals = _p1_stiffness_triangles(
+        points, tri.simplices.astype(np.int64), diffusion=(1.0, float(stretch))
+    )
+    full = CSRMatrix.from_coo(rows, cols, vals, (points.shape[0], points.shape[0]))
+
+    # Dirichlet elimination: keep only interior nodes (the first n_interior).
+    keep = np.arange(n_interior, dtype=np.int64)
+    A = full.submatrix(keep)
+    if scaled:
+        A, _ = A.unit_diagonal_scaled()
+    return A
+
+
+def paper_fe_matrix(seed: int = 7, stretch: float = 6.0) -> CSRMatrix:
+    """The stand-in for the paper's FE matrix (3081 rows, sync-divergent).
+
+    The default ``stretch`` is chosen (and locked by the test suite) so that
+    ``rho(G) > 1`` decisively (measured: ~1.156) — synchronous Jacobi
+    diverges, and in the shared-memory simulator asynchronous Jacobi at 68
+    threads also fails while 136/272 threads converge, reproducing the
+    thread-count dependence of Figure 6. About a third of the rows keep the
+    W.D.D. property (the paper reports roughly half). The matrix has 3081
+    rows and 21,177 nonzeros vs. the paper's 20,971.
+    """
+    return fe_laplacian_square(PAPER_FE_ROWS, seed=seed, stretch=stretch)

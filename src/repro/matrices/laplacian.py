@@ -1,0 +1,151 @@
+"""Finite-difference Laplacian generators (the paper's "FD" matrices).
+
+The paper uses 5-point centered-difference discretizations of the Laplace
+equation on rectangular grids with uniform spacing. These matrices are
+irreducibly weakly diagonally dominant, SPD, and have Jacobi spectral radius
+< 1. The specific test matrices are identified by their (rows, nnz) pairs:
+
+====  ======  ===========  =====================
+rows   nnz    grid         where it appears
+====  ======  ===========  =====================
+  40    174   5 x 8        Fig. 2 (CPU trace)
+  68    298   4 x 17       Figs. 2-4 (68 threads)
+ 272   1294   16 x 17      Fig. 2 (Phi trace)
+4624  22848   68 x 68      Figs. 5
+====  ======  ===========  =====================
+
+(The grid shapes are recovered from nnz = N + 2 * #edges; each is verified in
+the test suite.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices.sparse import CSRMatrix
+from repro.util.errors import ShapeError
+
+#: Grid shapes that reproduce the paper's (rows, nnz) counts exactly.
+PAPER_FD_GRIDS = {
+    40: (5, 8),
+    68: (4, 17),
+    272: (16, 17),
+    4624: (68, 68),
+}
+
+
+def fd_laplacian_1d(n: int, scaled: bool = True) -> CSRMatrix:
+    """Tridiagonal [-1, 2, -1] Laplacian on ``n`` interior points.
+
+    With ``scaled=True`` (the paper's convention) the matrix is symmetrically
+    scaled to unit diagonal, i.e. tridiag(-1/2, 1, -1/2).
+    """
+    if n < 1:
+        raise ShapeError(f"n must be >= 1, got {n}")
+    i = np.arange(n, dtype=np.int64)
+    rows = np.concatenate((i, i[:-1], i[1:]))
+    cols = np.concatenate((i, i[1:], i[:-1]))
+    vals = np.concatenate((np.full(n, 2.0), np.full(2 * (n - 1), -1.0)))
+    A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+    if scaled:
+        A, _ = A.unit_diagonal_scaled()
+    return A
+
+
+def fd_laplacian_2d(nx: int, ny: int, scaled: bool = True) -> CSRMatrix:
+    """5-point Laplacian on an ``nx``-by-``ny`` grid (Dirichlet boundary).
+
+    Rows are ordered lexicographically: node ``(ix, iy)`` has index
+    ``ix * ny + iy``. The unscaled matrix has 4 on the diagonal and -1 for
+    each of the up-to-four grid neighbors; with ``scaled=True`` it is
+    symmetrically scaled to unit diagonal (diagonal 1, off-diagonals -1/4).
+    """
+    if nx < 1 or ny < 1:
+        raise ShapeError(f"grid dimensions must be >= 1, got ({nx}, {ny})")
+    n = nx * ny
+    ix, iy = np.divmod(np.arange(n, dtype=np.int64), ny)
+
+    rows = [np.arange(n, dtype=np.int64)]
+    cols = [np.arange(n, dtype=np.int64)]
+    vals = [np.full(n, 4.0)]
+
+    # Horizontal neighbors (ix +- 1) and vertical neighbors (iy +- 1).
+    right = ix < nx - 1
+    rows.append(np.nonzero(right)[0])
+    cols.append(np.nonzero(right)[0] + ny)
+    up = iy < ny - 1
+    rows.append(np.nonzero(up)[0])
+    cols.append(np.nonzero(up)[0] + 1)
+    # Symmetrize by mirroring the two forward stencil legs.
+    fr, fc = np.concatenate(rows[1:]), np.concatenate(cols[1:])
+    all_rows = np.concatenate((rows[0], fr, fc))
+    all_cols = np.concatenate((cols[0], fc, fr))
+    all_vals = np.concatenate((vals[0], np.full(2 * fr.size, -1.0)))
+
+    A = CSRMatrix.from_coo(all_rows, all_cols, all_vals, (n, n))
+    if scaled:
+        A, _ = A.unit_diagonal_scaled()
+    return A
+
+
+def fd_laplacian_3d(nx: int, ny: int, nz: int, scaled: bool = True) -> CSRMatrix:
+    """7-point Laplacian on an ``nx``-by-``ny``-by-``nz`` grid (Dirichlet).
+
+    Used by the apache2 stand-in (a 3-D structured-mesh problem).
+    """
+    if min(nx, ny, nz) < 1:
+        raise ShapeError(f"grid dimensions must be >= 1, got ({nx}, {ny}, {nz})")
+    n = nx * ny * nz
+    idx = np.arange(n, dtype=np.int64)
+    ix, rem = np.divmod(idx, ny * nz)
+    iy, iz = np.divmod(rem, nz)
+
+    fr, fc = [], []
+    for mask, stride in (
+        (ix < nx - 1, ny * nz),
+        (iy < ny - 1, nz),
+        (iz < nz - 1, 1),
+    ):
+        src = np.nonzero(mask)[0]
+        fr.append(src)
+        fc.append(src + stride)
+    fr, fc = np.concatenate(fr), np.concatenate(fc)
+    rows = np.concatenate((idx, fr, fc))
+    cols = np.concatenate((idx, fc, fr))
+    vals = np.concatenate((np.full(n, 6.0), np.full(2 * fr.size, -1.0)))
+    A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+    if scaled:
+        A, _ = A.unit_diagonal_scaled()
+    return A
+
+
+def paper_fd_matrix(rows: int, scaled: bool = True) -> CSRMatrix:
+    """One of the paper's four FD test matrices, by row count.
+
+    Raises ``KeyError`` with the valid sizes if ``rows`` is not one of the
+    paper's matrices (40, 68, 272, 4624).
+    """
+    try:
+        nx, ny = PAPER_FD_GRIDS[rows]
+    except KeyError:
+        raise KeyError(
+            f"no paper FD matrix with {rows} rows; valid sizes: "
+            f"{sorted(PAPER_FD_GRIDS)}"
+        ) from None
+    return fd_laplacian_2d(nx, ny, scaled=scaled)
+
+
+def near_square_grid(n: int) -> tuple:
+    """Factor ``n`` as ``nx * ny`` with the aspect ratio closest to 1.
+
+    Falls back to ``(n, 1)`` for primes. Useful for building FD matrices of
+    arbitrary size outside the paper's fixed list.
+    """
+    if n < 1:
+        raise ShapeError(f"n must be >= 1, got {n}")
+    best = (n, 1)
+    for d in range(int(np.sqrt(n)), 0, -1):
+        if n % d == 0:
+            best = (n // d, d)
+            break
+    return best

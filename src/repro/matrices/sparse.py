@@ -1,0 +1,400 @@
+"""A from-scratch CSR sparse-matrix type with vectorized kernels.
+
+The simulators and the propagation-matrix model need a handful of sparse
+operations (SpMV, row-subset SpMV for relaxing a set of rows, principal
+submatrices for the interlacing analysis, graph adjacency for partitioning).
+They are implemented here directly on top of NumPy; :mod:`scipy.sparse` is
+used only in tests as an independent oracle.
+
+All kernels are fully vectorized — the per-element work happens inside NumPy
+(`bincount`, fancy indexing), never in Python loops over nonzeros — following
+the "vectorize the hot loop" rule for numerical Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError, SingularMatrixError
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Vectorized ``np.concatenate([np.arange(s, s+c) ...])``.
+
+    Standard cumsum trick: total length is ``counts.sum()``; within each
+    segment we add an offset resetting the running index to ``starts[k]``.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_ids = np.repeat(np.arange(len(counts)), counts)
+    # Position within the concatenated output.
+    pos = np.arange(total, dtype=np.int64)
+    # Start position of each segment in the output.
+    seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return starts[seg_ids] + (pos - seg_starts[seg_ids])
+
+
+class CSRMatrix:
+    """Compressed-sparse-row matrix (float64 values, int64 indices).
+
+    Parameters
+    ----------
+    indptr, indices, data
+        Standard CSR arrays. Column indices within each row must be sorted
+        and unique (enforced on construction).
+    shape
+        ``(nrows, ncols)``.
+
+    Notes
+    -----
+    Instances are immutable by convention: kernels never modify the CSR
+    arrays, so a matrix can be shared freely between simulated agents.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape", "_row_of_nnz")
+
+    def __init__(self, indptr, indices, data, shape):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if len(shape) != 2:
+            raise ShapeError(f"shape must be (nrows, ncols), got {shape}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+        # Row id of each stored nonzero; used by SpMV via bincount.
+        self._row_of_nnz = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        nrows, ncols = self.shape
+        if self.indptr.ndim != 1 or self.indptr.shape[0] != nrows + 1:
+            raise ShapeError(
+                f"indptr must have length nrows+1={nrows + 1}, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise ShapeError("indptr must start at 0 and be nondecreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ShapeError(
+                f"indices/data must have length indptr[-1]={nnz}, got "
+                f"{self.indices.shape}/{self.data.shape}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= ncols):
+            raise ShapeError("column indices out of range")
+        # Sorted, unique columns within each row: diff >= 1 except at row
+        # boundaries.
+        if nnz > 1:
+            d = np.diff(self.indices)
+            boundary = np.zeros(nnz - 1, dtype=bool)
+            inner_ptr = self.indptr[1:-1]
+            boundary[inner_ptr[(inner_ptr > 0) & (inner_ptr < nnz)] - 1] = True
+            if np.any((d < 1) & ~boundary):
+                raise ShapeError("column indices must be sorted and unique per row")
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "CSRMatrix":
+        """Build from COO triplets; duplicate entries are summed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+            raise ShapeError("rows, cols, vals must be 1-D arrays of equal length")
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if rows.size and (rows.min() < 0 or rows.max() >= nrows):
+            raise ShapeError("row indices out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= ncols):
+            raise ShapeError("column indices out of range")
+        # Sort by (row, col) and merge duplicates.
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if rows.size:
+            new_group = np.concatenate(
+                ([True], (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1]))
+            )
+            group_ids = np.cumsum(new_group) - 1
+            merged_vals = np.bincount(group_ids, weights=vals)
+            rows = rows[new_group]
+            cols = cols[new_group]
+            vals = merged_vals
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(indptr, cols, vals, (nrows, ncols))
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        """Build from a 2-D array, dropping exact zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ShapeError(f"dense must be 2-D, got {dense.ndim}-D")
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The n-by-n identity."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(np.arange(n + 1), idx, np.ones(n), (n, n))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Convert any scipy.sparse matrix."""
+        m = mat.tocsr().sorted_indices()
+        m.sum_duplicates()
+        return cls(m.indptr, m.indices, m.data, m.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array."""
+        out = np.zeros(self.shape)
+        out[self._row_of_nnz, self.indices] = self.data
+        return out
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (used by tests/analysis)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data.copy(), self.indices.copy(), self.indptr.copy()), shape=self.shape
+        )
+
+    def copy(self) -> "CSRMatrix":
+        """Deep copy."""
+        return CSRMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
+        )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row."""
+        return np.diff(self.indptr)
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal as a dense vector (zeros where absent)."""
+        n = min(self.shape)
+        diag = np.zeros(n)
+        on_diag = (self._row_of_nnz == self.indices) & (self._row_of_nnz < n)
+        diag[self._row_of_nnz[on_diag]] = self.data[on_diag]
+        return diag
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose (CSR of A^T)."""
+        return CSRMatrix.from_coo(
+            self.indices, self._row_of_nnz, self.data, (self.shape[1], self.shape[0])
+        )
+
+    def is_symmetric(self, tol: float = 0.0) -> bool:
+        """Check structural+numeric symmetry within ``tol``."""
+        if self.shape[0] != self.shape[1]:
+            return False
+        t = self.transpose()
+        if not (
+            np.array_equal(t.indptr, self.indptr)
+            and np.array_equal(t.indices, self.indices)
+        ):
+            return False
+        return bool(np.all(np.abs(t.data - self.data) <= tol))
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def matvec(self, x) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ShapeError(
+                f"x must have shape ({self.shape[1]},), got {x.shape}"
+            )
+        prods = self.data * x[self.indices]
+        return np.bincount(self._row_of_nnz, weights=prods, minlength=self.shape[0])
+
+    def __matmul__(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return self.matvec(x)
+        if x.ndim == 2:
+            if x.shape[0] != self.shape[1]:
+                raise ShapeError(
+                    f"operand rows {x.shape[0]} != matrix cols {self.shape[1]}"
+                )
+            out = np.empty((self.shape[0], x.shape[1]))
+            for j in range(x.shape[1]):
+                out[:, j] = self.matvec(x[:, j])
+            return out
+        raise ShapeError(f"cannot multiply CSR by {x.ndim}-D operand")
+
+    def row_matvec(self, rows, x) -> np.ndarray:
+        """``A[rows, :] @ x`` without materializing the row slice.
+
+        This is the hot kernel of every relaxation: relaxing the set ``rows``
+        needs exactly these inner products.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ShapeError(f"x must have shape ({self.shape[1]},), got {x.shape}")
+        if rows.size == 0:
+            return np.zeros(0)
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        nz = _concat_ranges(starts, counts)
+        prods = self.data[nz] * x[self.indices[nz]]
+        seg = np.repeat(np.arange(rows.size), counts)
+        return np.bincount(seg, weights=prods, minlength=rows.size)
+
+    def row_slice(self, rows) -> "CSRMatrix":
+        """``A[rows, :]`` as a new CSR matrix (rows in the given order)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        nz = _concat_ranges(starts, counts)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return CSRMatrix(indptr, self.indices[nz], self.data[nz], (rows.size, self.shape[1]))
+
+    def submatrix(self, rows, cols=None) -> "CSRMatrix":
+        """``A[rows][:, cols]`` (``cols`` defaults to ``rows``: principal submatrix).
+
+        Used by the interlacing analysis (Section IV-C of the paper), which
+        studies principal submatrices of the iteration matrix corresponding
+        to the *active* (non-delayed) rows.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = rows if cols is None else np.asarray(cols, dtype=np.int64)
+        sliced = self.row_slice(rows)
+        # Map old column ids -> new ids (or -1 to drop).
+        col_map = np.full(self.shape[1], -1, dtype=np.int64)
+        col_map[cols] = np.arange(cols.size)
+        new_cols = col_map[sliced.indices]
+        keep = new_cols >= 0
+        seg = np.repeat(np.arange(rows.size), np.diff(sliced.indptr))[keep]
+        return CSRMatrix.from_coo(
+            seg, new_cols[keep], sliced.data[keep], (rows.size, cols.size)
+        )
+
+    def scale_rows(self, scale) -> "CSRMatrix":
+        """Return ``diag(scale) @ A``."""
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape != (self.shape[0],):
+            raise ShapeError(f"scale must have shape ({self.shape[0]},)")
+        return CSRMatrix(
+            self.indptr, self.indices, self.data * scale[self._row_of_nnz], self.shape
+        )
+
+    def scale_columns(self, scale) -> "CSRMatrix":
+        """Return ``A @ diag(scale)``."""
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape != (self.shape[1],):
+            raise ShapeError(f"scale must have shape ({self.shape[1]},)")
+        return CSRMatrix(self.indptr, self.indices, self.data * scale[self.indices], self.shape)
+
+    def add_scaled_identity(self, alpha: float, beta: float = 1.0) -> "CSRMatrix":
+        """Return ``beta * A + alpha * I`` (square matrices only)."""
+        if self.shape[0] != self.shape[1]:
+            raise ShapeError("add_scaled_identity requires a square matrix")
+        n = self.shape[0]
+        rows = np.concatenate((self._row_of_nnz, np.arange(n, dtype=np.int64)))
+        cols = np.concatenate((self.indices, np.arange(n, dtype=np.int64)))
+        vals = np.concatenate((beta * self.data, np.full(n, float(alpha))))
+        return CSRMatrix.from_coo(rows, cols, vals, self.shape)
+
+    def off_diagonal_row_sums(self) -> np.ndarray:
+        """``sum_{j != i} |a_ij|`` for each row; used by W.D.D. checks."""
+        absdata = np.abs(self.data)
+        off = self._row_of_nnz != self.indices
+        return np.bincount(
+            self._row_of_nnz[off], weights=absdata[off], minlength=self.shape[0]
+        )
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Column indices of row ``i`` excluding the diagonal.
+
+        This is the matrix-graph adjacency used for partitioning and for
+        ghost-layer discovery in the distributed simulator.
+        """
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        cols = self.indices[lo:hi]
+        return cols[cols != i]
+
+    def row_entries(self, i: int):
+        """``(columns, values)`` of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    # ------------------------------------------------------------------
+    # transformations used by the solvers
+    # ------------------------------------------------------------------
+    def unit_diagonal_scaled(self):
+        """Symmetrically scale to unit diagonal: ``D^{-1/2} A D^{-1/2}``.
+
+        The paper assumes throughout that A is symmetric and "scaled to have
+        unit diagonal values", under which the error and residual iteration
+        matrices coincide (B = C = G = I - A). Returns ``(scaled, dsqrt)``
+        where ``dsqrt`` is the vector of square roots of the original
+        diagonal, so solutions can be mapped back:
+        ``A x = b  <=>  (SAS)(S^{-1} x) = S b`` with ``S = D^{-1/2}``.
+        """
+        d = self.diagonal()
+        if np.any(d <= 0):
+            raise SingularMatrixError(
+                "unit-diagonal scaling requires strictly positive diagonal"
+            )
+        s = 1.0 / np.sqrt(d)
+        return self.scale_rows(s).scale_columns(s), np.sqrt(d)
+
+    def jacobi_iteration_matrix(self) -> "CSRMatrix":
+        """``G = I - D^{-1} A``: the Jacobi iteration matrix.
+
+        For unit-diagonal A this is simply ``I - A`` with an empty diagonal.
+        """
+        d = self.diagonal()
+        if np.any(d == 0):
+            raise SingularMatrixError("Jacobi requires a nonzero diagonal")
+        scaled = self.scale_rows(1.0 / d)  # D^{-1} A, unit diagonal
+        # G = I - D^{-1}A: negate and knock out the diagonal.
+        off = scaled._row_of_nnz != scaled.indices
+        rows = scaled._row_of_nnz[off]
+        cols = scaled.indices[off]
+        vals = -scaled.data[off]
+        return CSRMatrix.from_coo(rows, cols, vals, self.shape)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )
+
+    # Unhashable: instances wrap mutable ndarrays.
+    __hash__ = None

@@ -1,0 +1,232 @@
+"""Synthetic stand-ins for the paper's SuiteSparse test problems (Table I).
+
+The paper evaluates distributed asynchronous Jacobi on seven SPD matrices
+from the SuiteSparse collection. The collection is not available offline, so
+this module generates *structural stand-ins*: synthetic matrices of the same
+family (structured grids, circuit graphs, FE stiffness) at reduced size,
+each preserving the property that drives the paper's experiments:
+
+* SPD and symmetric, unit-diagonal scaled;
+* Jacobi-convergent (``rho(G) < 1``) for the six problems of Figures 7/8;
+* Jacobi-**divergent** (``rho(G) > 1``) for the Dubcova2 stand-in (Figure 9).
+
+Sizes are reduced ~256x so every distributed-simulator experiment runs on a
+single core in seconds; the paper's original (rows, nnz) are recorded in
+:data:`PAPER_PROBLEMS` and reported alongside measured values by the Table I
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.matrices.fem import fe_laplacian_square
+from repro.matrices.laplacian import fd_laplacian_2d, fd_laplacian_3d
+from repro.matrices.sparse import CSRMatrix
+from repro.util.errors import ShapeError
+from repro.util.rng import as_rng
+
+
+def _checked_size(n: int, minimum: int) -> int:
+    if n < minimum:
+        raise ShapeError(f"n must be >= {minimum}, got {n}")
+    return int(n)
+
+
+def thermal2_like(n: int = 4900, seed: int = 11) -> CSRMatrix:
+    """Unstructured FE thermal problem (steady-state heat, FEM).
+
+    A P1 stiffness matrix on a random Delaunay mesh plus a small lumped-mass
+    (reaction) shift. The shift keeps Jacobi convergent but slow — thermal2
+    is the paper's case where Jacobi converges with ``rho(G)`` close to 1.
+    """
+    n = _checked_size(n, 16)
+    A = fe_laplacian_square(n, seed=seed, stretch=1.0, scaled=False)
+    # Reaction shift proportional to the mean diagonal: guarantees strict
+    # diagonal dominance margin without changing the sparsity structure.
+    shift = 0.02 * float(np.mean(A.diagonal()))
+    A = A.add_scaled_identity(shift)
+    scaled, _ = A.unit_diagonal_scaled()
+    return scaled
+
+
+def g3_circuit_like(n: int = 6200, seed: int = 13, chord_fraction: float = 0.05) -> CSRMatrix:
+    """Circuit-simulation problem: weighted graph Laplacian + grounded nodes.
+
+    A 2-D grid graph (the substrate of large circuit netlists) with random
+    long-range chords, random positive conductances, and a small fraction of
+    "grounded" nodes carrying a diagonal shift (making the Laplacian
+    nonsingular). Irreducibly weakly diagonally dominant, so ``rho(G) < 1``.
+    """
+    n = _checked_size(n, 9)
+    rng = as_rng(seed)
+    nx = int(np.sqrt(n))
+    ny = (n + nx - 1) // nx
+    total = nx * ny
+    idx = np.arange(total, dtype=np.int64)
+    ix, iy = np.divmod(idx, ny)
+    edges = []
+    right = idx[ix < nx - 1]
+    edges.append(np.column_stack((right, right + ny)))
+    up = idx[iy < ny - 1]
+    edges.append(np.column_stack((up, up + 1)))
+    n_chords = max(1, int(chord_fraction * total))
+    chords = rng.integers(0, total, size=(n_chords, 2))
+    chords = chords[chords[:, 0] != chords[:, 1]]
+    edges.append(chords)
+    e = np.concatenate(edges)
+    w = rng.uniform(0.5, 2.0, size=e.shape[0])
+
+    rows = np.concatenate((e[:, 0], e[:, 1]))
+    cols = np.concatenate((e[:, 1], e[:, 0]))
+    vals = np.concatenate((-w, -w))
+    # Degree diagonal.
+    deg = np.zeros(total)
+    np.add.at(deg, e[:, 0], w)
+    np.add.at(deg, e[:, 1], w)
+    # Grounded nodes: strict dominance at ~2% of nodes.
+    grounded = rng.choice(total, size=max(1, total // 50), replace=False)
+    deg[grounded] += rng.uniform(0.5, 1.5, size=grounded.size)
+    rows = np.concatenate((rows, idx))
+    cols = np.concatenate((cols, idx))
+    vals = np.concatenate((vals, deg))
+    A = CSRMatrix.from_coo(rows, cols, vals, (total, total))
+    if total != n:
+        A = A.submatrix(np.arange(n, dtype=np.int64))
+    scaled, _ = A.unit_diagonal_scaled()
+    return scaled
+
+
+def ecology2_like(n: int = 3969, seed: int = 0) -> CSRMatrix:
+    """Landscape-ecology problem: a plain 2-D 5-point grid Laplacian.
+
+    ecology2 *is* a regular 2-D grid problem; the stand-in is the 5-point
+    Laplacian on the nearest square grid (Dirichlet), unit-diagonal scaled.
+    """
+    n = _checked_size(n, 4)
+    side = max(2, int(round(np.sqrt(n))))
+    return fd_laplacian_2d(side, side)
+
+
+def apache2_like(n: int = 2744, seed: int = 0) -> CSRMatrix:
+    """3-D structured-mesh problem: the 7-point Laplacian on a cube."""
+    n = _checked_size(n, 8)
+    side = max(2, int(round(n ** (1.0 / 3.0))))
+    return fd_laplacian_3d(side, side, side)
+
+
+def parabolic_fem_like(n: int = 2025, seed: int = 0, tau: float = 0.2) -> CSRMatrix:
+    """Implicit-Euler diffusion step ``I + tau * K`` on a 2-D grid.
+
+    parabolic_fem is a parabolic (time-dependent diffusion) problem; the
+    identity shift makes it strongly diagonally dominant, so Jacobi converges
+    quickly — matching its position as the fastest-converging problem in
+    Figure 7.
+    """
+    n = _checked_size(n, 4)
+    side = max(2, int(round(np.sqrt(n))))
+    K = fd_laplacian_2d(side, side, scaled=False)
+    A = K.add_scaled_identity(1.0, beta=float(tau))
+    scaled, _ = A.unit_diagonal_scaled()
+    return scaled
+
+
+def thermomech_dm_like(n: int = 800, seed: int = 17) -> CSRMatrix:
+    """Small FE thermo-mechanical problem (the paper's smallest matrix)."""
+    n = _checked_size(n, 16)
+    A = fe_laplacian_square(n, seed=seed, stretch=1.0, scaled=False)
+    shift = 0.05 * float(np.mean(A.diagonal()))
+    A = A.add_scaled_identity(shift)
+    scaled, _ = A.unit_diagonal_scaled()
+    return scaled
+
+
+def dubcova2_like(n: int = 1024, seed: int = 23, stretch: float = 6.0) -> CSRMatrix:
+    """FE problem on which synchronous Jacobi DIVERGES (``rho(G) > 1``).
+
+    Dubcova2 is the one Table I matrix for which Jacobi does not converge
+    (Figure 9). The stand-in is an anisotropic P1 stiffness matrix tuned so
+    that ``rho(G) > 1``; the test suite locks this property.
+    """
+    n = _checked_size(n, 16)
+    return fe_laplacian_square(n, seed=seed, stretch=stretch)
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Catalog entry tying a stand-in generator to the paper's Table I row."""
+
+    name: str
+    paper_rows: int
+    paper_nnz: int
+    generator: Callable[..., CSRMatrix]
+    default_n: int
+    jacobi_converges: bool
+    description: str
+
+    def build(self, n: int | None = None, seed: int | None = None) -> CSRMatrix:
+        """Instantiate the stand-in (default size unless overridden)."""
+        kwargs = {}
+        if n is not None:
+            kwargs["n"] = n
+        if seed is not None:
+            kwargs["seed"] = seed
+        return self.generator(**kwargs)
+
+
+#: The paper's Table I, in the paper's order, with stand-in generators.
+PAPER_PROBLEMS = {
+    "thermal2": ProblemSpec(
+        "thermal2", 1_227_087, 8_579_355, thermal2_like, 4900, True,
+        "unstructured FE thermal problem",
+    ),
+    "G3_circuit": ProblemSpec(
+        "G3_circuit", 1_585_478, 7_660_826, g3_circuit_like, 6200, True,
+        "circuit simulation graph Laplacian",
+    ),
+    "ecology2": ProblemSpec(
+        "ecology2", 999_999, 4_995_991, ecology2_like, 3969, True,
+        "2-D grid landscape ecology problem",
+    ),
+    "apache2": ProblemSpec(
+        "apache2", 715_176, 4_817_870, apache2_like, 2744, True,
+        "3-D structured-mesh problem",
+    ),
+    "parabolic_fem": ProblemSpec(
+        "parabolic_fem", 525_825, 3_674_625, parabolic_fem_like, 2025, True,
+        "implicit diffusion time step",
+    ),
+    "thermomech_dm": ProblemSpec(
+        "thermomech_dm", 204_316, 1_423_116, thermomech_dm_like, 800, True,
+        "small FE thermo-mechanical problem",
+    ),
+    "Dubcova2": ProblemSpec(
+        "Dubcova2", 65_025, 1_030_225, dubcova2_like, 1024, False,
+        "FE problem; sync Jacobi diverges",
+    ),
+}
+
+#: The six problems of Figures 7 and 8 (every Table I matrix but Dubcova2),
+#: ordered smallest-first like the paper's plots.
+FIGURE7_PROBLEMS = (
+    "thermomech_dm",
+    "parabolic_fem",
+    "ecology2",
+    "apache2",
+    "G3_circuit",
+    "thermal2",
+)
+
+
+def load_problem(name: str, n: int | None = None, seed: int | None = None) -> CSRMatrix:
+    """Build a Table I stand-in by name (case-sensitive, as in the paper)."""
+    try:
+        spec = PAPER_PROBLEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown problem {name!r}; available: {', '.join(PAPER_PROBLEMS)}"
+        ) from None
+    return spec.build(n=n, seed=seed)

@@ -1,0 +1,24 @@
+"""Partitioning substrate: METIS substitute, subdomains, ghost layers."""
+
+from repro.partition.partitioner import (
+    bandwidth,
+    bfs_bisection_partition,
+    contiguous_partition,
+    edge_cut,
+    part_sizes,
+    partition_permutation,
+    rcm_ordering,
+)
+from repro.partition.subdomain import DomainDecomposition, Subdomain
+
+__all__ = [
+    "bandwidth",
+    "bfs_bisection_partition",
+    "contiguous_partition",
+    "edge_cut",
+    "part_sizes",
+    "partition_permutation",
+    "rcm_ordering",
+    "DomainDecomposition",
+    "Subdomain",
+]

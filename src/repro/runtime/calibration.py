@@ -1,0 +1,152 @@
+"""Fitting machine-model parameters from measurements.
+
+The simulators are only as good as their cost models. This module fits
+:class:`~repro.runtime.machine.MachineModel` parameters from the kind of
+microbenchmark data a user can collect on real hardware:
+
+* :func:`fit_compute_costs` — least-squares fit of ``time_per_nnz``,
+  ``time_per_row`` and ``iteration_overhead`` from (nnz, rows, seconds)
+  iteration timings;
+* :func:`fit_barrier_costs` — fit of ``barrier_base``/``barrier_log_coeff``
+  (and the oversubscription exponent) from per-thread-count barrier
+  timings;
+* :func:`calibrated_machine` — bundle both fits into a new machine preset.
+
+Fits are plain linear least squares on the appropriate transforms; each
+returns the fitted parameters plus the relative RMS error so users can
+judge model adequacy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.runtime.machine import MachineModel
+from repro.util.errors import ReproError
+
+
+class CalibrationError(ReproError, ValueError):
+    """Not enough (or degenerate) measurement data for a fit."""
+
+
+@dataclass(frozen=True)
+class ComputeFit:
+    """Fitted per-iteration compute parameters."""
+
+    time_per_nnz: float
+    time_per_row: float
+    iteration_overhead: float
+    relative_rms: float
+
+
+@dataclass(frozen=True)
+class BarrierFit:
+    """Fitted barrier parameters."""
+
+    barrier_base: float
+    barrier_log_coeff: float
+    barrier_oversub_exp: float
+    relative_rms: float
+
+
+def _relative_rms(predicted: np.ndarray, measured: np.ndarray) -> float:
+    scale = np.maximum(np.abs(measured), 1e-300)
+    return float(np.sqrt(np.mean(((predicted - measured) / scale) ** 2)))
+
+
+def fit_compute_costs(samples) -> ComputeFit:
+    """Fit ``t = nnz * c1 + rows * c2 + c3`` from (nnz, rows, seconds).
+
+    Needs at least three samples with nondegenerate (nnz, rows) variation.
+    Negative fitted coefficients are clamped to zero (they indicate the
+    term is unresolvable from the data, not negative cost).
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.ndim != 2 or data.shape[1] != 3:
+        raise CalibrationError("samples must be (nnz, rows, seconds) triples")
+    if data.shape[0] < 3:
+        raise CalibrationError(f"need >= 3 samples, got {data.shape[0]}")
+    X = np.column_stack((data[:, 0], data[:, 1], np.ones(data.shape[0])))
+    t = data[:, 2]
+    if np.linalg.matrix_rank(X) < 3:
+        raise CalibrationError(
+            "samples are degenerate: vary nnz and rows independently"
+        )
+    coef, *_ = np.linalg.lstsq(X, t, rcond=None)
+    coef = np.maximum(coef, 0.0)
+    return ComputeFit(
+        time_per_nnz=float(coef[0]),
+        time_per_row=float(coef[1]),
+        iteration_overhead=float(coef[2]),
+        relative_rms=_relative_rms(X @ coef, t),
+    )
+
+
+def fit_barrier_costs(samples, cores: int) -> BarrierFit:
+    """Fit barrier timings ``(threads, seconds)``.
+
+    Model: ``(base + coeff log2 T) * max(1, T / cores)^p``. The exponent
+    ``p`` is found by a 1-D golden-section-free grid search (it enters
+    nonlinearly); ``base``/``coeff`` by least squares at each candidate.
+    Samples at or below ``cores`` threads suffice to fit base/coeff; fitting
+    ``p`` needs at least one oversubscribed sample (else p = 0 is returned).
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.ndim != 2 or data.shape[1] != 2:
+        raise CalibrationError("samples must be (threads, seconds) pairs")
+    if data.shape[0] < 2:
+        raise CalibrationError(f"need >= 2 samples, got {data.shape[0]}")
+    threads = data[:, 0]
+    t = data[:, 1]
+    if np.any(threads < 1):
+        raise CalibrationError("thread counts must be >= 1")
+    logs = np.where(threads > 1, np.log2(threads), 0.0)
+    residency = np.maximum(1.0, threads / float(cores))
+
+    oversubscribed = np.any(residency > 1.0)
+    candidates = np.linspace(0.0, 3.0, 61) if oversubscribed else np.array([0.0])
+    best = None
+    for p in candidates:
+        scale = residency**p
+        X = np.column_stack((scale, logs * scale))
+        coef, *_ = np.linalg.lstsq(X, t, rcond=None)
+        coef = np.maximum(coef, 0.0)
+        err = _relative_rms(X @ coef, t)
+        if best is None or err < best[0]:
+            best = (err, p, coef)
+    err, p, coef = best
+    return BarrierFit(
+        barrier_base=float(coef[0]),
+        barrier_log_coeff=float(coef[1]),
+        barrier_oversub_exp=float(p),
+        relative_rms=err,
+    )
+
+
+def calibrated_machine(
+    base: MachineModel,
+    compute_samples=None,
+    barrier_samples=None,
+    name: str | None = None,
+) -> MachineModel:
+    """Return ``base`` with parameters replaced by fits from measurements."""
+    updates = {}
+    if name is not None:
+        updates["name"] = name
+    if compute_samples is not None:
+        fit = fit_compute_costs(compute_samples)
+        updates.update(
+            time_per_nnz=fit.time_per_nnz,
+            time_per_row=fit.time_per_row,
+            iteration_overhead=fit.iteration_overhead,
+        )
+    if barrier_samples is not None:
+        fit = fit_barrier_costs(barrier_samples, base.cores)
+        updates.update(
+            barrier_base=fit.barrier_base,
+            barrier_log_coeff=fit.barrier_log_coeff,
+            barrier_oversub_exp=fit.barrier_oversub_exp,
+        )
+    return replace(base, **updates)

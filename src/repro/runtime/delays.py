@@ -1,0 +1,126 @@
+"""Injected-delay models for the machine simulators.
+
+The paper's shared-memory experiments inject delays by making one thread
+sleep for delta microseconds per iteration (Figs. 3-4) — synchronous Jacobi
+then pays delta at every barrier while asynchronous Jacobi lets the other
+threads run ahead. These models generalize that: constant per-iteration
+delays, multiplicative stragglers, permanent hangs ("delayed until
+convergence"), and stochastic stalls for failure injection.
+
+A delay model answers two questions for a simulated agent (thread or rank):
+``extra_time(agent, iteration, rng)`` — seconds added to this iteration —
+and ``is_hung(agent, time)`` — whether the agent has stopped iterating
+entirely.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_nonnegative, check_probability
+
+
+class DelayModel:
+    """No injected delay (the base class doubles as the null model)."""
+
+    def extra_time(self, agent: int, iteration: int, rng) -> float:
+        """Seconds of injected delay for this agent's iteration."""
+        return 0.0
+
+    def is_hung(self, agent: int, time: float) -> bool:
+        """Whether the agent has permanently stopped at ``time``."""
+        return False
+
+
+NO_DELAY = DelayModel()
+
+
+class ConstantDelay(DelayModel):
+    """Fixed extra seconds per iteration for selected agents.
+
+    ``delays`` maps agent id to the per-iteration sleep. This is the
+    Figure 3/4 scenario with the sleeper near the middle of the domain.
+    """
+
+    def __init__(self, delays: dict):
+        self.delays = {int(a): check_nonnegative(d, f"delay[{a}]") for a, d in delays.items()}
+
+    def extra_time(self, agent: int, iteration: int, rng) -> float:
+        return self.delays.get(agent, 0.0)
+
+
+class StragglerDelay(DelayModel):
+    """Selected agents run ``factor`` times slower (hardware imbalance).
+
+    Implemented as extra time proportional to the agent's base duration;
+    the simulator passes the base via :meth:`scaled_extra`.
+    """
+
+    def __init__(self, factors: dict):
+        self.factors = {}
+        for a, f in factors.items():
+            f = float(f)
+            if f < 1.0:
+                raise ValueError(f"straggler factor must be >= 1, got {f}")
+            self.factors[int(a)] = f
+
+    def slowdown(self, agent: int) -> float:
+        """Multiplicative slowdown for the agent (1.0 if not a straggler)."""
+        return self.factors.get(agent, 1.0)
+
+
+class HangDelay(DelayModel):
+    """Selected agents stop iterating permanently after a given time.
+
+    ``hang_times`` maps agent id to the simulated time after which the agent
+    never relaxes again — the paper's "delayed until convergence" case, and
+    the failure-injection model for a dead rank.
+    """
+
+    def __init__(self, hang_times: dict):
+        self.hang_times = {
+            int(a): check_nonnegative(t, f"hang_times[{a}]") for a, t in hang_times.items()
+        }
+
+    def is_hung(self, agent: int, time: float) -> bool:
+        t = self.hang_times.get(agent)
+        return t is not None and time >= t
+
+
+class StochasticStall(DelayModel):
+    """Each iteration independently stalls with some probability.
+
+    Models OS noise / page faults: with probability ``prob`` an iteration
+    pays an extra exponentially distributed stall of mean ``mean_stall``.
+    """
+
+    def __init__(self, prob: float, mean_stall: float, agents=None):
+        self.prob = check_probability(prob, "prob")
+        self.mean_stall = check_nonnegative(mean_stall, "mean_stall")
+        self.agents = None if agents is None else {int(a) for a in agents}
+
+    def extra_time(self, agent: int, iteration: int, rng) -> float:
+        if self.agents is not None and agent not in self.agents:
+            return 0.0
+        if rng.random() < self.prob:
+            return float(rng.exponential(self.mean_stall))
+        return 0.0
+
+
+class CompositeDelay(DelayModel):
+    """Sum/combination of several delay models."""
+
+    def __init__(self, *models: DelayModel):
+        self.models = list(models)
+
+    def extra_time(self, agent: int, iteration: int, rng) -> float:
+        return sum(m.extra_time(agent, iteration, rng) for m in self.models)
+
+    def is_hung(self, agent: int, time: float) -> bool:
+        return any(m.is_hung(agent, time) for m in self.models)
+
+    def slowdown(self, agent: int) -> float:
+        """Product of slowdowns from any straggler components."""
+        out = 1.0
+        for m in self.models:
+            if isinstance(m, StragglerDelay):
+                out *= m.slowdown(agent)
+        return out

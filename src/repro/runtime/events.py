@@ -1,0 +1,57 @@
+"""A minimal discrete-event engine.
+
+Both machine simulators are built on this queue: events are ``(time, seq,
+payload)`` tuples ordered by time with a monotone sequence number breaking
+ties, so simulations are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from repro.util.errors import SimulationError
+
+
+class EventQueue:
+    """Priority queue of timestamped events with deterministic tie-breaking."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event (0.0 initially)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, payload) -> None:
+        """Schedule ``payload`` at ``time``.
+
+        Scheduling into the past (before the last popped event) indicates a
+        simulator bug and raises :class:`SimulationError`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), payload))
+
+    def pop(self):
+        """Remove and return the earliest ``(time, payload)``."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def peek_time(self) -> float:
+        """Time of the earliest pending event (inf when empty)."""
+        return self._heap[0][0] if self._heap else float("inf")

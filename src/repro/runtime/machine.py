@@ -1,0 +1,264 @@
+"""Machine cost models and presets.
+
+These models replace the paper's physical testbeds (Section VII-A):
+
+* a 68-core Intel Xeon Phi "Knights Landing" node, 4 hardware threads per
+  core (up to 272 threads) — :data:`KNL`;
+* a 2 x 10-core Intel Xeon E5 node with 2 hyperthreads per core (up to 40
+  threads) — :data:`CPU20`;
+* Cori Haswell nodes (2 x 16 cores) connected by a low-latency network,
+  used for the MPI experiments — :data:`HASWELL_CLUSTER`.
+
+Only *relative* costs matter for reproducing the paper's shapes: how per-
+iteration compute scales with local work, how the barrier grows with thread
+count, how oversubscribing hardware threads inflates compute, and how big
+network latency is relative to a local iteration. Absolute values are
+loosely calibrated to the hardware era (microseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Shared-memory node cost model.
+
+    Durations are in seconds. One thread-iteration over a subdomain with
+    ``nnz`` stored entries and ``nrows`` rows costs::
+
+        (nnz * time_per_nnz + nrows * time_per_row + iteration_overhead)
+            * oversubscription(T) * lognormal_jitter
+
+    and a synchronous sweep additionally pays ``barrier_cost(T)``.
+    """
+
+    name: str
+    cores: int
+    smt: int
+    time_per_nnz: float = 2.0e-9
+    time_per_row: float = 4.0e-9
+    iteration_overhead: float = 1.0e-6
+    jitter_sigma: float = 0.08
+    oversub_jitter_exp: float = 1.0
+    smt_throughput_exp: float = 0.8
+    barrier_base: float = 1.0e-6
+    barrier_log_coeff: float = 1.2e-6
+    barrier_oversub_exp: float = 1.7
+
+    def __post_init__(self):
+        check_positive(self.cores, "cores")
+        check_positive(self.smt, "smt")
+        check_nonnegative(self.jitter_sigma, "jitter_sigma")
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware thread capacity (cores x SMT ways)."""
+        return self.cores * self.smt
+
+    def residency(self, n_threads: int) -> float:
+        """Threads resident per core, ``max(1, T / cores)``."""
+        return max(1.0, n_threads / self.cores)
+
+    def smt_throughput(self, n_threads: int) -> float:
+        """Aggregate per-core throughput gain from hardware threading.
+
+        ``k`` resident hyperthreads deliver ``k ** smt_throughput_exp`` times
+        the single-thread throughput (k^0.8 by default: latency hiding helps,
+        but shared execution resources keep the gain sublinear; capped at the
+        hardware SMT width). The shared-memory simulator serializes same-core
+        threads at iteration granularity, so one serialized iteration runs at
+        this boosted rate and the *net* per-sweep cost of oversubscription is
+        ``k / f(k) = k ** (1 - exp)`` — mildly increasing, as the paper
+        observes on KNL (Fig. 5(b)).
+        """
+        k = self.residency(n_threads)
+        return float(min(k**self.smt_throughput_exp, float(self.smt)))
+
+    def effective_jitter(self, n_threads: int) -> float:
+        """Timing-noise sigma at a given thread count.
+
+        Oversubscribing hardware threads (hyperthreading) adds scheduling
+        noise: threads get descheduled, share execution resources, and
+        suffer cache-coherency storms. The noise grows with the
+        oversubscription ratio, ``sigma * (T / cores) ** oversub_jitter_exp``
+        — this is the physical mechanism that de-synchronizes racy Jacobi at
+        high thread counts and drives the paper's "more threads => better
+        asynchronous convergence" observation (Figs. 5-6).
+        """
+        return self.jitter_sigma * float(
+            self.residency(n_threads) ** self.oversub_jitter_exp
+        )
+
+    def _jittered(self, base: float, n_threads: int, rng) -> float:
+        sigma = self.effective_jitter(n_threads)
+        if sigma > 0:
+            base *= float(rng.lognormal(0.0, sigma))
+        return base
+
+    def compute_duration(self, nnz: int, nrows: int, n_threads: int, rng) -> float:
+        """Duration of the read-to-write span of one iteration.
+
+        This is the SpMV + correction over the agent's rows — the only part
+        of the cycle during which the rows are "in flight" (reads at its
+        start, writes at its end). Everything else (norm checks, flag reads,
+        message initiation) happens outside the span; see
+        :meth:`overhead_duration`. The split matters: the fraction
+        ``compute / (compute + overhead)`` is the probability that coupled
+        rows are relaxed simultaneously, which controls how multiplicative
+        (Gauss-Seidel-like) the asynchronous iteration is — the paper's
+        Section IV-B/VII-B argument for why smaller subdomains converge
+        better.
+        """
+        base = (nnz * self.time_per_nnz + nrows * self.time_per_row) / self.smt_throughput(
+            n_threads
+        )
+        return self._jittered(base, n_threads, rng)
+
+    def overhead_duration(self, n_threads: int, rng) -> float:
+        """Per-iteration fixed work outside the read-to-write span."""
+        base = self.iteration_overhead / self.smt_throughput(n_threads)
+        return self._jittered(base, n_threads, rng)
+
+    def iteration_duration(
+        self, nnz: int, nrows: int, n_threads: int, rng
+    ) -> float:
+        """Total duration of one (serialized) thread-iteration."""
+        return self.compute_duration(nnz, nrows, n_threads, rng) + self.overhead_duration(
+            n_threads, rng
+        )
+
+    def barrier_cost(self, n_threads: int) -> float:
+        """Cost of one barrier + reduction across ``n_threads`` threads.
+
+        Grows logarithmically with thread count (tree barrier) and steeply
+        with oversubscription: with more software threads than cores, every
+        barrier waits through scheduler time slices, which is why the
+        paper's synchronous runs degrade so badly at 272 threads.
+        """
+        base = self.barrier_base
+        if n_threads > 1:
+            base = base + self.barrier_log_coeff * float(np.log2(n_threads))
+        return base * float(self.residency(n_threads) ** self.barrier_oversub_exp)
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Interconnect cost model for the distributed simulator.
+
+    A message carrying ``v`` values takes ``latency + v * time_per_value``
+    (times lognormal jitter) to arrive; an allreduce over ``P`` ranks costs
+    ``latency * log2(P)``. ``put_overhead`` is the *CPU-side* cost of
+    initiating one one-sided put (window bookkeeping, NIC doorbell) — it is
+    charged to the sender's iteration cycle, not to the in-flight time, and
+    it is why a rank's cycle stays longer than the network latency even for
+    tiny subdomains (keeping ghost staleness below about one iteration, as
+    on the paper's Cori runs).
+    """
+
+    latency: float = 1.5e-6
+    time_per_value: float = 4.0e-9
+    put_overhead: float = 1.0e-6
+    jitter_sigma: float = 0.25
+    #: Latency for messages between ranks on the *same* node (shared-memory
+    #: transport); inter-node messages pay the full ``latency``.
+    intra_node_latency: float = 0.3e-6
+
+    def message_time(self, n_values: int, rng, intra_node: bool = False) -> float:
+        """Sample the in-flight time of one message.
+
+        ``intra_node=True`` uses the cheap shared-memory path MPI takes for
+        co-located ranks (the paper ran 32 ranks per Haswell node, so most
+        neighbor pairs of a good partition are intra-node).
+        """
+        lat = self.intra_node_latency if intra_node else self.latency
+        base = lat + n_values * self.time_per_value
+        if self.jitter_sigma > 0:
+            base *= float(rng.lognormal(0.0, self.jitter_sigma))
+        return base
+
+    def allreduce_cost(self, n_ranks: int) -> float:
+        """Cost of a tree allreduce (the sync-mode convergence check)."""
+        if n_ranks <= 1:
+            return 0.0
+        return self.latency * float(np.ceil(np.log2(n_ranks)))
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A distributed machine: per-rank compute plus a network.
+
+    ``ranks_per_node`` only matters for bookkeeping (the paper reports
+    nodes; the simulator works in ranks).
+    """
+
+    name: str
+    node: MachineModel
+    network: NetworkModel
+    ranks_per_node: int = 32
+
+    def ranks_for_nodes(self, nodes: int) -> int:
+        """MPI ranks launched on ``nodes`` nodes (paper: 32 per node)."""
+        return nodes * self.ranks_per_node
+
+
+#: Intel Xeon Phi 7250 "Knights Landing": 68 cores, 272 hardware threads.
+#: The per-value costs are calibrated for racy Jacobi's memory behaviour —
+#: reads and writes hit shared arrays under heavy cache-coherency traffic,
+#: so a nonzero costs ~200ns, not the ~ns of streaming compute.
+KNL = MachineModel(
+    name="KNL",
+    cores=68,
+    smt=4,
+    time_per_nnz=2.0e-7,
+    time_per_row=1.0e-7,
+    iteration_overhead=1.5e-6,
+    jitter_sigma=0.08,
+    oversub_jitter_exp=1.0,
+    # Racy Jacobi is memory/coherency-bound: extra hyperthreads hide little
+    # latency (f(4) ~ 1.5), while barriers across oversubscribed threads
+    # blow up quadratically in residency — the regime the paper measured.
+    smt_throughput_exp=0.3,
+    barrier_base=1.0e-6,
+    barrier_log_coeff=1.0e-6,
+    barrier_oversub_exp=2.0,
+)
+
+#: Dual 10-core Xeon E5 v2 node (the Georgia Tech machine), 2-way HT.
+CPU20 = MachineModel(
+    name="CPU20",
+    cores=20,
+    smt=2,
+    time_per_nnz=1.5e-9,
+    time_per_row=3.0e-9,
+    iteration_overhead=0.8e-6,
+    jitter_sigma=0.06,
+    barrier_base=0.8e-6,
+    barrier_log_coeff=1.0e-6,
+)
+
+#: Cori Haswell partition: dual 16-core nodes + Aries interconnect.
+HASWELL_NODE = MachineModel(
+    name="Haswell",
+    cores=32,
+    smt=2,
+    time_per_nnz=1.2e-9,
+    time_per_row=2.5e-9,
+    iteration_overhead=1.0e-6,
+    jitter_sigma=0.08,
+    barrier_base=1.0e-6,
+    barrier_log_coeff=1.0e-6,
+)
+
+ARIES = NetworkModel(
+    latency=1.8e-6, time_per_value=3.0e-9, put_overhead=1.0e-6, jitter_sigma=0.25
+)
+
+HASWELL_CLUSTER = ClusterModel(
+    name="Cori-Haswell", node=HASWELL_NODE, network=ARIES, ranks_per_node=32
+)

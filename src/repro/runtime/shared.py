@@ -1,0 +1,389 @@
+"""Event-driven shared-memory Jacobi simulator (the OpenMP substitute).
+
+Reproduces the structure of the paper's OpenMP implementation (Section V):
+each thread owns a contiguous block of rows; one local iteration computes
+the block residual ``r = b - A x`` reading the *shared* iterate, then writes
+the corrected block back. Synchronous mode inserts a barrier after each
+sweep; asynchronous mode lets threads free-run, reading whatever the other
+threads have committed — Baudet's racy scheme.
+
+The simulator replaces real threads with discrete events on a simulated
+clock, which is what makes faithful asynchrony possible on a single-core
+GIL-bound host:
+
+* a thread-iteration is a START event (snapshot-read the shared iterate,
+  compute the block update, sample a duration from the machine model plus
+  any injected delay) followed by a COMMIT event (publish the block, bump
+  row versions);
+* values committed between a reader's START and COMMIT are invisible to
+  that reader — exactly the read-snapshot semantics of the OpenMP code,
+  where the block residual is computed before the block write-back;
+* **core scheduling**: threads are pinned compactly to cores (``smt``
+  threads per core when oversubscribed); threads sharing a core execute
+  their iterations one at a time, round-robin. This models SMT time-slicing
+  and is the mechanism behind the paper's surprising observation that
+  *more* threads accelerate asynchronous convergence: oversubscription
+  serializes neighboring blocks, making the iteration more multiplicative
+  (Section IV-B/D);
+* optional trace recording captures, per relaxed row, the version of every
+  neighbor value read — the input to the propagation-matrix reconstruction
+  of Figure 2.
+
+Convergence is observed by a zero-cost oracle that recomputes the global
+relative residual 1-norm on a configurable cadence (the real implementation
+uses the threads' own residual blocks; the oracle avoids perturbing the
+simulated timing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reconstruct import ExecutionTrace
+from repro.matrices.sparse import CSRMatrix
+from repro.runtime.delays import CompositeDelay, DelayModel, NO_DELAY, StragglerDelay
+from repro.runtime.events import EventQueue
+from repro.runtime.machine import KNL, MachineModel
+from repro.runtime.results import SimulationResult
+from repro.util.errors import ShapeError, SingularMatrixError
+from repro.util.norms import relative_residual_norm
+from repro.util.rng import spawn_rngs
+from repro.util.validation import check_positive, check_vector
+
+_START, _COMMIT, _RELEASE, _REQUEST = 0, 1, 2, 3
+
+
+@dataclass
+class _Thread:
+    """Per-thread precomputed state (contiguous row block of the matrix)."""
+
+    tid: int
+    core: int
+    lo: int
+    hi: int
+    nnz_lo: int
+    nnz_hi: int
+    rowid_local: np.ndarray  # row offset (0-based within block) of each nnz
+    neighbors_per_row: list  # trace mode only: off-diagonal cols per row
+    rng: np.random.Generator
+    iterations: int = 0
+    stopped: bool = False
+    pending: np.ndarray = None
+    pending_reads: list = None
+
+
+class SharedMemoryJacobi:
+    """Simulated multithreaded Jacobi on one shared-memory node.
+
+    Parameters
+    ----------
+    A
+        System matrix (square, nonzero diagonal).
+    b
+        Right-hand side.
+    n_threads
+        Simulated thread count; rows are split into contiguous blocks and
+        threads are pinned compactly: thread ``t`` runs on core
+        ``t * cores // n_threads``.
+    machine
+        Cost model (default: the KNL preset).
+    delay
+        Injected-delay model (default: none).
+    seed
+        Seed for all timing jitter (per-thread independent streams).
+    omega
+        Relaxation weight in (0, 2); 1.0 is plain Jacobi.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        b,
+        n_threads: int,
+        machine: MachineModel = KNL,
+        delay: DelayModel = NO_DELAY,
+        seed=None,
+        omega: float = 1.0,
+    ):
+        if A.nrows != A.ncols:
+            raise ShapeError(f"matrix must be square, got {A.shape}")
+        n = A.nrows
+        if not 1 <= n_threads <= n:
+            raise ShapeError(
+                f"n_threads must lie in [1, {n}] (one row per thread max), got {n_threads}"
+            )
+        if not 0 < omega < 2:
+            raise ValueError(f"omega must lie in (0, 2), got {omega}")
+        d = A.diagonal()
+        if np.any(d == 0):
+            raise SingularMatrixError("Jacobi requires a nonzero diagonal")
+        self.A = A
+        self.n = n
+        self.b = check_vector(b, n, "b")
+        self.omega = float(omega)
+        self.dinv = self.omega / d
+        self.n_threads = int(n_threads)
+        self.machine = machine
+        self.delay = delay
+        self.seed = seed
+        # Compact pinning: with T <= cores each thread has its own core;
+        # beyond that, adjacent threads (adjacent row blocks) share a core.
+        self.n_cores = min(self.n_threads, machine.cores)
+
+    # ------------------------------------------------------------------
+    def _make_threads(self, record_trace: bool) -> list:
+        A = self.A
+        bounds = np.linspace(0, self.n, self.n_threads + 1).astype(np.int64)
+        rngs = spawn_rngs(self.seed, self.n_threads)
+        threads = []
+        for tid in range(self.n_threads):
+            lo, hi = int(bounds[tid]), int(bounds[tid + 1])
+            nnz_lo, nnz_hi = int(A.indptr[lo]), int(A.indptr[hi])
+            rowid_local = A._row_of_nnz[nnz_lo:nnz_hi] - lo
+            nbrs = [A.neighbors(i) for i in range(lo, hi)] if record_trace else []
+            threads.append(
+                _Thread(
+                    tid=tid,
+                    core=tid * self.n_cores // self.n_threads,
+                    lo=lo,
+                    hi=hi,
+                    nnz_lo=nnz_lo,
+                    nnz_hi=nnz_hi,
+                    rowid_local=rowid_local,
+                    neighbors_per_row=nbrs,
+                    rng=rngs[tid],
+                )
+            )
+        return threads
+
+    def _slowdown(self, tid: int) -> float:
+        if isinstance(self.delay, (StragglerDelay, CompositeDelay)):
+            return self.delay.slowdown(tid)
+        return 1.0
+
+    def _duration(self, th: _Thread, iteration: int) -> float:
+        """Full-cycle duration (sync mode: compute + overhead + delay)."""
+        base = self.machine.iteration_duration(
+            th.nnz_hi - th.nnz_lo, th.hi - th.lo, self.n_threads, th.rng
+        )
+        return base * self._slowdown(th.tid) + self.delay.extra_time(
+            th.tid, iteration, th.rng
+        )
+
+    # ------------------------------------------------------------------
+    def run_async(
+        self,
+        x0=None,
+        tol: float = 1e-3,
+        max_iterations: int = 10_000,
+        record_trace: bool = False,
+        observe_every: int | None = None,
+        run_until_all_reach: bool = False,
+    ) -> SimulationResult:
+        """Asynchronous (racy) execution.
+
+        Stops when the observed relative residual drops below ``tol``, or
+        when every thread has performed ``max_iterations`` local iterations.
+        With ``run_until_all_reach=True`` threads keep iterating until the
+        *slowest* thread reaches ``max_iterations`` (the paper's Fig. 5(b)
+        termination: "a thread terminates only if all other threads have
+        also converged"), so fast threads overshoot.
+        """
+        check_positive(tol, "tol")
+        A, b, dinv = self.A, self.b, self.dinv
+        x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
+        data, cols = A.data, A.indices
+
+        threads = self._make_threads(record_trace)
+        trace = ExecutionTrace(self.n) if record_trace else None
+        version = np.zeros(self.n, dtype=np.int64) if record_trace else None
+
+        # Per-core run queues implementing iteration-granularity round-robin.
+        core_queue = [deque() for _ in range(self.n_cores)]
+        core_busy = [False] * self.n_cores
+        queue = EventQueue()
+
+        def request_run(th: _Thread, t: float) -> None:
+            """Thread asks to run its next iteration at time t."""
+            c = th.core
+            if core_busy[c]:
+                core_queue[c].append(th.tid)
+            else:
+                core_busy[c] = True
+                queue.push(t, (_START, th.tid))
+
+        def release_core(core: int, t: float) -> None:
+            """Core finished an iteration; start the next queued thread."""
+            if core_queue[core]:
+                queue.push(t, (_START, core_queue[core].popleft()))
+            else:
+                core_busy[core] = False
+
+        # Stagger initial requests slightly: threads never begin in perfect
+        # lockstep on real hardware.
+        order = np.argsort([th.rng.random() for th in threads])
+        for rank, tid in enumerate(order):
+            request_run(threads[tid], float(rank) * 1e-9)
+
+        res0 = relative_residual_norm(A, x, b)
+        times, residuals, counts = [0.0], [res0], [0]
+        relaxations = 0
+        commits_since_obs = 0
+        observe_every = self.n_threads if observe_every is None else int(observe_every)
+        converged = res0 < tol
+        t_end = 0.0
+        hard_cap = 100 * max_iterations
+
+        machine = self.machine
+        while queue and not converged:
+            t, (kind, tid) = queue.pop()
+            th = threads[tid]
+            if kind == _REQUEST:
+                # A delayed thread's wake-up: ask for the core again.
+                request_run(th, t)
+            elif kind == _START:
+                if self.delay.is_hung(tid, t) or th.stopped:
+                    release_core(th.core, t)
+                    continue
+                # Read-to-write span: snapshot reads now, writes at COMMIT.
+                lo, hi = th.lo, th.hi
+                seg = data[th.nnz_lo : th.nnz_hi] * x[cols[th.nnz_lo : th.nnz_hi]]
+                r = b[lo:hi] - np.bincount(th.rowid_local, weights=seg, minlength=hi - lo)
+                th.pending = x[lo:hi] + dinv[lo:hi] * r
+                if record_trace:
+                    th.pending_reads = [
+                        {int(j): int(version[j]) for j in nbrs}
+                        for nbrs in th.neighbors_per_row
+                    ]
+                compute = machine.compute_duration(
+                    th.nnz_hi - th.nnz_lo, hi - lo, self.n_threads, th.rng
+                ) * self._slowdown(tid)
+                queue.push(t + compute, (_COMMIT, tid))
+            elif kind == _COMMIT:
+                lo, hi = th.lo, th.hi
+                x[lo:hi] = th.pending
+                th.iterations += 1
+                relaxations += hi - lo
+                t_end = t
+                if record_trace:
+                    version[lo:hi] += 1
+                    for i, reads in zip(range(lo, hi), th.pending_reads):
+                        trace.record(i, t, reads)
+                commits_since_obs += 1
+                if commits_since_obs >= observe_every:
+                    commits_since_obs = 0
+                    res = relative_residual_norm(A, x, b)
+                    times.append(t)
+                    residuals.append(res)
+                    counts.append(relaxations)
+                    if res < tol:
+                        converged = True
+                        break
+                # Post-span per-iteration overhead (norms, flags) still
+                # occupies the core; the core frees at RELEASE.
+                overhead = machine.overhead_duration(self.n_threads, th.rng)
+                overhead *= self._slowdown(tid)
+                queue.push(t + overhead, (_RELEASE, tid))
+            else:  # _RELEASE
+                # Decide whether this thread keeps iterating.
+                if run_until_all_reach:
+                    # The hard cap keeps the run finite if some thread hangs
+                    # (min would then never reach the target).
+                    if (
+                        min(tt.iterations for tt in threads) >= max_iterations
+                        or th.iterations >= hard_cap
+                    ):
+                        th.stopped = True
+                elif th.iterations >= max_iterations:
+                    th.stopped = True
+                release_core(th.core, t)
+                if not th.stopped:
+                    # Injected sleeps happen off-core, before re-queueing.
+                    extra = self.delay.extra_time(tid, th.iterations, th.rng)
+                    if extra > 0:
+                        queue.push(t + extra, (_REQUEST, tid))
+                    else:
+                        request_run(th, t)
+
+        # Final observation.
+        res = relative_residual_norm(A, x, b)
+        if times[-1] < t_end or residuals[-1] != res:
+            times.append(max(t_end, times[-1]))
+            residuals.append(res)
+            counts.append(relaxations)
+        converged = converged or res < tol
+        return SimulationResult(
+            x=x,
+            converged=converged,
+            times=times,
+            residual_norms=residuals,
+            relaxation_counts=counts,
+            iterations=np.array([th.iterations for th in threads]),
+            total_time=t_end,
+            mode="async",
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def run_sync(
+        self,
+        x0=None,
+        tol: float = 1e-3,
+        max_iterations: int = 10_000,
+    ) -> SimulationResult:
+        """Synchronous execution: barrier after every sweep.
+
+        Each sweep is exact Jacobi; its simulated duration is the *maximum
+        per-core* duration — cores run their pinned threads' iterations
+        back to back, everyone waits for the slowest core (including any
+        injected delay) — plus the barrier cost.
+        """
+        check_positive(tol, "tol")
+        A, b, dinv = self.A, self.b, self.dinv
+        x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
+        threads = self._make_threads(record_trace=False)
+        barrier = self.machine.barrier_cost(self.n_threads)
+
+        res0 = relative_residual_norm(A, x, b)
+        times, residuals, counts = [0.0], [res0], [0]
+        t = 0.0
+        relaxations = 0
+        k = 0
+        converged = res0 < tol
+        core_time = np.zeros(self.n_cores)
+        while not converged and k < max_iterations:
+            core_time[:] = 0.0
+            for th in threads:
+                core_time[th.core] += self._duration(th, k)
+            t += float(core_time.max()) + barrier
+            r = b - A.matvec(x)
+            x += dinv * r
+            relaxations += self.n
+            k += 1
+            res = relative_residual_norm(A, x, b)
+            times.append(t)
+            residuals.append(res)
+            counts.append(relaxations)
+            converged = res < tol
+        return SimulationResult(
+            x=x,
+            converged=converged,
+            times=times,
+            residual_norms=residuals,
+            relaxation_counts=counts,
+            iterations=np.full(self.n_threads, k),
+            total_time=t,
+            mode="sync",
+            trace=None,
+        )
+
+    def run(self, mode: str, **kwargs) -> SimulationResult:
+        """Dispatch to :meth:`run_async` or :meth:`run_sync` by name."""
+        if mode == "async":
+            return self.run_async(**kwargs)
+        if mode == "sync":
+            return self.run_sync(**kwargs)
+        raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")

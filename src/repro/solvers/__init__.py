@@ -1,0 +1,5 @@
+"""Public solver front-end: ``solve(A, b, method=...)``."""
+
+from repro.solvers.api import SolveResult, solve
+
+__all__ = ["SolveResult", "solve"]

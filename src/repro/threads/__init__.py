@@ -1,0 +1,5 @@
+"""Real-thread backend (correctness reference; see backend docstring)."""
+
+from repro.threads.backend import ThreadedJacobi, ThreadedResult
+
+__all__ = ["ThreadedJacobi", "ThreadedResult"]

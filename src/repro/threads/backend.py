@@ -1,0 +1,188 @@
+"""Real-thread racy Jacobi on shared NumPy arrays (Section V, literally).
+
+This backend runs the paper's shared-memory algorithm with genuine
+``threading.Thread`` workers and genuinely shared arrays:
+
+1. each thread owns a contiguous block of rows;
+2. one iteration computes the block residual ``r = b - A x`` reading the
+   shared ``x`` (racy in async mode), then writes the corrected block back;
+3. convergence uses the paper's flag-array protocol: a thread that sees its
+   local criterion satisfied raises its flag and keeps relaxing until every
+   flag is up.
+
+On CPython the GIL serializes the NumPy calls, so this backend demonstrates
+*correctness* of the racy scheme (and is exercised by the test suite), but
+produces no wall-clock speedup on this host — the discrete-event simulator
+in :mod:`repro.runtime.shared` is the performance model. Writing/reading a
+float64 element is atomic at the Python level here for the same reason the
+paper relies on aligned 64-bit stores being atomic on x86.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matrices.sparse import CSRMatrix
+from repro.util.errors import ShapeError, SingularMatrixError
+from repro.util.norms import relative_residual_norm
+from repro.util.validation import check_positive, check_vector
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of a threaded run.
+
+    Attributes
+    ----------
+    x
+        Final shared iterate.
+    converged
+        Whether the global relative residual reached the tolerance.
+    iterations
+        Per-thread local iteration counts.
+    residual_norm
+        Final relative residual 1-norm.
+    wall_time
+        Host wall-clock seconds (not meaningful for speedup under the GIL).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: np.ndarray
+    residual_norm: float
+    wall_time: float
+
+
+class ThreadedJacobi:
+    """Racy (or barriered) Jacobi on real threads and shared arrays.
+
+    Parameters
+    ----------
+    A, b
+        The system (nonzero diagonal).
+    n_threads
+        Worker count; rows are split into contiguous blocks.
+    mode
+        ``"async"`` (racy, no barriers) or ``"sync"`` (barrier per sweep).
+    sleep_us
+        Optional ``{thread id: microseconds}`` injected sleep per iteration
+        — the paper's delayed-thread experiment on real threads.
+    """
+
+    def __init__(self, A: CSRMatrix, b, n_threads: int, mode: str = "async", sleep_us=None):
+        if A.nrows != A.ncols:
+            raise ShapeError(f"matrix must be square, got {A.shape}")
+        if mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+        n = A.nrows
+        if not 1 <= n_threads <= n:
+            raise ShapeError(f"n_threads must lie in [1, {n}], got {n_threads}")
+        d = A.diagonal()
+        if np.any(d == 0):
+            raise SingularMatrixError("Jacobi requires a nonzero diagonal")
+        self.A = A
+        self.n = n
+        self.b = check_vector(b, n, "b")
+        self.dinv = 1.0 / d
+        self.n_threads = int(n_threads)
+        self.mode = mode
+        self.sleep_us = {int(k): float(v) for k, v in (sleep_us or {}).items()}
+
+    def solve(
+        self,
+        x0=None,
+        tol: float = 1e-3,
+        max_iterations: int = 1000,
+        switch_interval: float = 1e-5,
+    ) -> ThreadedResult:
+        """Run the threaded solve and return the shared final state.
+
+        ``switch_interval`` temporarily lowers the interpreter's GIL switch
+        interval (default 5 ms) so the racy interleaving is fine-grained;
+        without this, each thread runs long GIL slices against frozen
+        neighbor blocks and most of its relaxations are wasted.
+        """
+        check_positive(tol, "tol")
+        A, b, dinv = self.A, self.b, self.dinv
+        x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
+
+        bounds = np.linspace(0, self.n, self.n_threads + 1).astype(np.int64)
+        flags = np.zeros(self.n_threads, dtype=np.int64)  # the flag array
+        iters = np.zeros(self.n_threads, dtype=np.int64)
+        barrier = threading.Barrier(self.n_threads) if self.mode == "sync" else None
+        b_norm = float(np.sum(np.abs(b))) or 1.0
+
+        # Precompute per-thread nnz slices (same layout as the simulator).
+        slices = []
+        for t in range(self.n_threads):
+            lo, hi = int(bounds[t]), int(bounds[t + 1])
+            s0, s1 = int(A.indptr[lo]), int(A.indptr[hi])
+            slices.append((lo, hi, s0, s1, A._row_of_nnz[s0:s1] - lo))
+
+        def worker(tid: int) -> None:
+            lo, hi, s0, s1, rowid = slices[tid]
+            data = A.data[s0:s1]
+            cols = A.indices[s0:s1]
+            sleep_s = self.sleep_us.get(tid, 0.0) * 1e-6
+            while True:
+                if barrier is not None:
+                    barrier.wait()
+                # Racy block relaxation: read the shared x, write back.
+                r = b[lo:hi] - np.bincount(rowid, weights=data * x[cols], minlength=hi - lo)
+                new = x[lo:hi] + dinv[lo:hi] * r
+                if barrier is not None:
+                    barrier.wait()  # sync: all reads precede all writes
+                x[lo:hi] = new
+                iters[tid] += 1
+                if sleep_s:
+                    time.sleep(sleep_s)
+                elif self.mode == "async":
+                    time.sleep(0)  # yield the GIL: approximate concurrency
+                # Local convergence check + flag protocol.
+                res = float(np.sum(np.abs(b - A.matvec(x)))) / b_norm
+                if res < tol or iters[tid] >= max_iterations:
+                    flags[tid] = 1
+                else:
+                    flags[tid] = 0
+                if self.mode == "sync":
+                    # Everyone decides together off the same iterate.
+                    if barrier is not None:
+                        barrier.wait()
+                    if flags.sum() == self.n_threads or iters[tid] >= max_iterations:
+                        return
+                else:
+                    # A thread terminates only when all flags are up.
+                    if flags.sum() == self.n_threads:
+                        return
+                    if iters[tid] >= max_iterations:
+                        flags[tid] = 1
+                        return
+
+        start = time.perf_counter()
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(switch_interval)
+        try:
+            workers = [
+                threading.Thread(target=worker, args=(t,), daemon=True)
+                for t in range(self.n_threads)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        wall = time.perf_counter() - start
+        res = relative_residual_norm(A, x, b)
+        return ThreadedResult(
+            x=x,
+            converged=res < tol,
+            iterations=iters.copy(),
+            residual_norm=res,
+            wall_time=wall,
+        )

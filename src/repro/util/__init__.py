@@ -1,0 +1,55 @@
+"""Shared utilities: error types, validation, RNG policy, norms.
+
+These helpers are deliberately small and dependency-free so that every other
+subpackage (matrices, core, runtime, ...) can rely on them without import
+cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ShapeError,
+    SingularMatrixError,
+    ConvergenceError,
+    ScheduleError,
+    PartitionError,
+    SimulationError,
+)
+from repro.util.norms import (
+    norm_1,
+    norm_2,
+    norm_inf,
+    relative_residual_norm,
+    residual,
+)
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_probability,
+    check_square,
+    check_vector,
+    check_index,
+)
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "SingularMatrixError",
+    "ConvergenceError",
+    "ScheduleError",
+    "PartitionError",
+    "SimulationError",
+    "norm_1",
+    "norm_2",
+    "norm_inf",
+    "relative_residual_norm",
+    "residual",
+    "as_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_square",
+    "check_vector",
+    "check_index",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Everything raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape or dimensionality."""
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """A matrix that must be invertible (e.g. the Jacobi diagonal) is not."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure failed to converge within its budget.
+
+    Carries the final iterate/residual history when available so callers can
+    inspect partial progress.
+    """
+
+    def __init__(self, message: str, history=None):
+        super().__init__(message)
+        self.history = history
+
+
+class ScheduleError(ReproError, ValueError):
+    """An update schedule produced an invalid set of rows."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A partition request is infeasible (e.g. more parts than rows)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,60 @@
+"""Vector norms and residual helpers.
+
+The paper reports the *relative residual 1-norm* ``||b - A x||_1 / ||b||_1``
+(and uses the infinity norm for error bounds); these helpers centralise those
+conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def norm_1(v) -> float:
+    """L1 norm of a vector."""
+    return float(np.sum(np.abs(np.asarray(v, dtype=np.float64))))
+
+
+def norm_2(v) -> float:
+    """Euclidean norm of a vector."""
+    return float(np.linalg.norm(np.asarray(v, dtype=np.float64)))
+
+
+def norm_inf(v) -> float:
+    """Infinity norm of a vector (0.0 for empty input)."""
+    arr = np.abs(np.asarray(v, dtype=np.float64))
+    return float(arr.max()) if arr.size else 0.0
+
+_NORMS = {1: norm_1, 2: norm_2, np.inf: norm_inf, "1": norm_1, "2": norm_2, "inf": norm_inf}
+
+
+def vector_norm(v, ord=1) -> float:
+    """Dispatch to one of the supported norms (1, 2, inf)."""
+    try:
+        fn = _NORMS[ord]
+    except KeyError:
+        raise ValueError(f"unsupported norm order {ord!r}; use 1, 2 or 'inf'") from None
+    return fn(v)
+
+
+def residual(A, x, b) -> np.ndarray:
+    """Residual ``b - A @ x`` for any matrix supporting ``@``."""
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    r = b - (A @ x)
+    if r.shape != b.shape:
+        raise ShapeError(f"residual shape {r.shape} != rhs shape {b.shape}")
+    return r
+
+
+def relative_residual_norm(A, x, b, ord=1) -> float:
+    """``||b - A x|| / ||b||`` in the requested norm (paper default: 1-norm).
+
+    A zero right-hand side makes the relative norm ill-defined; in that case
+    the absolute residual norm is returned instead.
+    """
+    denom = vector_norm(b, ord)
+    num = vector_norm(residual(A, x, b), ord)
+    return num / denom if denom > 0 else num

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.laplacian import fd_laplacian_1d, fd_laplacian_2d
+from repro.matrices.sparse import CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_fd():
+    """A small 2-D FD Laplacian (unit diagonal, W.D.D., SPD)."""
+    return fd_laplacian_2d(6, 7)
+
+
+@pytest.fixture
+def tiny_fd():
+    """A tiny 1-D Laplacian for exactness checks."""
+    return fd_laplacian_1d(8)
+
+
+@pytest.fixture
+def random_csr(rng):
+    """A random sparse square matrix with guaranteed nonzero diagonal."""
+    n = 25
+    dense = np.where(rng.random((n, n)) < 0.15, rng.standard_normal((n, n)), 0.0)
+    dense[np.arange(n), np.arange(n)] = rng.uniform(1.0, 2.0, n)
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def fd_system(small_fd, rng):
+    """(A, b, x_exact) with a consistent right-hand side."""
+    n = small_fd.nrows
+    x_exact = rng.standard_normal(n)
+    b = small_fd @ x_exact
+    return small_fd, b, x_exact

@@ -1,0 +1,142 @@
+"""Interlacing and decoupling analysis (Sections IV-C/D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    check_interlacing,
+    connected_components,
+    decoupling_report,
+    full_eigenvalues,
+    submatrix_eigenvalues,
+)
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.matrices.sparse import CSRMatrix
+
+
+class TestEigenvalues:
+    def test_full_eigenvalues_sorted(self, small_fd):
+        lam = full_eigenvalues(small_fd)
+        assert np.all(np.diff(lam) >= 0)
+        assert lam.size == small_fd.nrows
+
+    def test_submatrix_eigenvalues_match_dense(self, small_fd, rng):
+        active = np.sort(rng.choice(small_fd.nrows, size=10, replace=False))
+        mu = submatrix_eigenvalues(small_fd, active)
+        G = np.eye(small_fd.nrows) - small_fd.to_dense()
+        expected = np.sort(np.linalg.eigvalsh(G[np.ix_(active, active)]))
+        np.testing.assert_allclose(mu, expected, atol=1e-10)
+
+
+class TestInterlacing:
+    def test_holds_on_fd(self, small_fd, rng):
+        active = np.sort(rng.choice(small_fd.nrows, size=20, replace=False))
+        check = check_interlacing(small_fd, active)
+        assert check.holds
+        assert check.n == small_fd.nrows and check.m == 20
+
+    def test_single_active_row(self, small_fd):
+        check = check_interlacing(small_fd, np.array([3]))
+        assert check.holds
+
+    def test_all_active_rows(self, small_fd):
+        check = check_interlacing(small_fd, np.arange(small_fd.nrows))
+        assert check.holds
+        np.testing.assert_allclose(check.mu, check.lam, atol=1e-12)
+
+
+class TestComponents:
+    def test_connected_grid(self, small_fd):
+        comps = connected_components(small_fd)
+        assert len(comps) == 1
+        assert comps[0].size == small_fd.nrows
+
+    def test_two_components(self):
+        dense = np.zeros((4, 4))
+        dense[[0, 1], [1, 0]] = 1.0
+        dense[[2, 3], [3, 2]] = 1.0
+        np.fill_diagonal(dense, 2.0)
+        comps = connected_components(CSRMatrix.from_dense(dense))
+        assert [c.tolist() for c in comps] == [[0, 1], [2, 3]]
+
+    def test_isolated_rows(self):
+        comps = connected_components(CSRMatrix.from_dense(np.eye(3)))
+        assert len(comps) == 3
+
+
+class TestDecoupling:
+    def test_deleting_a_grid_line_decouples(self):
+        """Removing one full grid line splits a 2-D grid into two blocks,
+        each with smaller spectral radius (the Section IV-D mechanism)."""
+        nx, ny = 7, 5
+        A = fd_laplacian_2d(nx, ny)
+        middle_line = np.arange(3 * ny, 4 * ny)  # grid line ix=3
+        active = np.setdiff1d(np.arange(nx * ny), middle_line)
+        rep = decoupling_report(A, active)
+        assert rep.n_blocks == 2
+        assert rep.block_sizes == [3 * ny, 3 * ny]
+        assert rep.rho_submatrix <= rep.rho_full + 1e-12
+        assert rep.rho_max_block < rep.rho_full
+
+    def test_rho_chain_ordering(self, small_fd, rng):
+        """rho(block) <= rho(G-tilde) <= rho(G) for random active sets."""
+        n = small_fd.nrows
+        for _ in range(5):
+            active = np.sort(rng.choice(n, size=n // 2, replace=False))
+            rep = decoupling_report(small_fd, active)
+            assert rep.rho_max_block <= rep.rho_submatrix + 1e-10
+            assert rep.rho_submatrix <= rep.rho_full + 1e-10
+
+    def test_more_delays_smaller_radius(self, rng):
+        """Growing the delayed set shrinks (weakly) the active radius —
+        why more concurrency improves asynchronous convergence."""
+        A = fd_laplacian_2d(8, 8)
+        n = A.nrows
+        order = rng.permutation(n)
+        radii = []
+        for m in (60, 40, 20, 8):
+            rep = decoupling_report(A, np.sort(order[:m]))
+            radii.append(rep.rho_submatrix)
+        assert all(radii[i + 1] <= radii[i] + 1e-10 for i in range(len(radii) - 1))
+
+
+class TestPropagationNormHistory:
+    def test_wdd_delayed_schedule_all_ones(self, small_fd):
+        """Theorem 1 along a schedule: with a delayed row every step's norms
+        are exactly 1."""
+        from repro.core.analysis import propagation_norm_history
+        from repro.core.schedules import DelayedRowsSchedule
+
+        sched = DelayedRowsSchedule(small_fd.nrows, {3: None})
+        hist = propagation_norm_history(small_fd, sched, steps=5)
+        assert len(hist) == 5
+        for g_inf, h_1 in hist:
+            assert g_inf == pytest.approx(1.0)
+            assert h_1 == pytest.approx(1.0)
+
+    def test_full_steps_dip_below_one_for_strict_dominance(self):
+        """All rows active on a strictly dominant matrix: norms < 1."""
+        from repro.core.analysis import propagation_norm_history
+        from repro.core.schedules import SynchronousSchedule
+        from repro.matrices.suitesparse import parabolic_fem_like
+
+        A = parabolic_fem_like(100)
+        hist = propagation_norm_history(A, SynchronousSchedule(A.nrows), steps=2)
+        for g_inf, h_1 in hist:
+            assert g_inf < 1.0
+            assert h_1 < 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 12), st.integers(1, 11), st.integers(0, 2**31 - 1))
+def test_property_interlacing_random_symmetric(n, m, seed):
+    """Cauchy interlacing for arbitrary random symmetric unit-diagonal A."""
+    m = min(m, n)
+    rng = np.random.default_rng(seed)
+    off = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.6)
+    off = (off + off.T) / 2
+    np.fill_diagonal(off, 0.0)
+    A = CSRMatrix.from_dense(np.eye(n) + 0.3 * off)
+    active = np.sort(rng.choice(n, size=m, replace=False))
+    assert check_interlacing(A, active).holds

@@ -1,0 +1,108 @@
+"""Convergence diagnostics: rates, divergence/stall detection, tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    ResidualTracker,
+    asymptotic_rate,
+    detect_divergence,
+    detect_stall,
+)
+from repro.core.iteration import jacobi
+from repro.matrices.laplacian import fd_laplacian_1d
+from repro.matrices.properties import jacobi_spectral_radius
+
+
+class TestAsymptoticRate:
+    def test_exact_geometric(self):
+        history = [0.5**k for k in range(40)]
+        assert asymptotic_rate(history) == pytest.approx(0.5, abs=1e-9)
+
+    def test_estimates_jacobi_rho(self, rng):
+        """The measured tail rate of synchronous Jacobi approximates rho(G)."""
+        n = 20
+        A = fd_laplacian_1d(n)
+        b = rng.standard_normal(n)
+        hist = jacobi(A, b, tol=1e-12, max_iterations=400)
+        rho = jacobi_spectral_radius(A)
+        assert asymptotic_rate(hist.residual_norms) == pytest.approx(rho, abs=0.02)
+
+    def test_too_short_is_nan(self):
+        assert np.isnan(asymptotic_rate([1.0, 0.5]))
+
+    def test_ignores_nonpositive(self):
+        history = [1.0, 0.5, 0.0, 0.25, 0.125, 0.0625]
+        assert asymptotic_rate(history) < 1.0
+
+
+class TestDetectors:
+    def test_divergence_detected(self):
+        history = [1.0, 0.5, 0.1, 200.0]
+        assert detect_divergence(history, factor=1e3)
+
+    def test_monotone_decay_not_divergent(self):
+        assert not detect_divergence([2.0 * 0.9**k for k in range(50)])
+
+    def test_sawtooth_not_divergent(self):
+        """Small local rises (racy noise) must not trip the detector."""
+        history = [1.0, 0.5, 0.55, 0.3, 0.32, 0.2]
+        assert not detect_divergence(history)
+
+    def test_stall_detected(self):
+        history = [1.0, 0.5] + [0.1] * 30
+        assert detect_stall(history, window=20)
+
+    def test_progress_is_not_a_stall(self):
+        history = [0.9**k for k in range(40)]
+        assert not detect_stall(history, window=20)
+
+    def test_short_history_no_stall(self):
+        assert not detect_stall([1.0, 1.0], window=20)
+
+
+class TestResidualTracker:
+    def test_converged(self):
+        tr = ResidualTracker(tol=1e-3)
+        verdict = None
+        for r in (1.0, 0.1, 1e-4):
+            verdict = tr.update(r)
+        assert verdict.status == "converged"
+        assert verdict.best == 1e-4
+
+    def test_warming_up_then_converging(self):
+        tr = ResidualTracker(tol=1e-12, window=5)
+        for k in range(4):
+            v = tr.update(0.8**k)
+        assert v.status == "warming-up"
+        for k in range(4, 12):
+            v = tr.update(0.8**k)
+        assert v.status == "converging"
+        assert v.rate == pytest.approx(0.8, abs=1e-9)
+
+    def test_diverging(self):
+        tr = ResidualTracker(tol=1e-12, window=3, divergence_factor=100.0)
+        tr.update(1.0)
+        tr.update(0.01)
+        v = tr.update(5.0)  # 500x over the best
+        assert v.status == "diverging"
+
+    def test_nonfinite_counts_as_divergence(self):
+        tr = ResidualTracker(tol=1e-3)
+        v = tr.update(float("inf"))
+        assert v.status == "diverging"
+        v = tr.update(float("nan"))
+        assert v.status == "diverging"
+        assert tr.count == 2
+
+    def test_stalled(self):
+        tr = ResidualTracker(tol=1e-12, window=5, stall_decay=1e-3)
+        for _ in range(10):
+            v = tr.update(0.5)
+        assert v.status == "stalled"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResidualTracker(tol=0.0)
+        with pytest.raises(ValueError):
+            ResidualTracker(tol=1e-3, window=1)

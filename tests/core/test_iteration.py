@@ -1,0 +1,147 @@
+"""Classical stationary methods: exactness, convergence, orderings."""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration import (
+    gauss_seidel,
+    greedy_coloring,
+    jacobi,
+    multicolor_gauss_seidel,
+    sor,
+)
+from repro.matrices.laplacian import fd_laplacian_1d, fd_laplacian_2d
+from repro.matrices.sparse import CSRMatrix
+from repro.util.errors import ShapeError, SingularMatrixError
+
+
+class TestJacobi:
+    def test_solves_fd_system(self, fd_system):
+        A, b, x_exact = fd_system
+        hist = jacobi(A, b, tol=1e-8, max_iterations=5000)
+        assert hist.converged
+        np.testing.assert_allclose(hist.x, x_exact, atol=1e-5)
+
+    def test_matches_manual_sweeps(self, tiny_fd, rng):
+        """One call's iterates equal hand-rolled x + D^{-1}(b - Ax)."""
+        A = tiny_fd
+        b = rng.standard_normal(A.nrows)
+        hist = jacobi(A, b, tol=1e-300, max_iterations=3)
+        dense = A.to_dense()
+        x = np.zeros(A.nrows)
+        d = np.diag(dense)
+        for _ in range(3):
+            x = x + (b - dense @ x) / d
+        np.testing.assert_allclose(hist.x, x, rtol=1e-13)
+
+    def test_residual_history_monotone_for_fd(self, fd_system):
+        """For normal G with rho < 1 the residual decreases monotonically."""
+        A, b, _ = fd_system
+        hist = jacobi(A, b, tol=1e-6, max_iterations=3000)
+        res = np.asarray(hist.residual_norms)
+        assert np.all(np.diff(res) <= 1e-14)
+
+    def test_divergence_recorded(self):
+        """rho(G) > 1: residual history grows, converged False."""
+        dense = np.array([[1.0, 2.0], [2.0, 1.0]])  # rho(G) = 2
+        A = CSRMatrix.from_dense(dense)
+        hist = jacobi(A, [1.0, 1.0], tol=1e-3, max_iterations=50)
+        assert not hist.converged
+        assert hist.residual_norms[-1] > hist.residual_norms[0]
+
+    def test_zero_iterations_if_converged(self, small_fd):
+        hist = jacobi(small_fd, np.zeros(small_fd.nrows), x0=np.zeros(small_fd.nrows))
+        assert hist.iterations == 0
+
+    def test_rejects_zero_diagonal(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SingularMatrixError):
+            jacobi(A, [1.0, 1.0])
+
+    def test_rejects_rectangular(self):
+        A = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            jacobi(A, np.ones(3))
+
+    def test_rejects_bad_tol(self, small_fd):
+        with pytest.raises(ValueError):
+            jacobi(small_fd, np.zeros(small_fd.nrows), tol=0.0)
+
+
+class TestGaussSeidel:
+    def test_faster_than_jacobi(self, fd_system):
+        """Classic: GS converges in roughly half the Jacobi sweeps."""
+        A, b, _ = fd_system
+        j = jacobi(A, b, tol=1e-6, max_iterations=5000)
+        g = gauss_seidel(A, b, tol=1e-6, max_iterations=5000)
+        assert g.converged
+        assert g.iterations < 0.75 * j.iterations
+
+    def test_matches_dense_triangular_solve(self, tiny_fd, rng):
+        """One GS sweep equals (D+L)^{-1} (b - U x)."""
+        A = tiny_fd
+        b = rng.standard_normal(A.nrows)
+        hist = gauss_seidel(A, b, tol=1e-300, max_iterations=1)
+        dense = A.to_dense()
+        DL = np.tril(dense)
+        U = np.triu(dense, k=1)
+        expected = np.linalg.solve(DL, b - U @ np.zeros(A.nrows))
+        np.testing.assert_allclose(hist.x, expected, rtol=1e-12)
+
+    def test_sor_optimal_beats_gs(self):
+        """SOR with near-optimal omega beats plain GS on the 1-D Laplacian."""
+        n = 30
+        A = fd_laplacian_1d(n)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(n)
+        rho_j = np.cos(np.pi / (n + 1))
+        omega_opt = 2.0 / (1.0 + np.sqrt(1.0 - rho_j**2))
+        gs = gauss_seidel(A, b, tol=1e-8, max_iterations=10_000)
+        s = sor(A, b, omega=omega_opt, tol=1e-8, max_iterations=10_000)
+        assert s.converged
+        assert s.iterations < 0.5 * gs.iterations
+
+    def test_sor_rejects_bad_omega(self, small_fd):
+        with pytest.raises(ValueError):
+            sor(small_fd, np.zeros(small_fd.nrows), omega=2.5)
+
+
+class TestColoring:
+    def test_coloring_is_proper(self, small_fd):
+        colors = greedy_coloring(small_fd)
+        for i in range(small_fd.nrows):
+            assert np.all(colors[small_fd.neighbors(i)] != colors[i])
+
+    def test_grid_needs_two_colors(self):
+        """A bipartite grid graph takes exactly 2 greedy colors."""
+        A = fd_laplacian_2d(5, 5)
+        assert greedy_coloring(A).max() == 1
+
+
+class TestMulticolorGS:
+    def test_converges_like_gs(self, fd_system):
+        A, b, x_exact = fd_system
+        hist = multicolor_gauss_seidel(A, b, tol=1e-8, max_iterations=5000)
+        assert hist.converged
+        np.testing.assert_allclose(hist.x, x_exact, atol=1e-5)
+
+    def test_red_black_equals_color_sweeps(self, tiny_fd, rng):
+        """One multicolor sweep = masked Jacobi per color class, in order."""
+        A = tiny_fd
+        b = rng.standard_normal(A.nrows)
+        colors = greedy_coloring(A)
+        hist = multicolor_gauss_seidel(A, b, colors=colors, tol=1e-300, max_iterations=1)
+        dense = A.to_dense()
+        x = np.zeros(A.nrows)
+        d = np.diag(dense)
+        for c in range(colors.max() + 1):
+            mask = colors == c
+            r = b - dense @ x
+            x[mask] += r[mask] / d[mask]
+        np.testing.assert_allclose(hist.x, x, rtol=1e-13)
+
+    def test_invalid_colors_shape(self, small_fd):
+        with pytest.raises(ShapeError):
+            multicolor_gauss_seidel(
+                small_fd, np.zeros(small_fd.nrows), colors=np.zeros(3, dtype=np.int64)
+            )

@@ -1,0 +1,284 @@
+"""Propagation matrices and Theorem 1 (the paper's core math)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.propagation import (
+    apply_error_propagation,
+    apply_residual_propagation,
+    error_propagation_matrix,
+    matrix_norm_1,
+    matrix_norm_inf,
+    relaxation_mask,
+    residual_propagation_matrix,
+    spectral_radius_dense,
+    theorem1_report,
+    two_by_two_propagation,
+)
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.matrices.sparse import CSRMatrix
+from repro.util.errors import ScheduleError, ShapeError
+
+
+def _wdd_unit_matrix(rng, n, density=0.5):
+    """Random symmetric W.D.D. matrix with unit diagonal (paper setting)."""
+    off = np.where(rng.random((n, n)) < density, rng.standard_normal((n, n)), 0.0)
+    off = (off + off.T) / 2
+    np.fill_diagonal(off, 0.0)
+    max_row = max(float(np.sum(np.abs(off), axis=1).max()), 1e-12)
+    # Dividing by the max row sum keeps every |offdiag| row sum <= 1 while
+    # preserving symmetry: W.D.D. with unit diagonal.
+    dense = np.eye(n) + off * (rng.uniform(0.3, 1.0) / max_row)
+    return CSRMatrix.from_dense(dense)
+
+
+class TestMask:
+    def test_mask_from_rows(self):
+        mask = relaxation_mask(5, [0, 3])
+        np.testing.assert_array_equal(mask, [True, False, False, True, False])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            relaxation_mask(4, [4])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ScheduleError):
+            relaxation_mask(4, [1, 1])
+
+    def test_empty_mask(self):
+        assert not relaxation_mask(3, []).any()
+
+
+class TestStructure:
+    def test_inactive_rows_are_unit_basis(self, small_fd):
+        """Row i of G-hat is e_i^T for every delayed row (Section IV-A)."""
+        n = small_fd.nrows
+        mask = relaxation_mask(n, np.arange(0, n, 2))
+        G = error_propagation_matrix(small_fd, mask).to_dense()
+        for i in np.nonzero(~mask)[0]:
+            expected = np.zeros(n)
+            expected[i] = 1.0
+            np.testing.assert_array_equal(G[i], expected)
+
+    def test_inactive_columns_are_unit_basis(self, small_fd):
+        """Column i of H-hat is e_i for every delayed row."""
+        n = small_fd.nrows
+        mask = relaxation_mask(n, np.arange(0, n, 3))
+        H = residual_propagation_matrix(small_fd, mask).to_dense()
+        for i in np.nonzero(~mask)[0]:
+            expected = np.zeros(n)
+            expected[i] = 1.0
+            np.testing.assert_array_equal(H[:, i], expected)
+
+    def test_full_mask_gives_iteration_matrix(self, small_fd):
+        """All rows active => G-hat == G == I - A (unit diagonal)."""
+        n = small_fd.nrows
+        mask = np.ones(n, dtype=bool)
+        G = error_propagation_matrix(small_fd, mask).to_dense()
+        np.testing.assert_allclose(G, np.eye(n) - small_fd.to_dense(), atol=1e-14)
+
+    def test_symmetric_unit_diag_G_equals_H(self, small_fd):
+        """For symmetric unit-diagonal A: H-hat = G-hat^T."""
+        n = small_fd.nrows
+        mask = relaxation_mask(n, [1, 5, 9])
+        G = error_propagation_matrix(small_fd, mask).to_dense()
+        H = residual_propagation_matrix(small_fd, mask).to_dense()
+        np.testing.assert_allclose(H, G.T, atol=1e-14)
+
+    def test_general_diagonal_handled(self, random_csr, rng):
+        """Non-unit diagonals: G-hat = I - D-hat D^{-1} A."""
+        n = random_csr.nrows
+        mask = relaxation_mask(n, rng.choice(n, size=n // 2, replace=False))
+        G = error_propagation_matrix(random_csr, mask).to_dense()
+        dense = random_csr.to_dense()
+        Dinv = np.diag(1.0 / np.diag(dense))
+        Dhat = np.diag(mask.astype(float))
+        np.testing.assert_allclose(G, np.eye(n) - Dhat @ Dinv @ dense, atol=1e-13)
+
+
+class TestMatrixFreeApply:
+    def test_error_apply_matches_matrix(self, small_fd, rng):
+        n = small_fd.nrows
+        mask = relaxation_mask(n, rng.choice(n, size=n // 3, replace=False))
+        e = rng.standard_normal(n)
+        G = error_propagation_matrix(small_fd, mask)
+        np.testing.assert_allclose(
+            apply_error_propagation(small_fd, mask, e), G @ e, rtol=1e-12
+        )
+
+    def test_residual_apply_matches_matrix(self, small_fd, rng):
+        n = small_fd.nrows
+        mask = relaxation_mask(n, rng.choice(n, size=n // 2, replace=False))
+        r = rng.standard_normal(n)
+        H = residual_propagation_matrix(small_fd, mask)
+        np.testing.assert_allclose(
+            apply_residual_propagation(small_fd, mask, r), H @ r, rtol=1e-12
+        )
+
+    def test_error_step_equals_iteration_step(self, fd_system, rng):
+        """e(k+1) = G-hat e(k) is exactly the masked Jacobi error recursion."""
+        A, b, x_exact = fd_system
+        n = A.nrows
+        mask = relaxation_mask(n, rng.choice(n, size=n // 2, replace=False))
+        x = rng.standard_normal(n)
+        # Perform the masked relaxation on x.
+        active = np.nonzero(mask)[0]
+        x_new = x.copy()
+        x_new[active] += b[active] - A.row_matvec(active, x)
+        # And propagate the error directly.
+        e_new = apply_error_propagation(A, mask, x_exact - x)
+        np.testing.assert_allclose(x_exact - x_new, e_new, atol=1e-12)
+
+    def test_residual_step_consistency(self, fd_system, rng):
+        """r(k+1) = H-hat r(k) matches recomputing b - A x(k+1)."""
+        A, b, _ = fd_system
+        n = A.nrows
+        mask = relaxation_mask(n, rng.choice(n, size=n // 2, replace=False))
+        x = rng.standard_normal(n)
+        r = b - A @ x
+        active = np.nonzero(mask)[0]
+        x_new = x.copy()
+        x_new[active] += r[active]
+        np.testing.assert_allclose(
+            b - A @ x_new, apply_residual_propagation(A, mask, r), atol=1e-12
+        )
+
+
+class TestTheorem1:
+    def test_theorem1_on_fd(self, small_fd):
+        """W.D.D. A + delayed rows => all four quantities equal 1."""
+        n = small_fd.nrows
+        mask = relaxation_mask(n, np.delete(np.arange(n), [n // 2]))
+        rep = theorem1_report(small_fd, mask)
+        assert rep.n_delayed == 1
+        assert rep.theorem1_holds
+
+    def test_theorem1_many_delayed(self, small_fd, rng):
+        n = small_fd.nrows
+        active = rng.choice(n, size=n // 4, replace=False)
+        rep = theorem1_report(small_fd, relaxation_mask(n, active))
+        assert rep.theorem1_holds
+
+    def test_no_delay_radius_below_one(self, small_fd):
+        """All rows active: G-hat = G with rho < 1 (no unit eigenvalue)."""
+        n = small_fd.nrows
+        rep = theorem1_report(small_fd, np.ones(n, dtype=bool))
+        assert rep.g_spectral_radius < 1.0
+
+    def test_norms_without_dense_radius(self, small_fd):
+        rep = theorem1_report(small_fd, relaxation_mask(small_fd.nrows, [0]), dense_radius=False)
+        assert np.isnan(rep.g_spectral_radius)
+        assert rep.g_norm_inf == pytest.approx(1.0)
+
+
+class TestTwoByTwo:
+    def test_eq11_structure(self):
+        """Eq. 11: explicit forms with alpha = -A21/A11... (unit scaled)."""
+        dense = np.array([[1.0, 0.4], [0.4, 1.0]])
+        A = CSRMatrix.from_dense(dense)
+        G, H = two_by_two_propagation(A, delayed_row=0)
+        np.testing.assert_allclose(G, [[1.0, 0.0], [-0.4, 0.0]])
+        np.testing.assert_allclose(H, [[1.0, -0.4], [0.0, 0.0]])
+
+    def test_one_step_convergence(self, rng):
+        """Applying G-hat twice equals applying it once: the 2x2 error
+        converges in one application (why [22] saw no speedup)."""
+        a = rng.uniform(-0.9, 0.9)
+        dense = np.array([[1.0, a], [a, 1.0]])
+        A = CSRMatrix.from_dense(dense)
+        for row in (0, 1):
+            G, H = two_by_two_propagation(A, delayed_row=row)
+            np.testing.assert_allclose(G @ G, G, atol=1e-14)
+            np.testing.assert_allclose(H @ H, H, atol=1e-14)
+
+    def test_rejects_wrong_shape(self, small_fd):
+        with pytest.raises(ShapeError):
+            two_by_two_propagation(small_fd, 0)
+
+
+class TestDampedPropagation:
+    def test_omega_scales_off_identity_part(self, small_fd, rng):
+        """G-hat(omega) = I - omega D-hat A: the active rows interpolate
+        between identity (omega -> 0) and the Jacobi rows (omega = 1)."""
+        n = small_fd.nrows
+        mask = relaxation_mask(n, rng.choice(n, size=n // 2, replace=False))
+        G1 = error_propagation_matrix(small_fd, mask, omega=1.0).to_dense()
+        Gh = error_propagation_matrix(small_fd, mask, omega=0.5).to_dense()
+        I = np.eye(n)
+        np.testing.assert_allclose(Gh - I, 0.5 * (G1 - I), atol=1e-13)
+
+    def test_damped_apply_matches_matrix(self, small_fd, rng):
+        n = small_fd.nrows
+        mask = relaxation_mask(n, rng.choice(n, size=n // 3, replace=False))
+        e = rng.standard_normal(n)
+        G = error_propagation_matrix(small_fd, mask, omega=1.3)
+        np.testing.assert_allclose(
+            apply_error_propagation(small_fd, mask, e, omega=1.3), G @ e, rtol=1e-12
+        )
+        H = residual_propagation_matrix(small_fd, mask, omega=1.3)
+        np.testing.assert_allclose(
+            apply_residual_propagation(small_fd, mask, e, omega=1.3), H @ e, rtol=1e-12
+        )
+
+    def test_omega_validation(self, small_fd):
+        mask = np.ones(small_fd.nrows, dtype=bool)
+        for bad in (0.0, 2.0, -1.0):
+            with pytest.raises(ValueError):
+                error_propagation_matrix(small_fd, mask, omega=bad)
+
+    def test_damped_theorem1_still_holds(self, small_fd):
+        """Underdamping keeps ||G-hat||_inf = 1 for W.D.D. A with a delayed
+        row: the delayed row's unit-basis row is untouched by omega, and
+        active rows have |1 - omega| + omega * (offdiag sum) <= 1."""
+        n = small_fd.nrows
+        mask = relaxation_mask(n, np.delete(np.arange(n), [2]))
+        G = error_propagation_matrix(small_fd, mask, omega=0.5)
+        assert matrix_norm_inf(G) == pytest.approx(1.0)
+
+
+class TestNorms:
+    def test_matrix_norms_match_numpy(self, random_csr):
+        dense = random_csr.to_dense()
+        assert matrix_norm_inf(random_csr) == pytest.approx(
+            np.linalg.norm(dense, ord=np.inf)
+        )
+        assert matrix_norm_1(random_csr) == pytest.approx(np.linalg.norm(dense, ord=1))
+
+    def test_spectral_radius_dense(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [-2.0, 0.0]]))
+        assert spectral_radius_dense(A) == pytest.approx(np.sqrt(2.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(3, 14), st.integers(0, 2**31 - 1), st.floats(0.1, 0.9))
+def test_property_theorem1_random_wdd(n, seed, delay_frac):
+    """Theorem 1 holds for arbitrary random W.D.D. matrices and masks."""
+    rng = np.random.default_rng(seed)
+    A = _wdd_unit_matrix(rng, n)
+    n_delayed = max(1, int(delay_frac * n))
+    delayed = rng.choice(n, size=n_delayed, replace=False)
+    mask = np.ones(n, dtype=bool)
+    mask[delayed] = False
+    if not mask.any():
+        mask[0] = True
+    rep = theorem1_report(A, mask)
+    assert rep.g_norm_inf == pytest.approx(1.0, abs=1e-9)
+    assert rep.h_norm_1 == pytest.approx(1.0, abs=1e-9)
+    assert rep.g_spectral_radius == pytest.approx(1.0, abs=1e-7)
+    assert rep.h_spectral_radius == pytest.approx(1.0, abs=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(3, 12), st.integers(0, 2**31 - 1))
+def test_property_norm_never_increases_for_wdd(n, seed):
+    """Consequence of Theorem 1: ||G-hat e||_inf <= ||e||_inf and
+    ||H-hat r||_1 <= ||r||_1 for any mask on W.D.D. A."""
+    rng = np.random.default_rng(seed)
+    A = _wdd_unit_matrix(rng, n)
+    mask = rng.random(n) < 0.5
+    e = rng.standard_normal(n)
+    out_e = apply_error_propagation(A, mask, e)
+    out_r = apply_residual_propagation(A, mask, e)
+    assert np.max(np.abs(out_e)) <= np.max(np.abs(e)) + 1e-12
+    assert np.sum(np.abs(out_r)) <= np.sum(np.abs(e)) + 1e-12

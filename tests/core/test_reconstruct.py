@@ -1,0 +1,177 @@
+"""Trace reconstruction: the Figure 1 examples and structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reconstruct import (
+    ExecutionTrace,
+    Relaxation,
+    reconstruct_propagation_steps,
+)
+from repro.util.errors import ScheduleError
+
+
+def fig1a_trace():
+    """Paper Figure 1(a): expressible as Phi = {4}, {1, 2}, {3} (1-based)."""
+    tr = ExecutionTrace(4)
+    tr.record(0, 1.0, {1: 0, 2: 0})  # p1 reads s12=0, s13=0
+    tr.record(3, 2.0, {1: 0, 2: 0})  # p4 reads s42=0, s43=0
+    tr.record(1, 3.0, {0: 0, 3: 1})  # p2 reads s21=0, s24=1
+    tr.record(2, 4.0, {0: 1, 3: 1})  # p3 reads s31=1, s34=1
+    return tr
+
+
+def fig1b_trace():
+    """Paper Figure 1(b): p3's relaxation cannot be expressed."""
+    tr = ExecutionTrace(4)
+    tr.record(3, 1.0, {1: 0, 2: 0})
+    tr.record(0, 2.0, {1: 1, 2: 0})  # s12 = 1
+    tr.record(1, 3.0, {0: 0, 3: 1})
+    tr.record(2, 4.0, {0: 1, 3: 0})  # s34 = 0 (old)
+    return tr
+
+
+class TestPaperExamples:
+    def test_fig1a_fully_propagated(self):
+        rec = reconstruct_propagation_steps(fig1a_trace())
+        assert rec.fraction_propagated == 1.0
+        # The paper's ordering: {4}, {1, 2}, {3} (0-based: {3}, {0,1}, {2}).
+        assert [s.tolist() for s in rec.phi] == [[3], [0, 1], [2]]
+
+    def test_fig1b_three_of_four(self):
+        rec = reconstruct_propagation_steps(fig1b_trace())
+        assert rec.propagated == 3
+        assert rec.non_propagated == 1
+        # p3 (row 2) is the out-of-band relaxation.
+        flags = dict(zip((r.row for r in fig1b_trace()), rec.flags))
+        assert flags[2] is False
+
+
+class TestInvariants:
+    def test_sequential_trace_fully_propagated(self):
+        """Strictly sequential relaxations reading current values are all
+        expressible (each its own Phi step)."""
+        n = 6
+        tr = ExecutionTrace(n)
+        ver = [0] * n
+        t = 0.0
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            i = int(rng.integers(0, n))
+            t += 1.0
+            nbrs = [(i - 1) % n, (i + 1) % n]
+            tr.record(i, t, {j: ver[j] for j in nbrs})
+            ver[i] += 1
+        rec = reconstruct_propagation_steps(tr)
+        assert rec.fraction_propagated == 1.0
+
+    def test_synchronous_trace_single_steps(self):
+        """Lockstep rounds reading the previous round are one Phi step each."""
+        n = 5
+        tr = ExecutionTrace(n)
+        for k in range(4):
+            for i in range(n):
+                tr.record(i, float(k), {j: k for j in range(n) if j != i})
+        rec = reconstruct_propagation_steps(tr)
+        assert rec.fraction_propagated == 1.0
+        assert len(rec.phi) == 4
+        for step in rec.phi:
+            np.testing.assert_array_equal(step, np.arange(n))
+
+    def test_every_relaxation_accounted(self):
+        tr = fig1b_trace()
+        rec = reconstruct_propagation_steps(tr)
+        assert rec.total == len(tr) == 4
+        assert len(rec.flags) == 4
+
+    def test_phi_rows_unique_per_step(self):
+        rec = reconstruct_propagation_steps(fig1a_trace())
+        for step in rec.phi:
+            assert len(step) == len(set(step.tolist()))
+
+    def test_phi_relaxation_count_matches(self):
+        rec = reconstruct_propagation_steps(fig1a_trace())
+        assert sum(len(s) for s in rec.phi) == rec.propagated
+
+    def test_genuinely_stale_read_costs_one(self):
+        """Two relaxations of row 0 read row 1 at version 0, and row 1 reads
+        row 0 at version 0: at most one of the conflicting reads can be
+        ordered consistently, so exactly one relaxation is non-propagated
+        (either row 0's second — stale after row 1 merges with the first —
+        or row 1's; both orderings are valid and cost one)."""
+        tr = ExecutionTrace(2)
+        tr.record(0, 1.0, {1: 0})
+        tr.record(0, 2.0, {1: 0})
+        tr.record(1, 3.0, {0: 0})
+        rec = reconstruct_propagation_steps(tr)
+        assert rec.propagated == 2
+        assert rec.non_propagated == 1
+
+    def test_empty_trace(self):
+        rec = reconstruct_propagation_steps(ExecutionTrace(3))
+        assert rec.total == 0
+        assert rec.fraction_propagated == 1.0
+
+
+class TestExecutionTrace:
+    def test_indices_increment_per_row(self):
+        tr = ExecutionTrace(2)
+        r1 = tr.record(0, 0.0, {})
+        r2 = tr.record(0, 1.0, {})
+        assert (r1.index, r2.index) == (1, 2)
+        assert len(tr.relaxations_of(0)) == 2
+        assert len(tr.relaxations_of(1)) == 0
+
+    def test_validation(self):
+        tr = ExecutionTrace(2)
+        with pytest.raises(ScheduleError):
+            tr.record(5, 0.0, {})
+        with pytest.raises(ScheduleError):
+            tr.record(0, 0.0, {9: 0})
+        with pytest.raises(ScheduleError):
+            tr.record(0, 0.0, {1: -1})
+        with pytest.raises(ScheduleError):
+            ExecutionTrace(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 8), st.integers(5, 40), st.integers(0, 2**31 - 1))
+def test_property_sequential_real_executions_fully_propagate(n, steps, seed):
+    """Any sequential execution whose reads are the then-current versions
+    reconstructs at 100% — reconstruction never undercounts the easy case."""
+    rng = np.random.default_rng(seed)
+    tr = ExecutionTrace(n)
+    ver = [0] * n
+    for t in range(steps):
+        i = int(rng.integers(0, n))
+        nbrs = rng.choice(n, size=min(3, n), replace=False)
+        tr.record(i, float(t), {int(j): ver[j] for j in nbrs if j != i})
+        ver[i] += 1
+    rec = reconstruct_propagation_steps(tr)
+    assert rec.fraction_propagated == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(4, 24), st.integers(0, 2**31 - 1))
+def test_property_flags_partition_total(n, steps, seed):
+    """propagated + non_propagated == total, flags align with the trace."""
+    rng = np.random.default_rng(seed)
+    tr = ExecutionTrace(n)
+    ver = [0] * n
+    for t in range(steps):
+        i = int(rng.integers(0, n))
+        # Occasionally record a deliberately stale read.
+        reads = {}
+        for j in range(n):
+            if j == i:
+                continue
+            v = ver[j]
+            if rng.random() < 0.2 and v > 0:
+                v -= 1
+            reads[j] = v
+        tr.record(i, float(t), reads)
+        ver[i] += 1
+    rec = reconstruct_propagation_steps(tr)
+    assert rec.propagated + rec.non_propagated == steps
+    assert sum(rec.flags) == rec.propagated

@@ -1,0 +1,178 @@
+"""Update-set schedules: timing laws, fairness, validation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedules import (
+    BlockSequentialSchedule,
+    DelayedRowsSchedule,
+    OverlappedBlockSchedule,
+    RandomSubsetSchedule,
+    SynchronousSchedule,
+    TraceSchedule,
+)
+from repro.partition.partitioner import contiguous_partition
+from repro.util.errors import ScheduleError
+
+
+def take(schedule, k):
+    return list(itertools.islice(schedule.steps(), k))
+
+
+class TestSynchronous:
+    def test_all_rows_every_step(self):
+        sched = SynchronousSchedule(5)
+        for step in take(sched, 4):
+            np.testing.assert_array_equal(step.rows, np.arange(5))
+        assert sched.is_synchronous
+
+    def test_time_scales_with_delay(self):
+        sched = SynchronousSchedule(3, delay=7.0)
+        times = [s.time for s in take(sched, 3)]
+        assert times == [7.0, 14.0, 21.0]
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ScheduleError):
+            SynchronousSchedule(3, delay=0.0)
+
+
+class TestDelayedRows:
+    def test_delayed_row_fires_at_multiples(self):
+        sched = DelayedRowsSchedule(4, {2: 3})
+        steps = take(sched, 6)
+        for k, step in enumerate(steps, start=1):
+            has_row2 = 2 in step.rows
+            assert has_row2 == (k % 3 == 0)
+            # All other rows fire every step.
+            assert {0, 1, 3} <= set(step.rows.tolist())
+
+    def test_infinite_delay_never_fires(self):
+        sched = DelayedRowsSchedule(4, {1: None})
+        for step in take(sched, 10):
+            assert 1 not in step.rows
+
+    def test_inf_float_equals_none(self):
+        s1 = DelayedRowsSchedule(4, {1: float("inf")})
+        assert s1.delays[1] is None
+
+    def test_multiple_delays(self):
+        sched = DelayedRowsSchedule(6, {0: 2, 5: 3})
+        steps = take(sched, 6)
+        assert 0 in steps[1].rows and 0 not in steps[0].rows
+        assert 5 in steps[2].rows and 5 not in steps[1].rows
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ScheduleError):
+            DelayedRowsSchedule(4, {0: 0})
+        with pytest.raises(ScheduleError):
+            DelayedRowsSchedule(4, {0: 1.5})
+        with pytest.raises(ScheduleError):
+            DelayedRowsSchedule(4, {9: 2})
+
+
+class TestRandomSubset:
+    def test_expected_fraction(self):
+        sched = RandomSubsetSchedule(200, 0.3, seed=0)
+        fractions = [s.rows.size / 200 for s in take(sched, 50)]
+        assert 0.25 < np.mean(fractions) < 0.35
+
+    def test_never_empty(self):
+        sched = RandomSubsetSchedule(3, 0.05, seed=1)
+        for step in take(sched, 30):
+            assert step.rows.size >= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ScheduleError):
+            RandomSubsetSchedule(5, 0.0)
+        with pytest.raises(ScheduleError):
+            RandomSubsetSchedule(5, 1.5)
+
+
+class TestBlockSequential:
+    def test_cycles_blocks_in_order(self):
+        labels = contiguous_partition(6, 3)
+        steps = take(BlockSequentialSchedule(labels), 6)
+        np.testing.assert_array_equal(steps[0].rows, [0, 1])
+        np.testing.assert_array_equal(steps[1].rows, [2, 3])
+        np.testing.assert_array_equal(steps[2].rows, [4, 5])
+        np.testing.assert_array_equal(steps[3].rows, [0, 1])  # wraps
+
+    def test_one_row_blocks_is_gauss_seidel_order(self):
+        labels = np.arange(5)
+        steps = take(BlockSequentialSchedule(labels), 5)
+        assert [s.rows.tolist() for s in steps] == [[0], [1], [2], [3], [4]]
+
+    def test_shuffle_is_fair_per_round(self):
+        labels = contiguous_partition(8, 4)
+        steps = take(BlockSequentialSchedule(labels, shuffle=True, seed=3), 8)
+        first_round = np.sort(np.concatenate([s.rows for s in steps[:4]]))
+        np.testing.assert_array_equal(first_round, np.arange(8))
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ScheduleError):
+            BlockSequentialSchedule(np.array([0, 0, 2, 2]))  # label 1 empty
+
+
+class TestOverlappedBlocks:
+    def test_concurrency_block_count(self):
+        labels = contiguous_partition(12, 6)
+        sched = OverlappedBlockSchedule(labels, concurrency=2, seed=0)
+        for step in take(sched, 3):
+            assert step.rows.size == 4  # 2 blocks x 2 rows
+
+    def test_round_fairness(self):
+        """Every block relaxes exactly once per round."""
+        labels = contiguous_partition(12, 6)
+        sched = OverlappedBlockSchedule(labels, concurrency=4, seed=1)
+        steps = take(sched, 2)  # ceil(6/4) = 2 steps per round
+        seen = np.sort(np.concatenate([s.rows for s in steps]))
+        np.testing.assert_array_equal(seen, np.arange(12))
+
+    def test_extremes(self):
+        labels = contiguous_partition(6, 3)
+        full = OverlappedBlockSchedule(labels, concurrency=3, seed=0)
+        step = take(full, 1)[0]
+        np.testing.assert_array_equal(step.rows, np.arange(6))  # == synchronous
+        single = OverlappedBlockSchedule(labels, concurrency=1, seed=0)
+        assert take(single, 1)[0].rows.size == 2  # == block sequential
+
+    def test_rejects_bad_concurrency(self):
+        labels = contiguous_partition(6, 3)
+        with pytest.raises(ScheduleError):
+            OverlappedBlockSchedule(labels, concurrency=0)
+        with pytest.raises(ScheduleError):
+            OverlappedBlockSchedule(labels, concurrency=4)
+
+
+class TestTraceSchedule:
+    def test_replay(self):
+        sched = TraceSchedule(4, [(0.5, [0, 1]), (1.0, [2]), (1.5, [3])])
+        steps = take(sched, 10)  # exhausts after 3
+        assert len(steps) == 3
+        assert len(sched) == 3
+        np.testing.assert_array_equal(steps[1].rows, [2])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ScheduleError):
+            TraceSchedule(4, [(1.0, [0]), (0.5, [1])])
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(ScheduleError):
+            TraceSchedule(2, [(0.0, [5])])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 30), st.integers(2, 9), st.integers(0, 2**31 - 1))
+def test_property_delayed_schedule_coverage(n, delay, seed):
+    """Over `delay` consecutive steps every row relaxes at least once
+    (assumption 2 of Section II-B: all rows eventually relax)."""
+    rng = np.random.default_rng(seed)
+    row = int(rng.integers(0, n))
+    sched = DelayedRowsSchedule(n, {row: delay})
+    seen = set()
+    for step in itertools.islice(sched.steps(), delay):
+        seen.update(step.rows.tolist())
+    assert seen == set(range(n))

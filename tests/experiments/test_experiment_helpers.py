@@ -1,0 +1,131 @@
+"""Pure helper functions inside the experiment modules."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig7, fig8, seeds
+from repro.runtime.machine import CPU20, KNL
+
+
+class TestFig1Helpers:
+    def test_traces_match_paper_reads(self):
+        a = fig1.example_a_trace()
+        assert len(a) == 4
+        p2 = a.relaxations_of(1)[0]
+        assert p2.reads == {0: 0, 3: 1}  # s21=0, s24=1
+
+    def test_run_matches_paper(self):
+        res_a, res_b = fig1.run()
+        assert res_a.phi == [[4], [1, 2], [3]]
+        assert res_b.propagated == 3
+
+    def test_report_text(self):
+        text = fig1.format_report(fig1.run())
+        assert "{p4}, {p1, p2}, {p3}" in text
+
+
+class TestFig2Helpers:
+    def test_instrumented_profile_overrides_costs(self):
+        m = fig2.instrumented(KNL)
+        assert m.iteration_overhead > KNL.iteration_overhead
+        assert m.time_per_nnz < KNL.time_per_nnz
+        # Non-cost structure preserved.
+        assert m.cores == KNL.cores and m.smt == KNL.smt
+
+    def test_thread_grids_match_paper(self):
+        assert fig2.CPU_THREADS == (5, 10, 20, 40)
+        assert fig2.PHI_THREADS == (17, 34, 68, 136, 272)
+        assert max(fig2.CPU_THREADS) <= CPU20.max_threads
+        assert max(fig2.PHI_THREADS) <= KNL.max_threads
+
+
+class TestFig3Helpers:
+    def test_point_fields(self):
+        p = fig3.Fig3Point(source="model", delay=5.0, speedup=4.0, sync_time=20.0, async_time=5.0)
+        assert p.speedup == 4.0
+
+    def test_format_report_splits_sources(self):
+        pts = [
+            fig3.Fig3Point("model", 0.0, 1.0, 10.0, 10.0),
+            fig3.Fig3Point("simulator", 0.0, 2.0, 10.0, 5.0),
+        ]
+        text = fig3.format_report(pts)
+        assert "steps" in text and "microseconds" in text
+
+
+class TestFig4Sawtooth:
+    def _curve(self, residuals):
+        return fig4.Fig4Curve(
+            source="model", mode="async", delay=1.0,
+            times=list(range(len(residuals))), residual_norms=residuals,
+        )
+
+    def test_stall_then_drop_detected(self):
+        res = []
+        r = 1.0
+        for block in range(6):
+            res.extend([r] * 10)  # stall
+            r *= 1e-2  # sharp drop
+            res.append(r)
+        assert fig4.has_sawtooth(self._curve(res))
+
+    def test_smooth_decay_not_sawtooth(self):
+        res = [0.9**k for k in range(80)]
+        assert not fig4.has_sawtooth(self._curve(res))
+
+    def test_short_history_false(self):
+        assert not fig4.has_sawtooth(self._curve([1.0, 0.5]))
+
+    def test_flat_history_false(self):
+        assert not fig4.has_sawtooth(self._curve([1.0] * 40))
+
+
+class TestFig5Point:
+    def test_speedup(self):
+        p = fig5.Fig5Point(
+            n_threads=8, sync_time_to_tol=4.0, async_time_to_tol=2.0,
+            sync_iterations=10, async_iterations=9,
+            sync_time_100=1.0, async_time_100=0.5,
+        )
+        assert p.speedup == 2.0
+
+
+class TestFig7Helpers:
+    def test_ranks_for_caps_at_rows(self):
+        assert fig7.ranks_for(800, 128) == 100  # 800 // 8
+        assert fig7.ranks_for(10_000, 1) == 4
+        assert fig7.ranks_for(9, 1) == 1
+
+    def _curve(self, rpn, res):
+        return fig7.Fig7Curve(
+            problem="p", mode="async", nodes=1, n_ranks=4,
+            relaxations_per_n=rpn, residual_norms=res,
+        )
+
+    def test_relaxations_to_residual(self):
+        c = self._curve([0, 10, 20, 30], [1.0, 0.5, 1e-4, 1e-5])
+        assert fig7.relaxations_to_residual(c, 1e-3) == 20
+        assert fig7.relaxations_to_residual(c, 1e-9) == float("inf")
+
+    def test_residual_at_relaxations(self):
+        c = self._curve([0, 10, 20], [1.0, 0.5, 0.1])
+        assert fig7.residual_at_relaxations(c, 15.0) == 0.5
+        assert fig7.residual_at_relaxations(c, 100.0) == 0.1
+
+
+class TestFig8Point:
+    def test_speedup(self):
+        p = fig8.Fig8Point(problem="x", n_ranks=4, sync_time=3.0, async_time=1.5)
+        assert p.speedup == 2.0
+
+
+class TestSeedsHelpers:
+    def test_study_statistics(self):
+        s = seeds.SeedStudy(metric="m", samples=[1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.low == 1.0 and s.high == 3.0
+        assert s.std == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_report_renders(self):
+        s = seeds.SeedStudy(metric="m", samples=[1.0, 2.0])
+        assert "mean" in seeds.format_report([s])

@@ -1,0 +1,191 @@
+"""Experiment runners: quick (reduced-parameter) executions of every
+table/figure, checking the paper's qualitative claims hold."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+)
+
+
+class TestTable1:
+    def test_every_standin_matches_paper_role(self):
+        rows = table1.run(rho_iters=1500)
+        assert len(rows) == 7
+        for row in rows:
+            assert row.matches_expectation, row.name
+        by_name = {r.name: r for r in rows}
+        assert not by_name["Dubcova2"].jacobi_converges
+
+    def test_report_renders(self):
+        text = table1.format_report(table1.run(rho_iters=500))
+        assert "thermal2" in text and "Dubcova2" in text
+
+
+class TestFig2:
+    def test_fractions_majority_and_best_at_max_threads(self):
+        points = fig2.run(iterations=12)
+        assert len(points) == len(fig2.CPU_THREADS) + len(fig2.PHI_THREADS)
+        for p in points:
+            assert 0.5 <= p.fraction_propagated <= 1.0
+        for platform, counts in (("CPU", fig2.CPU_THREADS), ("Phi", fig2.PHI_THREADS)):
+            sub = [p for p in points if p.platform == platform]
+            best = max(sub, key=lambda p: p.fraction_propagated)
+            assert best.n_threads == counts[-1] or best.fraction_propagated > 0.99
+
+    def test_report_renders(self):
+        text = fig2.format_report(fig2.run(iterations=6))
+        assert "fraction propagated" in text
+
+
+class TestFig3:
+    def test_model_speedup_monotone_then_plateau(self):
+        points = fig3.run_model()
+        speedups = [p.speedup for p in points]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] > 10
+        # Non-decreasing up to 5% noise.
+        for a, b in zip(speedups, speedups[1:]):
+            assert b > a * 0.95
+
+    def test_simulator_speedup_grows_with_delay(self):
+        points = fig3.run_simulator(samples=1, max_iterations=200_000)
+        by_delay = {p.delay: p.speedup for p in points}
+        assert by_delay[0] > 1.0  # async slightly faster even with no delay
+        assert by_delay[3000] > 3 * by_delay[0]
+
+
+class TestFig4:
+    def test_model_curves_and_sawtooth(self):
+        curves = fig4.run_model(tol=1e-4, max_steps=2500)
+        asy = {c.delay: c for c in curves if c.mode == "async"}
+        sync = {c.delay: c for c in curves if c.mode == "sync"}
+        # Sync curves shift right with delay.
+        assert sync[100.0].times[-1] > sync[0.0].times[-1]
+        # The large-delay async curve shows the saw-tooth.
+        assert fig4.has_sawtooth(asy[100.0])
+        # No-delay curves do not.
+        assert not fig4.has_sawtooth(asy[0.0])
+
+    def test_largest_delay_still_reduces_residual(self):
+        curves = fig4.run_model(tol=1e-4, max_steps=1500)
+        worst = [c for c in curves if c.mode == "async"][-1]
+        assert worst.final_residual < 0.5 * worst.residual_norms[0]
+
+
+class TestFig5:
+    def test_paper_claims_small_grid(self):
+        points = fig5.run(threads=(17, 68, 136, 272), max_iterations=12_000)
+        by_t = {p.n_threads: p for p in points}
+        # Async fastest at max threads; sync best strictly below it.
+        best_async = min(points, key=lambda p: p.async_time_to_tol)
+        best_sync = min(points, key=lambda p: p.sync_time_to_tol)
+        assert best_async.n_threads == 272
+        assert best_sync.n_threads < 272
+        # Large speedup at 272 (paper: over 10x; measured 4-10x depending
+        # on the right-hand side — see EXPERIMENTS.md).
+        assert by_t[272].speedup > 4
+        # Async iteration count decreases with threads (68 -> 272).
+        assert by_t[272].async_iterations < by_t[68].async_iterations
+        # Fig 5(b): per-100-iteration time higher at 272 than 68 for sync.
+        assert by_t[272].sync_time_100 > by_t[68].sync_time_100
+
+
+class TestFig6:
+    def test_sync_diverges_async_rescued_by_threads(self):
+        result = fig6.run(max_iterations=1600, long_run_iterations=1800)
+        sync = [c for c in result["panel_a"] if c.mode == "sync"]
+        assert all(c.diverged for c in sync)
+        asy = {c.n_threads: c for c in result["panel_a"] if c.mode == "async"}
+        # 68 threads fails; 272 threads converges decisively.
+        assert asy[68].final_residual > 1e2 * asy[272].final_residual
+        assert asy[272].final_residual < 1e-1
+        # Panel (b): the long run keeps the residual down (no later blowup).
+        assert result["panel_b"].final_residual < 1e-1
+
+
+class TestFig7:
+    def test_async_improves_with_nodes_on_smallest_problem(self):
+        curves = fig7.run(
+            problems=("thermomech_dm",), node_counts=(1, 25), max_iterations=250,
+            tol=1e-4,
+        )
+        target = 1e-3
+        sync_rel = fig7.relaxations_to_residual(
+            next(c for c in curves if c.mode == "sync"), target
+        )
+        async_rel = {
+            c.nodes: fig7.relaxations_to_residual(c, target)
+            for c in curves
+            if c.mode == "async"
+        }
+        # More nodes => fewer relaxations to the target residual.
+        assert async_rel[25] < async_rel[1]
+        # And the high-node async beats sync per relaxation.
+        assert async_rel[25] < sync_rel
+
+    def test_report_renders(self):
+        curves = fig7.run(problems=("thermomech_dm",), node_counts=(1,), max_iterations=60)
+        assert "thermomech_dm" in fig7.format_report(curves)
+        assert "relax/n" in fig7.format_curves(curves)
+
+
+class TestFig8:
+    def test_async_faster_and_sync_degrades(self):
+        points = fig8.run(
+            problems=("thermomech_dm", "parabolic_fem"),
+            rank_counts=(4, 64),
+            max_iterations=1500,
+        )
+        for p in points:
+            assert p.async_time < p.sync_time, p
+        tdm = {p.n_ranks: p for p in points if p.problem == "thermomech_dm"}
+        assert tdm[64].sync_time > tdm[4].sync_time  # sync scaling collapse
+
+
+class TestFig9:
+    def test_dubcova2_rescued_by_nodes(self):
+        curves = fig9.run(node_counts=(1, 32), max_iterations=900)
+        sync = next(c for c in curves if c.mode == "sync")
+        assert not sync.converged
+        assert sync.final_residual > sync.residual_norms[0]
+        asy = {c.nodes: c for c in curves if c.mode == "async"}
+        assert asy[32].final_residual < 0.05 * asy[32].residual_norms[0]
+        assert asy[32].final_residual < asy[1].final_residual
+
+
+class TestAblations:
+    def test_staleness_costs_relaxations(self):
+        rows = ablations.staleness_ablation(max_lag_values=(0, 8))
+        lag0, lag8 = rows[0].metric, rows[1].metric
+        assert lag8 >= lag0
+
+    def test_multiplicative_schedules_beat_synchronous(self):
+        rows = {r.config: r.metric for r in ablations.schedule_ablation()}
+        assert rows["block sequential"] < rows["synchronous"]
+        assert rows["overlapped c=4"] < rows["overlapped c=12"] * 1.1
+
+    def test_interlacing_rho_shrinks_with_delays(self):
+        rows = [r for r in ablations.interlacing_ablation() if "worst" not in r.config]
+        radii = [r.metric for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(radii, radii[1:]))
+
+    def test_delay_distributions_all_converge(self):
+        rows = ablations.delay_distribution_ablation()
+        assert len(rows) == 3
+        for r in rows:
+            assert np.isfinite(r.metric)
+
+    def test_report_renders(self):
+        text = ablations.format_report(ablations.interlacing_ablation())
+        assert "interlacing" in text

@@ -1,0 +1,70 @@
+"""Report formatting helpers used by every experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import downsample, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [("a", 1), ("long-name", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns align: each line equally wide or shorter only by rstrip.
+        assert "long-name" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.000123,), (12345.6,), (1.5,), (0.0,)])
+        assert "1.230e-04" in text
+        assert "1.235e+04" in text
+        assert "1.5" in text
+        assert "\n0" in text
+
+    def test_inf_nan(self):
+        text = format_table(["v"], [(float("inf"),), (float("nan"),)])
+        assert "inf" in text and "nan" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_mixed_types(self):
+        text = format_table(["x"], [("str",), (7,), (True,)])
+        assert "str" in text and "7" in text and "True" in text
+
+
+class TestFormatSeries:
+    def test_title_and_columns(self):
+        text = format_series("curve", [1, 2], [0.5, 0.25], "k", "res")
+        assert text.startswith("curve\n")
+        assert "k" in text and "res" in text
+        assert "0.25" in text
+
+
+class TestDownsample:
+    def test_short_series_untouched(self):
+        xs, ys = downsample([1, 2, 3], [4, 5, 6], max_points=10)
+        assert xs == [1, 2, 3] and ys == [4, 5, 6]
+
+    def test_keeps_endpoints(self):
+        xs = list(range(100))
+        ys = [x * x for x in xs]
+        dx, dy = downsample(xs, ys, max_points=7)
+        assert len(dx) == 7
+        assert dx[0] == 0 and dx[-1] == 99
+        assert dy[-1] == 99 * 99
+
+    def test_monotone_subsequence(self):
+        xs = list(range(50))
+        dx, _ = downsample(xs, xs, max_points=9)
+        assert dx == sorted(dx)
+        assert len(set(dx)) == len(dx)
+
+    def test_exact_max_points(self):
+        xs = list(range(20))
+        dx, _ = downsample(xs, xs, max_points=20)
+        assert dx == xs

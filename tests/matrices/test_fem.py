@@ -1,0 +1,80 @@
+"""FE stiffness generator: the paper's sync-divergent matrix."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.fem import PAPER_FE_ROWS, fe_laplacian_square, paper_fe_matrix
+from repro.matrices.properties import (
+    is_spd,
+    is_weakly_diagonally_dominant,
+    jacobi_spectral_radius,
+    wdd_fraction,
+)
+from repro.util.errors import ShapeError
+
+
+class TestFELaplacian:
+    def test_shape_and_symmetry(self):
+        A = fe_laplacian_square(100, seed=1)
+        assert A.shape == (100, 100)
+        assert A.is_symmetric(tol=1e-10)
+
+    def test_unit_diagonal(self):
+        A = fe_laplacian_square(80, seed=2)
+        np.testing.assert_allclose(A.diagonal(), np.ones(80), atol=1e-12)
+
+    def test_spd_small(self):
+        assert is_spd(fe_laplacian_square(60, seed=3))
+
+    def test_isotropic_stiffness_row_property(self):
+        """Unscaled isotropic P1 Laplace stiffness has (near-)zero row sums
+        on interior rows away from the boundary (partition of unity)."""
+        A = fe_laplacian_square(200, seed=4, scaled=False)
+        dense = A.to_dense()
+        row_sums = np.abs(dense.sum(axis=1))
+        # Rows coupled to eliminated boundary nodes keep a positive excess;
+        # a clear majority of interior rows must sum to ~0.
+        near_zero = np.mean(row_sums < 1e-9)
+        assert near_zero > 0.5
+
+    def test_deterministic_mesh(self):
+        assert fe_laplacian_square(90, seed=5) == fe_laplacian_square(90, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert fe_laplacian_square(90, seed=5) != fe_laplacian_square(90, seed=6)
+
+    def test_too_few_points(self):
+        with pytest.raises(ShapeError):
+            fe_laplacian_square(2)
+
+    def test_stretch_increases_radius(self):
+        """Anisotropy pushes the Jacobi spectral radius up."""
+        r1 = jacobi_spectral_radius(fe_laplacian_square(300, seed=7, stretch=1.0))
+        r4 = jacobi_spectral_radius(fe_laplacian_square(300, seed=7, stretch=4.0))
+        assert r4 > r1
+
+
+@pytest.mark.slow
+class TestPaperFEMatrix:
+    """Locks the properties Figure 6 depends on (full 3081-row matrix)."""
+
+    @pytest.fixture(scope="class")
+    def A(self):
+        return paper_fe_matrix()
+
+    def test_paper_row_count(self, A):
+        assert A.nrows == PAPER_FE_ROWS == 3081
+
+    def test_nnz_close_to_paper(self, A):
+        # Paper: 20,971. The random Delaunay mesh gives 21,177.
+        assert abs(A.nnz - 20_971) / 20_971 < 0.05
+
+    def test_sync_jacobi_diverges(self, A):
+        """rho(G) > 1: the premise of Figure 6."""
+        assert jacobi_spectral_radius(A, iters=3000) > 1.0
+
+    def test_not_wdd_but_partially(self, A):
+        """Not W.D.D. overall, but a sizeable fraction of rows are
+        (paper: about half; stand-in: about a third)."""
+        assert not is_weakly_diagonally_dominant(A)
+        assert 0.2 < wdd_fraction(A) < 0.6

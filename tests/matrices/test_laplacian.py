@@ -1,0 +1,112 @@
+"""FD Laplacian generators: paper-exact counts and structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.laplacian import (
+    PAPER_FD_GRIDS,
+    fd_laplacian_1d,
+    fd_laplacian_2d,
+    fd_laplacian_3d,
+    near_square_grid,
+    paper_fd_matrix,
+)
+from repro.matrices.properties import (
+    is_irreducible,
+    is_spd,
+    is_weakly_diagonally_dominant,
+)
+from repro.util.errors import ShapeError
+
+
+class TestPaperMatrices:
+    @pytest.mark.parametrize("rows,nnz", [(40, 174), (68, 298), (272, 1294), (4624, 22848)])
+    def test_exact_paper_counts(self, rows, nnz):
+        """The four FD matrices match the paper's (rows, nnz) exactly."""
+        A = paper_fd_matrix(rows)
+        assert A.nrows == rows
+        assert A.nnz == nnz
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError, match="40"):
+            paper_fd_matrix(41)
+
+    @pytest.mark.parametrize("rows", sorted(PAPER_FD_GRIDS))
+    def test_paper_matrix_is_irreducibly_wdd(self, rows):
+        """Section VII-A: FD matrices are irreducibly W.D.D."""
+        A = paper_fd_matrix(rows)
+        assert is_weakly_diagonally_dominant(A)
+        assert is_irreducible(A)
+
+    def test_paper_matrix_spd(self):
+        assert is_spd(paper_fd_matrix(40))
+
+
+class TestGenerators:
+    def test_1d_structure(self):
+        A = fd_laplacian_1d(5, scaled=False)
+        expected = 2 * np.eye(5) - np.eye(5, k=1) - np.eye(5, k=-1)
+        np.testing.assert_array_equal(A.to_dense(), expected)
+
+    def test_1d_scaled_unit_diagonal(self):
+        A = fd_laplacian_1d(5)
+        np.testing.assert_allclose(A.diagonal(), np.ones(5))
+        assert A.is_symmetric(tol=1e-14)
+
+    def test_2d_unscaled_stencil(self):
+        A = fd_laplacian_2d(3, 3, scaled=False)
+        d = A.to_dense()
+        np.testing.assert_array_equal(np.diag(d), np.full(9, 4.0))
+        # Center node (1,1) -> index 4 couples to 1, 3, 5, 7.
+        assert sorted(np.nonzero(d[4])[0]) == [1, 3, 4, 5, 7]
+        np.testing.assert_array_equal(d[4, [1, 3, 5, 7]], [-1, -1, -1, -1])
+
+    def test_2d_symmetry_and_scaling(self):
+        A = fd_laplacian_2d(4, 6)
+        assert A.is_symmetric(tol=1e-14)
+        np.testing.assert_allclose(A.diagonal(), np.ones(24))
+
+    def test_2d_matches_kron_construction(self):
+        nx, ny = 4, 5
+        A = fd_laplacian_2d(nx, ny, scaled=False).to_dense()
+        T = lambda k: 2 * np.eye(k) - np.eye(k, k=1) - np.eye(k, k=-1)
+        expected = np.kron(T(nx), np.eye(ny)) + np.kron(np.eye(nx), T(ny))
+        np.testing.assert_array_equal(A, expected)
+
+    def test_3d_stencil_count(self):
+        A = fd_laplacian_3d(3, 3, 3, scaled=False)
+        assert A.nrows == 27
+        d = A.to_dense()
+        np.testing.assert_array_equal(np.diag(d), np.full(27, 6.0))
+        # Center node has 6 neighbors.
+        center = 13
+        assert np.count_nonzero(d[center]) == 7
+
+    def test_3d_wdd_spd(self):
+        A = fd_laplacian_3d(3, 4, 2)
+        assert is_weakly_diagonally_dominant(A)
+        assert is_spd(A)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_sizes(self, bad):
+        with pytest.raises(ShapeError):
+            fd_laplacian_1d(bad)
+        with pytest.raises(ShapeError):
+            fd_laplacian_2d(bad, 3)
+        with pytest.raises(ShapeError):
+            fd_laplacian_3d(2, bad, 2)
+
+
+class TestNearSquareGrid:
+    @pytest.mark.parametrize("n,expected", [(16, (4, 4)), (12, (4, 3)), (7, (7, 1)), (1, (1, 1))])
+    def test_factors(self, n, expected):
+        assert near_square_grid(n) == expected
+
+    def test_product_preserved(self):
+        for n in range(1, 60):
+            a, b = near_square_grid(n)
+            assert a * b == n
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            near_square_grid(0)

@@ -1,0 +1,116 @@
+"""Matrix property analysis: W.D.D. checks, spectra, reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices.laplacian import fd_laplacian_1d, fd_laplacian_2d
+from repro.matrices.properties import (
+    analyze,
+    is_irreducible,
+    is_spd,
+    is_weakly_diagonally_dominant,
+    jacobi_spectral_radius,
+    symmetric_extreme_eigenvalues,
+    wdd_fraction,
+    wdd_rows,
+)
+from repro.matrices.sparse import CSRMatrix
+
+
+class TestWDD:
+    def test_wdd_rows_exact(self):
+        dense = np.array([[2.0, -1.0, 0.0], [-1.0, 1.5, -1.0], [0.0, -3.0, 2.0]])
+        A = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(wdd_rows(A), [True, False, False])
+        assert not is_weakly_diagonally_dominant(A)
+        assert wdd_fraction(A) == pytest.approx(1 / 3)
+
+    def test_equality_counts_as_wdd(self):
+        dense = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        assert is_weakly_diagonally_dominant(CSRMatrix.from_dense(dense))
+
+    def test_fd_is_wdd(self, small_fd):
+        assert is_weakly_diagonally_dominant(small_fd)
+        assert wdd_fraction(small_fd) == 1.0
+
+
+class TestIrreducibility:
+    def test_connected_grid(self, small_fd):
+        assert is_irreducible(small_fd)
+
+    def test_block_diagonal_is_reducible(self):
+        dense = np.array(
+            [[2.0, -1.0, 0.0, 0.0], [-1.0, 2.0, 0.0, 0.0], [0.0, 0.0, 2.0, -1.0], [0.0, 0.0, -1.0, 2.0]]
+        )
+        assert not is_irreducible(CSRMatrix.from_dense(dense))
+
+    def test_single_row(self):
+        assert is_irreducible(CSRMatrix.from_dense(np.array([[1.0]])))
+
+    def test_diagonal_only(self):
+        assert not is_irreducible(CSRMatrix.from_dense(np.eye(3)))
+
+
+class TestSpectra:
+    def test_extreme_eigenvalues_match_dense(self, small_fd):
+        lmin, lmax = symmetric_extreme_eigenvalues(small_fd)
+        eigs = np.linalg.eigvalsh(small_fd.to_dense())
+        assert lmin == pytest.approx(eigs[0], abs=1e-6)
+        assert lmax == pytest.approx(eigs[-1], abs=1e-6)
+
+    def test_jacobi_radius_1d_analytic(self):
+        """For the scaled 1-D Laplacian, rho(G) = cos(pi/(n+1))."""
+        n = 12
+        A = fd_laplacian_1d(n)
+        rho = jacobi_spectral_radius(A)
+        assert rho == pytest.approx(np.cos(np.pi / (n + 1)), abs=1e-6)
+
+    def test_jacobi_radius_2d_analytic(self):
+        nx, ny = 5, 6
+        A = fd_laplacian_2d(nx, ny)
+        expected = (np.cos(np.pi / (nx + 1)) + np.cos(np.pi / (ny + 1))) / 2
+        assert jacobi_spectral_radius(A) == pytest.approx(expected, abs=1e-6)
+
+    def test_jacobi_radius_nonsymmetric_fallback(self):
+        dense = np.array([[2.0, 1.0], [0.0, 2.0]])
+        A = CSRMatrix.from_dense(dense)
+        G = np.eye(2) - np.diag(1 / np.diag(dense)) @ dense
+        expected = np.max(np.abs(np.linalg.eigvals(G)))
+        assert jacobi_spectral_radius(A) == pytest.approx(expected, abs=1e-6)
+
+
+class TestSPD:
+    def test_fd_spd(self, small_fd):
+        assert is_spd(small_fd)
+
+    def test_indefinite(self):
+        assert not is_spd(CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, -1.0]])))
+
+    def test_nonsymmetric(self):
+        assert not is_spd(CSRMatrix.from_dense(np.array([[1.0, 0.5], [0.0, 1.0]])))
+
+
+class TestAnalyze:
+    def test_report_fields(self, small_fd):
+        rep = analyze(small_fd, name="fd")
+        assert rep.name == "fd"
+        assert rep.nrows == small_fd.nrows
+        assert rep.nnz == small_fd.nnz
+        assert rep.symmetric and rep.wdd and rep.irreducible
+        assert rep.jacobi_converges
+        assert 0 < rep.jacobi_rho < 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+def test_property_sdd_implies_jacobi_radius_below_one(n, seed):
+    """Strict diagonal dominance => rho(G) < 1 (classical theorem)."""
+    rng = np.random.default_rng(seed)
+    off = rng.standard_normal((n, n))
+    np.fill_diagonal(off, 0.0)
+    row_sums = np.sum(np.abs(off), axis=1)
+    dense = off + np.diag(row_sums + rng.uniform(0.1, 1.0, n))
+    A = CSRMatrix.from_dense(dense)
+    assert is_weakly_diagonally_dominant(A)
+    assert jacobi_spectral_radius(A, iters=4000) < 1.0 + 1e-9

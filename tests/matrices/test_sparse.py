@@ -1,0 +1,238 @@
+"""CSRMatrix kernels, validated against dense NumPy and scipy oracles."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices.sparse import CSRMatrix, _concat_ranges
+from repro.util.errors import ShapeError, SingularMatrixError
+
+
+def _random_dense(rng, n, m, density=0.3):
+    dense = np.where(rng.random((n, m)) < density, rng.standard_normal((n, m)), 0.0)
+    return dense
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = _random_dense(rng, 7, 9)
+        A = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(A.to_dense(), dense)
+
+    def test_from_coo_sums_duplicates(self):
+        A = CSRMatrix.from_coo([0, 0, 1], [1, 1, 0], [2.0, 3.0, 4.0], (2, 2))
+        expected = np.array([[0.0, 5.0], [4.0, 0.0]])
+        np.testing.assert_array_equal(A.to_dense(), expected)
+
+    def test_from_coo_empty(self):
+        A = CSRMatrix.from_coo([], [], [], (3, 3))
+        assert A.nnz == 0
+        np.testing.assert_array_equal(A.to_dense(), np.zeros((3, 3)))
+
+    def test_identity(self):
+        I = CSRMatrix.identity(5)
+        np.testing.assert_array_equal(I.to_dense(), np.eye(5))
+
+    def test_scipy_roundtrip(self, rng):
+        dense = _random_dense(rng, 6, 6)
+        A = CSRMatrix.from_dense(dense)
+        back = CSRMatrix.from_scipy(A.to_scipy())
+        assert back == A
+
+    def test_rejects_unsorted_columns(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix([0, 2], [1, 0], [1.0, 2.0], (1, 2))
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix([0, 2], [1, 1], [1.0, 2.0], (1, 2))
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix([0, 2, 1], [0, 1], [1.0, 2.0], (2, 2))
+
+    def test_rejects_out_of_range_columns(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_coo([0], [5], [1.0], (2, 2))
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_coo([7], [0], [1.0], (2, 2))
+
+
+class TestKernels:
+    def test_matvec_matches_dense(self, rng):
+        dense = _random_dense(rng, 11, 13)
+        A = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(13)
+        np.testing.assert_allclose(A @ x, dense @ x, rtol=1e-13)
+
+    def test_matvec_empty_rows(self):
+        A = CSRMatrix.from_coo([1], [0], [3.0], (3, 2))
+        np.testing.assert_array_equal(A @ np.array([2.0, 1.0]), [0.0, 6.0, 0.0])
+
+    def test_matvec_shape_error(self, small_fd):
+        with pytest.raises(ShapeError):
+            small_fd.matvec(np.zeros(small_fd.ncols + 1))
+
+    def test_matmul_dense_matrix(self, rng):
+        dense = _random_dense(rng, 5, 6)
+        A = CSRMatrix.from_dense(dense)
+        X = rng.standard_normal((6, 3))
+        np.testing.assert_allclose(A @ X, dense @ X, rtol=1e-13)
+
+    def test_row_matvec_matches_slice(self, rng):
+        dense = _random_dense(rng, 12, 12)
+        A = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(12)
+        rows = np.array([0, 3, 7, 11])
+        np.testing.assert_allclose(A.row_matvec(rows, x), dense[rows] @ x, rtol=1e-13)
+
+    def test_row_matvec_empty(self, small_fd, rng):
+        out = small_fd.row_matvec(np.array([], dtype=np.int64), rng.standard_normal(small_fd.ncols))
+        assert out.shape == (0,)
+
+    def test_row_slice(self, rng):
+        dense = _random_dense(rng, 8, 5)
+        A = CSRMatrix.from_dense(dense)
+        rows = np.array([6, 2, 2, 0])
+        np.testing.assert_array_equal(A.row_slice(rows).to_dense(), dense[rows])
+
+    def test_submatrix_principal(self, rng):
+        dense = _random_dense(rng, 10, 10)
+        A = CSRMatrix.from_dense(dense)
+        keep = np.array([1, 4, 5, 9])
+        np.testing.assert_array_equal(
+            A.submatrix(keep).to_dense(), dense[np.ix_(keep, keep)]
+        )
+
+    def test_submatrix_rectangular(self, rng):
+        dense = _random_dense(rng, 6, 8)
+        A = CSRMatrix.from_dense(dense)
+        rows = np.array([0, 5])
+        cols = np.array([7, 1, 3])
+        np.testing.assert_array_equal(
+            A.submatrix(rows, cols).to_dense(), dense[np.ix_(rows, cols)]
+        )
+
+    def test_diagonal(self, rng):
+        dense = _random_dense(rng, 7, 7)
+        A = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(A.diagonal(), np.diag(dense))
+
+    def test_transpose(self, rng):
+        dense = _random_dense(rng, 5, 9)
+        A = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(A.transpose().to_dense(), dense.T)
+
+    def test_scale_rows_and_columns(self, rng):
+        dense = _random_dense(rng, 6, 6)
+        A = CSRMatrix.from_dense(dense)
+        s = rng.uniform(0.5, 2.0, 6)
+        np.testing.assert_allclose(A.scale_rows(s).to_dense(), np.diag(s) @ dense)
+        np.testing.assert_allclose(A.scale_columns(s).to_dense(), dense @ np.diag(s))
+
+    def test_add_scaled_identity(self, rng):
+        dense = _random_dense(rng, 6, 6)
+        A = CSRMatrix.from_dense(dense)
+        out = A.add_scaled_identity(2.5, beta=0.5)
+        np.testing.assert_allclose(out.to_dense(), 0.5 * dense + 2.5 * np.eye(6))
+
+    def test_off_diagonal_row_sums(self, rng):
+        dense = _random_dense(rng, 8, 8)
+        A = CSRMatrix.from_dense(dense)
+        expected = np.sum(np.abs(dense), axis=1) - np.abs(np.diag(dense))
+        np.testing.assert_allclose(A.off_diagonal_row_sums(), expected, rtol=1e-13)
+
+    def test_neighbors_excludes_diagonal(self, small_fd):
+        for i in (0, small_fd.nrows // 2, small_fd.nrows - 1):
+            nbrs = small_fd.neighbors(i)
+            assert i not in nbrs
+            cols, _ = small_fd.row_entries(i)
+            assert set(nbrs) == set(cols) - {i}
+
+
+class TestTransformations:
+    def test_unit_diagonal_scaling(self, rng):
+        dense = _random_dense(rng, 7, 7)
+        dense = dense + dense.T + 10 * np.eye(7)
+        A = CSRMatrix.from_dense(dense)
+        scaled, dsqrt = A.unit_diagonal_scaled()
+        np.testing.assert_allclose(scaled.diagonal(), np.ones(7), atol=1e-12)
+        # D^{1/2} (SAS) D^{1/2} == A
+        recon = scaled.scale_rows(dsqrt).scale_columns(dsqrt)
+        np.testing.assert_allclose(recon.to_dense(), dense, rtol=1e-12)
+
+    def test_unit_diagonal_requires_positive_diagonal(self):
+        A = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, -2.0]]))
+        with pytest.raises(SingularMatrixError):
+            A.unit_diagonal_scaled()
+
+    def test_jacobi_iteration_matrix(self, rng):
+        dense = _random_dense(rng, 6, 6) + 5 * np.eye(6)
+        A = CSRMatrix.from_dense(dense)
+        G = A.jacobi_iteration_matrix()
+        expected = np.eye(6) - np.diag(1.0 / np.diag(dense)) @ dense
+        np.testing.assert_allclose(G.to_dense(), expected, rtol=1e-12, atol=1e-14)
+
+    def test_jacobi_iteration_matrix_zero_diag(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SingularMatrixError):
+            A.jacobi_iteration_matrix()
+
+    def test_is_symmetric(self, small_fd, rng):
+        assert small_fd.is_symmetric()
+        dense = _random_dense(rng, 5, 5)
+        dense[0, 1], dense[1, 0] = 1.0, 2.0
+        assert not CSRMatrix.from_dense(dense).is_symmetric()
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = _concat_ranges(np.array([2, 10]), np.array([3, 2]))
+        np.testing.assert_array_equal(out, [2, 3, 4, 10, 11])
+
+    def test_empty_segments(self):
+        out = _concat_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        np.testing.assert_array_equal(out, [7, 8])
+
+    def test_all_empty(self):
+        assert _concat_ranges(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 2**31 - 1))
+def test_property_dense_roundtrip_and_matvec(n, m, seed):
+    """Round-trip and SpMV agree with dense for arbitrary shapes."""
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((n, m)) < 0.4, rng.standard_normal((n, m)), 0.0)
+    A = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(A.to_dense(), dense)
+    x = rng.standard_normal(m)
+    np.testing.assert_allclose(A @ x, dense @ x, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 2**31 - 1))
+def test_property_transpose_involution(n, seed):
+    """Transposing twice is the identity; matches scipy's transpose."""
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((n, n)) < 0.4, rng.standard_normal((n, n)), 0.0)
+    A = CSRMatrix.from_dense(dense)
+    assert A.transpose().transpose() == A
+    st_dense = sp.csr_matrix(dense).T.toarray()
+    np.testing.assert_array_equal(A.transpose().to_dense(), st_dense)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 2**31 - 1))
+def test_property_row_matvec_consistent_with_matvec(n, seed):
+    """row_matvec over all rows equals matvec."""
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((n, n)) < 0.5, rng.standard_normal((n, n)), 0.0)
+    A = CSRMatrix.from_dense(dense)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(
+        A.row_matvec(np.arange(n), x), A @ x, rtol=1e-12, atol=1e-12
+    )

@@ -1,0 +1,113 @@
+"""General stencils: anisotropy, variable coefficients, 9-point."""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration import greedy_coloring
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.matrices.properties import is_spd, jacobi_spectral_radius
+from repro.matrices.stencil import (
+    anisotropic_laplacian_2d,
+    nine_point_laplacian_2d,
+    variable_coefficient_laplacian_2d,
+)
+from repro.util.errors import ShapeError
+
+
+class TestAnisotropic:
+    def test_eps_one_is_plain_laplacian(self):
+        assert anisotropic_laplacian_2d(5, 6, eps=1.0) == fd_laplacian_2d(5, 6)
+
+    def test_unscaled_stencil_values(self):
+        A = anisotropic_laplacian_2d(3, 3, eps=0.25, scaled=False)
+        d = A.to_dense()
+        assert d[4, 4] == pytest.approx(2.5)  # 2 (eps + 1)
+        assert d[4, 1] == pytest.approx(-0.25)  # x-neighbor
+        assert d[4, 3] == pytest.approx(-1.0)  # y-neighbor
+
+    def test_spd(self):
+        assert is_spd(anisotropic_laplacian_2d(5, 5, eps=0.1))
+
+    def test_scaled_radius_is_eps_invariant(self):
+        """After unit-diagonal scaling, rho(G) = (eps cos(pi h) + cos(pi h))
+        / (1 + eps) = cos(pi h): anisotropy does not change the Jacobi
+        radius — it redistributes the coupling onto the strong direction."""
+        iso = jacobi_spectral_radius(anisotropic_laplacian_2d(8, 8, eps=1.0))
+        strong = jacobi_spectral_radius(anisotropic_laplacian_2d(8, 8, eps=0.01))
+        assert strong == pytest.approx(iso, abs=1e-3)
+
+    def test_strong_anisotropy_nearly_decouples_lines(self):
+        """eps -> 0 shrinks the scaled x-couplings toward zero: the domain
+        behaves like independent y-lines (the decoupling that makes line
+        and block methods win on anisotropic problems)."""
+        A = anisotropic_laplacian_2d(6, 6, eps=1e-3)
+        dense = A.to_dense()
+        x_coupling = abs(dense[0, 6])  # neighbor along x (stride ny=6)
+        y_coupling = abs(dense[0, 1])
+        assert x_coupling < 0.01 * y_coupling
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            anisotropic_laplacian_2d(4, 4, eps=0.0)
+
+
+class TestVariableCoefficient:
+    def test_constant_coefficient_matches_laplacian(self):
+        A = variable_coefficient_laplacian_2d(4, 5, coefficient=lambda x, y: 1.0)
+        B = fd_laplacian_2d(4, 5, scaled=False)
+        np.testing.assert_allclose(A.to_dense(), B.to_dense(), atol=1e-13)
+
+    def test_symmetric_m_matrix(self):
+        A = variable_coefficient_laplacian_2d(6, 6, seed=1, contrast=2.0)
+        assert A.is_symmetric(tol=1e-12)
+        dense = A.to_dense()
+        off = dense - np.diag(np.diag(dense))
+        assert np.all(off <= 0)  # M-matrix sign pattern
+        assert np.all(np.diag(dense) > 0)
+
+    def test_spd_with_high_contrast(self):
+        assert is_spd(variable_coefficient_laplacian_2d(5, 5, seed=2, contrast=3.0))
+
+    def test_deterministic_random_field(self):
+        a = variable_coefficient_laplacian_2d(5, 5, seed=3)
+        b = variable_coefficient_laplacian_2d(5, 5, seed=3)
+        assert a == b
+
+    def test_rejects_nonpositive_coefficient(self):
+        with pytest.raises(ValueError):
+            variable_coefficient_laplacian_2d(3, 3, coefficient=lambda x, y: -1.0)
+
+    def test_jacobi_converges_after_scaling(self, rng):
+        A = variable_coefficient_laplacian_2d(8, 8, seed=4, contrast=1.5, scaled=True)
+        assert jacobi_spectral_radius(A) < 1.0
+
+
+class TestNinePoint:
+    def test_stencil_weights(self):
+        A = nine_point_laplacian_2d(3, 3, scaled=False)
+        d = A.to_dense()
+        assert d[4, 4] == pytest.approx(20.0 / 6.0)
+        assert d[4, 1] == pytest.approx(-4.0 / 6.0)  # edge neighbor
+        assert d[4, 0] == pytest.approx(-1.0 / 6.0)  # corner neighbor
+        assert np.count_nonzero(d[4]) == 9
+
+    def test_symmetric_spd(self):
+        A = nine_point_laplacian_2d(5, 4)
+        assert A.is_symmetric(tol=1e-12)
+        assert is_spd(A)
+
+    def test_needs_four_colors(self):
+        """Corner couplings break bipartiteness: greedy coloring uses 4."""
+        A = nine_point_laplacian_2d(6, 6)
+        assert greedy_coloring(A).max() + 1 == 4
+
+    def test_jacobi_converges(self):
+        assert jacobi_spectral_radius(nine_point_laplacian_2d(8, 8)) < 1.0
+
+
+class TestValidation:
+    def test_bad_grid(self):
+        with pytest.raises(ShapeError):
+            anisotropic_laplacian_2d(0, 3)
+        with pytest.raises(ShapeError):
+            nine_point_laplacian_2d(3, -1)

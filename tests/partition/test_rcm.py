@@ -1,0 +1,102 @@
+"""RCM ordering and bandwidth, plus the Chazan-Miranker criterion."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.laplacian import fd_laplacian_1d, fd_laplacian_2d
+from repro.matrices.properties import (
+    chazan_miranker_converges,
+    chazan_miranker_radius,
+    jacobi_spectral_radius,
+)
+from repro.matrices.sparse import CSRMatrix
+from repro.partition.partitioner import bandwidth, contiguous_partition, edge_cut, rcm_ordering
+
+
+class TestRCM:
+    def test_is_permutation(self, small_fd):
+        perm = rcm_ordering(small_fd)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(small_fd.nrows))
+
+    def test_reduces_bandwidth_of_shuffled_grid(self, rng):
+        """Scramble a grid, then RCM: the bandwidth comes back down."""
+        A = fd_laplacian_2d(7, 7)
+        shuffle = rng.permutation(A.nrows)
+        shuffled = A.submatrix(shuffle)
+        perm = rcm_ordering(shuffled)
+        restored = shuffled.submatrix(perm)
+        assert bandwidth(restored) < bandwidth(shuffled)
+        assert bandwidth(restored) <= 2 * bandwidth(A)
+
+    def test_chain_gets_optimal_bandwidth(self):
+        """A path graph reordered by RCM must have bandwidth 1."""
+        rng = np.random.default_rng(5)
+        A = fd_laplacian_1d(20)
+        shuffled = A.submatrix(rng.permutation(20))
+        restored = shuffled.submatrix(rcm_ordering(shuffled))
+        assert bandwidth(restored) == 1
+
+    def test_disconnected_graph_covered(self):
+        dense = np.eye(4)
+        dense[0, 1] = dense[1, 0] = -0.5
+        A = CSRMatrix.from_dense(dense)
+        perm = rcm_ordering(A)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(4))
+
+    def test_improves_contiguous_partition_cut(self, rng):
+        """RCM + contiguous blocks approximates a real graph partition."""
+        A = fd_laplacian_2d(10, 10)
+        shuffled = A.submatrix(rng.permutation(A.nrows))
+        labels = contiguous_partition(A.nrows, 5)
+        cut_before = edge_cut(shuffled, labels)
+        reordered = shuffled.submatrix(rcm_ordering(shuffled))
+        cut_after = edge_cut(reordered, labels)
+        assert cut_after < cut_before
+
+
+class TestBandwidth:
+    def test_diagonal(self):
+        assert bandwidth(CSRMatrix.identity(4)) == 0
+
+    def test_tridiagonal(self):
+        assert bandwidth(fd_laplacian_1d(6)) == 1
+
+    def test_empty(self):
+        assert bandwidth(CSRMatrix.from_coo([], [], [], (3, 3))) == 0
+
+
+class TestChazanMiranker:
+    def test_wdd_matrix_guaranteed(self, small_fd):
+        """Strictly dominant rows exist: rho(|G|) < 1 for the FD matrix."""
+        assert chazan_miranker_converges(small_fd)
+
+    def test_radius_at_least_jacobi_radius(self, small_fd):
+        assert (
+            chazan_miranker_radius(small_fd)
+            >= jacobi_spectral_radius(small_fd) - 1e-8
+        )
+
+    def test_equal_for_nonnegative_off_diagonal(self):
+        """When G = |G| (all off-diagonal entries of A nonpositive),
+        the two radii coincide — true for the FD Laplacians."""
+        A = fd_laplacian_1d(15)
+        assert chazan_miranker_radius(A) == pytest.approx(
+            jacobi_spectral_radius(A), abs=1e-6
+        )
+
+    def test_sign_sensitive(self, rng):
+        """Mixed signs can push rho(|G|) above 1 while rho(G) stays below —
+        the gap the paper's transient analysis lives in."""
+        n = 12
+        off = rng.standard_normal((n, n)) * 0.35
+        off = (off + off.T) / 2
+        np.fill_diagonal(off, 0.0)
+        A = CSRMatrix.from_dense(np.eye(n) + off)
+        assert chazan_miranker_radius(A) >= jacobi_spectral_radius(A) - 1e-8
+
+    def test_dense_oracle(self, random_csr):
+        G = random_csr.jacobi_iteration_matrix().to_dense()
+        expected = float(np.max(np.abs(np.linalg.eigvals(np.abs(G)))))
+        assert chazan_miranker_radius(random_csr, iters=6000) == pytest.approx(
+            expected, abs=1e-5
+        )

@@ -1,0 +1,106 @@
+"""Domain decomposition: ownership, neighbors, ghost-layer symmetry."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.partition.partitioner import bfs_bisection_partition, contiguous_partition
+from repro.partition.subdomain import DomainDecomposition
+from repro.util.errors import PartitionError
+
+
+@pytest.fixture
+def decomposition():
+    A = fd_laplacian_2d(8, 8)
+    labels = bfs_bisection_partition(A, 5)
+    return A, DomainDecomposition(A, labels)
+
+
+class TestDecomposition:
+    def test_rows_partition_exactly(self, decomposition):
+        A, dd = decomposition
+        all_rows = np.concatenate([s.rows for s in dd])
+        np.testing.assert_array_equal(np.sort(all_rows), np.arange(A.nrows))
+
+    def test_local_matrix_is_row_slice(self, decomposition):
+        A, dd = decomposition
+        for sub in dd:
+            np.testing.assert_array_equal(
+                sub.matrix.to_dense(), A.to_dense()[sub.rows]
+            )
+
+    def test_send_recv_mirror(self, decomposition):
+        """p's receive list from q is exactly q's send list to p."""
+        _, dd = decomposition
+        for sub in dd:
+            for q, cols in sub.recv_from.items():
+                np.testing.assert_array_equal(dd[q].send_to[sub.rank], cols)
+
+    def test_ghosts_cover_external_columns(self, decomposition):
+        """Every off-part column of a subdomain's rows is a ghost."""
+        A, dd = decomposition
+        for sub in dd:
+            own = set(sub.rows.tolist())
+            ghosts = set(sub.ghost_columns.tolist())
+            for i in sub.rows:
+                for j in A.neighbors(i):
+                    if int(j) not in own:
+                        assert int(j) in ghosts
+
+    def test_ghost_owners_correct(self, decomposition):
+        _, dd = decomposition
+        labels = dd.labels
+        for sub in dd:
+            for q, cols in sub.recv_from.items():
+                assert np.all(labels[cols] == q)
+
+    def test_neighbors_symmetric(self, decomposition):
+        """Symmetric matrix => the neighbor relation is symmetric."""
+        _, dd = decomposition
+        for sub in dd:
+            for q in sub.neighbors:
+                assert sub.rank in dd[q].neighbors
+
+    def test_metrics(self, decomposition):
+        A, dd = decomposition
+        assert dd.total_ghost_values() > 0
+        assert dd.max_local_nnz() <= A.nnz
+        assert sum(s.local_nnz() for s in dd) == A.nnz
+
+    def test_single_part_has_no_ghosts(self):
+        A = fd_laplacian_2d(4, 4)
+        dd = DomainDecomposition(A, np.zeros(16, dtype=np.int64))
+        assert dd[0].ghost_columns.size == 0
+        assert dd[0].neighbors == []
+
+    def test_contiguous_labels(self):
+        A = fd_laplacian_2d(6, 6)
+        dd = DomainDecomposition(A, contiguous_partition(36, 4))
+        assert len(dd) == 4
+        for sub in dd:
+            assert np.all(np.diff(sub.rows) == 1)
+
+
+class TestValidation:
+    def test_rejects_rectangular(self):
+        from repro.matrices.sparse import CSRMatrix
+
+        A = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(PartitionError):
+            DomainDecomposition(A, np.zeros(2, dtype=np.int64))
+
+    def test_rejects_wrong_label_length(self, small_fd):
+        with pytest.raises(PartitionError):
+            DomainDecomposition(small_fd, np.zeros(3, dtype=np.int64))
+
+    def test_rejects_empty_part(self, small_fd):
+        labels = np.zeros(small_fd.nrows, dtype=np.int64)
+        labels[0] = 2  # part 1 empty
+        with pytest.raises(PartitionError, match="own no rows"):
+            DomainDecomposition(small_fd, labels)
+
+    def test_rejects_negative_labels(self, small_fd):
+        labels = np.zeros(small_fd.nrows, dtype=np.int64)
+        labels[0] = -1
+        with pytest.raises(PartitionError):
+            DomainDecomposition(small_fd, labels)

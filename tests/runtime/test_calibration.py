@@ -1,0 +1,117 @@
+"""Machine-model calibration fits."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.calibration import (
+    CalibrationError,
+    calibrated_machine,
+    fit_barrier_costs,
+    fit_compute_costs,
+)
+from repro.runtime.machine import KNL
+
+
+def synthetic_compute_samples(c1, c2, c3, rng, noise=0.0):
+    samples = []
+    for nnz, rows in [(100, 10), (500, 50), (2000, 100), (50, 5), (5000, 400)]:
+        t = nnz * c1 + rows * c2 + c3
+        if noise:
+            t *= 1.0 + noise * rng.standard_normal()
+        samples.append((nnz, rows, t))
+    return samples
+
+
+class TestComputeFit:
+    def test_recovers_exact_parameters(self, rng):
+        fit = fit_compute_costs(synthetic_compute_samples(2e-9, 5e-9, 1e-6, rng))
+        assert fit.time_per_nnz == pytest.approx(2e-9, rel=1e-6)
+        assert fit.time_per_row == pytest.approx(5e-9, rel=1e-6)
+        assert fit.iteration_overhead == pytest.approx(1e-6, rel=1e-6)
+        assert fit.relative_rms < 1e-9
+
+    def test_noisy_fit_close(self, rng):
+        fit = fit_compute_costs(
+            synthetic_compute_samples(2e-9, 5e-9, 1e-6, rng, noise=0.02)
+        )
+        assert fit.time_per_nnz == pytest.approx(2e-9, rel=0.3)
+        assert fit.relative_rms < 0.1
+
+    def test_clamps_negative_coefficients(self, rng):
+        # Pure-overhead timings: nnz/rows coefficients unidentifiable but
+        # never negative.
+        samples = [(100, 10, 1e-6), (500, 50, 1e-6), (2000, 100, 1e-6), (50, 5, 1e-6)]
+        fit = fit_compute_costs(samples)
+        assert fit.time_per_nnz >= 0 and fit.time_per_row >= 0
+
+    def test_too_few_samples(self):
+        with pytest.raises(CalibrationError):
+            fit_compute_costs([(1, 1, 1.0), (2, 2, 2.0)])
+
+    def test_degenerate_samples(self):
+        # rows always nnz/10: rank deficient.
+        samples = [(100, 10, 1.0), (200, 20, 2.0), (300, 30, 3.0)]
+        with pytest.raises(CalibrationError):
+            fit_compute_costs(samples)
+
+    def test_bad_shape(self):
+        with pytest.raises(CalibrationError):
+            fit_compute_costs([(1.0, 2.0)])
+
+
+class TestBarrierFit:
+    def test_recovers_log_model_below_cores(self):
+        base, coeff = 1e-6, 0.5e-6
+        samples = [(T, base + coeff * np.log2(T)) for T in (2, 4, 8, 16, 32, 64)]
+        fit = fit_barrier_costs(samples, cores=68)
+        assert fit.barrier_base == pytest.approx(base, rel=1e-6)
+        assert fit.barrier_log_coeff == pytest.approx(coeff, rel=1e-6)
+        assert fit.barrier_oversub_exp == 0.0
+
+    def test_recovers_oversubscription_exponent(self):
+        base, coeff, p, cores = 1e-6, 0.5e-6, 2.0, 68
+        samples = []
+        for T in (4, 16, 68, 136, 272):
+            t = (base + coeff * np.log2(T)) * max(1.0, T / cores) ** p
+            samples.append((T, t))
+        fit = fit_barrier_costs(samples, cores=cores)
+        assert fit.barrier_oversub_exp == pytest.approx(p, abs=0.06)
+        assert fit.relative_rms < 0.02
+
+    def test_too_few(self):
+        with pytest.raises(CalibrationError):
+            fit_barrier_costs([(4, 1e-6)], cores=8)
+
+    def test_bad_threads(self):
+        with pytest.raises(CalibrationError):
+            fit_barrier_costs([(0, 1e-6), (2, 2e-6)], cores=8)
+
+
+class TestCalibratedMachine:
+    def test_bundles_fits(self, rng):
+        compute = synthetic_compute_samples(3e-9, 6e-9, 2e-6, rng)
+        barrier = [(T, 1e-6 * (1 + np.log2(T))) for T in (2, 8, 32)]
+        m = calibrated_machine(KNL, compute, barrier, name="fitted")
+        assert m.name == "fitted"
+        assert m.time_per_nnz == pytest.approx(3e-9, rel=1e-6)
+        assert m.barrier_base == pytest.approx(1e-6, rel=1e-4)
+        # Untouched fields survive.
+        assert m.cores == KNL.cores
+        assert m.jitter_sigma == KNL.jitter_sigma
+
+    def test_partial_calibration(self):
+        m = calibrated_machine(KNL, barrier_samples=[(2, 1e-6), (8, 2e-6), (32, 3e-6)])
+        assert m.time_per_nnz == KNL.time_per_nnz  # compute untouched
+
+    def test_fitted_machine_usable_in_simulator(self, rng):
+        """End to end: fit a machine, run the simulator with it."""
+        from repro.matrices.laplacian import fd_laplacian_2d
+        from repro.runtime.shared import SharedMemoryJacobi
+
+        compute = synthetic_compute_samples(5e-9, 1e-8, 3e-6, rng)
+        m = calibrated_machine(KNL, compute)
+        A = fd_laplacian_2d(6, 6)
+        b = rng.uniform(-1, 1, 36)
+        sim = SharedMemoryJacobi(A, b, n_threads=6, machine=m, seed=0)
+        res = sim.run_async(tol=1e-4, max_iterations=20_000)
+        assert res.converged

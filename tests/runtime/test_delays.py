@@ -1,0 +1,90 @@
+"""Delay models: injected sleeps, stragglers, hangs, stalls."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.delays import (
+    CompositeDelay,
+    ConstantDelay,
+    DelayModel,
+    HangDelay,
+    NO_DELAY,
+    StochasticStall,
+    StragglerDelay,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBaseAndConstant:
+    def test_no_delay(self, rng):
+        assert NO_DELAY.extra_time(0, 0, rng) == 0.0
+        assert not NO_DELAY.is_hung(0, 1e9)
+
+    def test_constant_only_targets_selected(self, rng):
+        d = ConstantDelay({3: 5e-4})
+        assert d.extra_time(3, 0, rng) == 5e-4
+        assert d.extra_time(2, 0, rng) == 0.0
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantDelay({0: -1.0})
+
+
+class TestStraggler:
+    def test_slowdown_factors(self):
+        d = StragglerDelay({1: 2.5})
+        assert d.slowdown(1) == 2.5
+        assert d.slowdown(0) == 1.0
+
+    def test_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            StragglerDelay({0: 0.5})
+
+
+class TestHang:
+    def test_hang_after_time(self):
+        d = HangDelay({2: 1.0})
+        assert not d.is_hung(2, 0.5)
+        assert d.is_hung(2, 1.0)
+        assert not d.is_hung(0, 100.0)
+
+
+class TestStochasticStall:
+    def test_mean_stall(self, rng):
+        d = StochasticStall(prob=0.5, mean_stall=1.0)
+        samples = [d.extra_time(0, k, rng) for k in range(4000)]
+        frac_stalled = np.mean([s > 0 for s in samples])
+        assert 0.45 < frac_stalled < 0.55
+        stalls = [s for s in samples if s > 0]
+        assert 0.8 < np.mean(stalls) < 1.2
+
+    def test_agent_scoping(self, rng):
+        d = StochasticStall(prob=1.0, mean_stall=1.0, agents=[7])
+        assert d.extra_time(0, 0, rng) == 0.0
+        assert d.extra_time(7, 0, rng) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StochasticStall(prob=1.5, mean_stall=1.0)
+        with pytest.raises(ValueError):
+            StochasticStall(prob=0.5, mean_stall=-1.0)
+
+
+class TestComposite:
+    def test_sums_extra_time(self, rng):
+        d = CompositeDelay(ConstantDelay({0: 1.0}), ConstantDelay({0: 2.0}))
+        assert d.extra_time(0, 0, rng) == 3.0
+
+    def test_any_hang(self, rng):
+        d = CompositeDelay(ConstantDelay({0: 1.0}), HangDelay({1: 0.0}))
+        assert d.is_hung(1, 0.0)
+        assert not d.is_hung(0, 0.0)
+
+    def test_slowdown_product(self):
+        d = CompositeDelay(StragglerDelay({0: 2.0}), StragglerDelay({0: 3.0}))
+        assert d.slowdown(0) == 6.0
+        assert d.slowdown(1) == 1.0

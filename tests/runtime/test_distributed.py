@@ -1,0 +1,170 @@
+"""Distributed simulator: sync exactness, ghost correctness, failures."""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration import jacobi
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.matrices.suitesparse import dubcova2_like
+from repro.partition.partitioner import bfs_bisection_partition
+from repro.runtime.delays import ConstantDelay, HangDelay
+from repro.runtime.distributed import DistributedJacobi
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def system(rng):
+    A = fd_laplacian_2d(9, 9)
+    b = rng.uniform(-1, 1, 81)
+    x0 = rng.uniform(-1, 1, 81)
+    return A, b, x0
+
+
+class TestSyncMode:
+    def test_sync_is_exact_jacobi(self, system):
+        """Per-sweep ghost exchange makes distributed sync == global Jacobi,
+        independent of the partition."""
+        A, b, x0 = system
+        hist = jacobi(A, b, x0=x0, tol=1e-6, max_iterations=5000)
+        for ranks, part in ((3, "contiguous"), (7, "bfs")):
+            dj = DistributedJacobi(A, b, n_ranks=ranks, partition=part, seed=0)
+            res = dj.run_sync(x0=x0, tol=1e-6, max_iterations=5000)
+            assert res.iterations[0] == hist.iterations
+            np.testing.assert_allclose(res.x, hist.x, rtol=1e-12)
+
+    def test_sync_time_grows_with_ranks(self, system):
+        """Allreduce + slowest-rank waiting: more ranks, more sync cost for a
+        small fixed problem (Fig. 8's sync curves)."""
+        A, b, x0 = system
+        t = []
+        for ranks in (2, 10):
+            dj = DistributedJacobi(A, b, n_ranks=ranks, seed=0)
+            t.append(dj.run_sync(x0=x0, tol=1e-4).total_time)
+        assert t[1] > t[0] * 0.8  # never collapses; typically grows
+
+
+class TestAsyncMode:
+    def test_converges_to_solution(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=6, seed=0)
+        res = dj.run_async(x0=x0, tol=1e-8, max_iterations=50_000)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-5)
+
+    def test_single_rank_equals_jacobi(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=1, seed=0)
+        res = dj.run_async(x0=x0, tol=1e-6, max_iterations=5000, observe_every=1)
+        hist = jacobi(A, b, x0=x0, tol=1e-6, max_iterations=5000)
+        assert res.iterations[0] == hist.iterations
+        np.testing.assert_allclose(res.x, hist.x, rtol=1e-12)
+
+    def test_deterministic_given_seed(self, system):
+        A, b, x0 = system
+        r1 = DistributedJacobi(A, b, n_ranks=5, seed=9).run_async(x0=x0, tol=1e-5)
+        r2 = DistributedJacobi(A, b, n_ranks=5, seed=9).run_async(x0=x0, tol=1e-5)
+        np.testing.assert_array_equal(r1.x, r2.x)
+
+    def test_async_faster_wall_clock(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=8, seed=0)
+        ta = dj.run_async(x0=x0, tol=1e-4, max_iterations=50_000).time_to_tolerance(1e-4)
+        ts = dj.run_sync(x0=x0, tol=1e-4, max_iterations=50_000).time_to_tolerance(1e-4)
+        assert ta < ts
+
+    def test_explicit_label_partition(self, system):
+        A, b, x0 = system
+        labels = bfs_bisection_partition(A, 4)
+        dj = DistributedJacobi(A, b, n_ranks=4, partition=labels, seed=0)
+        res = dj.run_async(x0=x0, tol=1e-5, max_iterations=20_000)
+        assert res.converged
+
+
+class TestFailureInjection:
+    def test_dropped_puts_still_converge(self, system):
+        """Lost ghost updates only delay information (racy overwrite
+        semantics): convergence survives heavy drop rates."""
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=6, seed=0, drop_probability=0.3)
+        res = dj.run_async(x0=x0, tol=1e-5, max_iterations=50_000)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-2)
+
+    def test_duplicated_puts_harmless(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=6, seed=0, duplicate_probability=0.5)
+        res = dj.run_async(x0=x0, tol=1e-5, max_iterations=50_000)
+        assert res.converged
+
+    def test_drops_slow_convergence(self, system):
+        A, b, x0 = system
+        clean = DistributedJacobi(A, b, n_ranks=6, seed=0)
+        lossy = DistributedJacobi(A, b, n_ranks=6, seed=0, drop_probability=0.6)
+        rc = clean.run_async(x0=x0, tol=1e-5, max_iterations=50_000)
+        rl = lossy.run_async(x0=x0, tol=1e-5, max_iterations=50_000)
+        assert rl.mean_iterations > rc.mean_iterations
+
+    def test_hung_rank_freezes_subdomain(self, system):
+        """A dead rank's rows freeze; the rest still reduce the residual."""
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=6, seed=0, delay=HangDelay({2: 0.0}))
+        res = dj.run_async(x0=x0, tol=1e-300, max_iterations=300)
+        assert res.iterations[2] == 0
+        assert res.residual_norms[-1] < 0.7 * res.residual_norms[0]
+
+    def test_delayed_rank_lags(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(
+            A, b, n_ranks=6, seed=0, delay=ConstantDelay({1: 2e-4})
+        )
+        res = dj.run_async(x0=x0, tol=1e-5, max_iterations=50_000)
+        assert res.converged
+        assert res.iterations[1] < np.delete(res.iterations, 1).min()
+
+    def test_probability_validation(self, system):
+        A, b, _ = system
+        with pytest.raises(ValueError):
+            DistributedJacobi(A, b, n_ranks=4, drop_probability=1.5)
+
+
+class TestPaperBehaviours:
+    def test_dubcova2_sync_fails_async_with_many_ranks_reduces(self, rng):
+        """The Figure 9 mechanism at small scale."""
+        A = dubcova2_like(400, stretch=6.0)
+        n = A.nrows
+        b = rng.uniform(-1, 1, n)
+        x0 = rng.uniform(-1, 1, n)
+        dj = DistributedJacobi(A, b, n_ranks=40, seed=13)
+        rs = dj.run_sync(x0=x0, tol=1e-3, max_iterations=400)
+        ra = dj.run_async(x0=x0, tol=1e-3, max_iterations=1200)
+        assert not rs.converged
+        assert rs.final_residual > rs.residual_norms[0]  # sync diverges
+        assert ra.final_residual < 0.1 * ra.residual_norms[0]  # async reduces
+
+
+class TestValidation:
+    def test_rank_bounds(self, system):
+        A, b, _ = system
+        with pytest.raises(ShapeError):
+            DistributedJacobi(A, b, n_ranks=0)
+        with pytest.raises(ShapeError):
+            DistributedJacobi(A, b, n_ranks=A.nrows + 1)
+
+    def test_bad_partition_name(self, system):
+        A, b, _ = system
+        with pytest.raises(ValueError):
+            DistributedJacobi(A, b, n_ranks=2, partition="magic")
+
+    def test_label_count_mismatch(self, system):
+        A, b, _ = system
+        labels = np.zeros(A.nrows, dtype=np.int64)
+        with pytest.raises(ShapeError):
+            DistributedJacobi(A, b, n_ranks=3, partition=labels)
+
+    def test_mode_dispatch(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=3, seed=0)
+        assert dj.run("sync", x0=x0, tol=1e-3).mode == "sync"
+        assert dj.run("async", x0=x0, tol=1e-3).mode == "async"
+        with pytest.raises(ValueError):
+            dj.run("chaotic")

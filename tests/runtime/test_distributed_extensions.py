@@ -1,0 +1,128 @@
+"""Distributed extensions: eager scheme, termination detection, damping."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.matrices.suitesparse import dubcova2_like
+from repro.runtime.distributed import DistributedJacobi
+from repro.util.norms import relative_residual_norm
+
+
+@pytest.fixture
+def system(rng):
+    A = fd_laplacian_2d(9, 9)
+    b = rng.uniform(-1, 1, 81)
+    x0 = rng.uniform(-1, 1, 81)
+    return A, b, x0
+
+
+class TestEagerScheme:
+    def test_eager_converges(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=8, seed=0)
+        res = dj.run_async(x0=x0, tol=1e-6, max_iterations=50_000, eager=True)
+        assert res.converged
+        assert res.mode == "eager"
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-3)
+
+    def test_eager_never_wastes_relaxations(self, system):
+        """Eager relaxes at most as many times as racy for the same target
+        (it skips iterations that would reuse identical information)."""
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=8, seed=0)
+        racy = dj.run_async(x0=x0, tol=1e-6, max_iterations=50_000)
+        eager = dj.run_async(x0=x0, tol=1e-6, max_iterations=50_000, eager=True)
+        assert eager.relaxation_counts[-1] <= racy.relaxation_counts[-1] * 1.05
+
+    def test_eager_with_heavy_drops_terminates(self, system):
+        """If all in-flight updates are lost, eager ranks go idle and the
+        simulation ends cleanly instead of spinning."""
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=8, seed=0, drop_probability=1.0)
+        res = dj.run_async(x0=x0, tol=1e-8, max_iterations=10_000, eager=True)
+        assert not res.converged
+        assert res.iterations.max() <= 3  # everyone starved almost instantly
+
+    def test_eager_single_rank_runs(self, system):
+        """A rank with no neighbors must not deadlock in eager mode."""
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=1, seed=0)
+        res = dj.run_async(x0=x0, tol=1e-4, max_iterations=5000, eager=True)
+        assert res.converged
+
+
+class TestTerminationDetection:
+    def test_detection_stops_near_target(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=8, seed=0)
+        tol = 1e-4
+        res = dj.run_async(
+            x0=x0, tol=tol, max_iterations=20_000, termination="detect"
+        )
+        # The detector fired: ranks stopped before the count cap...
+        assert res.iterations.max() < 20_000
+        # ...and the true residual is near the target (stale reports make
+        # the detector conservative by up to ~an iteration's progress).
+        true_res = relative_residual_norm(A, res.x, b)
+        assert true_res < 2 * tol
+
+    def test_detection_ranks_stop_at_different_counts(self, system):
+        """STOP messages arrive with network latency: ranks halt unevenly."""
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=8, seed=0)
+        res = dj.run_async(
+            x0=x0, tol=1e-4, max_iterations=20_000, termination="detect"
+        )
+        assert len(np.unique(res.iterations)) > 1
+
+    def test_unreachable_tolerance_falls_back_to_count(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=4, seed=0)
+        res = dj.run_async(
+            x0=x0, tol=1e-308, max_iterations=50, termination="detect"
+        )
+        assert not res.converged
+        assert res.iterations.max() == 50
+
+    def test_invalid_termination_name(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=4, seed=0)
+        with pytest.raises(ValueError):
+            dj.run_async(x0=x0, termination="oracle")
+
+
+class TestDamping:
+    def test_omega_validation(self, system):
+        A, b, _ = system
+        with pytest.raises(ValueError):
+            DistributedJacobi(A, b, n_ranks=4, omega=0.0)
+        with pytest.raises(ValueError):
+            DistributedJacobi(A, b, n_ranks=4, omega=2.0)
+
+    def test_damped_sync_matches_damped_jacobi(self, system):
+        """Distributed sync with omega == classical damped Jacobi sweeps."""
+        A, b, x0 = system
+        omega = 0.6
+        dj = DistributedJacobi(A, b, n_ranks=5, seed=0, omega=omega)
+        res = dj.run_sync(x0=x0, tol=1e-300, max_iterations=3)
+        dense = A.to_dense()
+        x = x0.copy()
+        d = np.diag(dense)
+        for _ in range(3):
+            x = x + omega * (b - dense @ x) / d
+        np.testing.assert_allclose(res.x, x, rtol=1e-12)
+
+    def test_damping_rescues_divergent_sync(self, rng):
+        """rho(G) > 1 but rho(I - omega A) < 1 for small omega: damping is
+        the classical fix asynchrony obtains for free."""
+        A = dubcova2_like(400, stretch=6.0)
+        n = A.nrows
+        b = rng.uniform(-1, 1, n)
+        x0 = rng.uniform(-1, 1, n)
+        plain = DistributedJacobi(A, b, n_ranks=8, seed=0)
+        rp = plain.run_sync(x0=x0, tol=1e-3, max_iterations=300)
+        assert rp.final_residual > rp.residual_norms[0]  # diverges
+        damped = DistributedJacobi(A, b, n_ranks=8, seed=0, omega=0.9)
+        rd = damped.run_sync(x0=x0, tol=1e-3, max_iterations=300)
+        assert rd.final_residual < rp.residual_norms[0]  # decreasing

@@ -1,0 +1,58 @@
+"""Event queue: ordering, tie-breaking, error handling."""
+
+import pytest
+
+from repro.runtime.events import EventQueue
+from repro.util.errors import SimulationError
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        q = EventQueue()
+        for p in ("first", "second", "third"):
+            q.push(1.0, p)
+        assert [q.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_now_tracks_pops(self):
+        q = EventQueue()
+        q.push(5.0, None)
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_rejects_past_events(self):
+        q = EventQueue()
+        q.push(2.0, None)
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(1.0, None)
+
+    def test_same_time_as_now_allowed(self):
+        q = EventQueue()
+        q.push(2.0, "x")
+        q.pop()
+        q.push(2.0, "y")  # immediate rescheduling at the current time
+        assert q.pop() == (2.0, "y")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, None)
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() == float("inf")
+        q.push(4.5, None)
+        assert q.peek_time() == 4.5

@@ -1,0 +1,111 @@
+"""Machine cost models: scaling laws the figures depend on."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.machine import (
+    ARIES,
+    CPU20,
+    HASWELL_CLUSTER,
+    KNL,
+    MachineModel,
+    NetworkModel,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+def _no_jitter(machine):
+    from dataclasses import replace
+
+    return replace(machine, jitter_sigma=0.0)
+
+
+class TestSMTModel:
+    def test_residency(self):
+        assert KNL.residency(68) == 1.0
+        assert KNL.residency(272) == 4.0
+        assert KNL.residency(10) == 1.0
+
+    def test_smt_throughput_capped(self):
+        assert KNL.smt_throughput(68) == 1.0
+        assert 1.0 < KNL.smt_throughput(136) < 2.0
+        assert KNL.smt_throughput(272) <= KNL.smt
+
+    def test_compute_faster_per_iteration_under_smt(self, rng):
+        """A serialized iteration runs at the boosted SMT rate."""
+        m = _no_jitter(KNL)
+        d1 = m.compute_duration(100, 10, 68, rng)
+        d4 = m.compute_duration(100, 10, 272, rng)
+        assert d4 < d1
+
+    def test_net_sweep_cost_increases_with_oversubscription(self, rng):
+        """With overhead-dominated iterations (tiny subdomains), k serialized
+        iterations cost k^(1-exp) more per sweep than one at full residency —
+        Fig 5(b)'s 'slower per iteration at 272 threads'."""
+        m = _no_jitter(KNL)
+        # Same total work (0 nnz), split across 1 vs 4 resident threads: the
+        # fixed overhead repeats per iteration.
+        sweep_68 = 1 * m.overhead_duration(68, rng)
+        sweep_272 = 4 * m.overhead_duration(272, rng)
+        assert sweep_272 > sweep_68
+
+
+class TestJitter:
+    def test_effective_jitter_grows_with_oversubscription(self):
+        assert KNL.effective_jitter(272) == pytest.approx(4 * KNL.jitter_sigma)
+        assert KNL.effective_jitter(68) == KNL.jitter_sigma
+
+    def test_zero_jitter_deterministic(self, rng):
+        m = _no_jitter(CPU20)
+        a = m.iteration_duration(50, 5, 10, rng)
+        b = m.iteration_duration(50, 5, 10, rng)
+        assert a == b
+
+    def test_jitter_varies_durations(self, rng):
+        samples = {KNL.iteration_duration(50, 5, 68, rng) for _ in range(10)}
+        assert len(samples) == 10
+
+
+class TestBarrier:
+    def test_grows_with_threads(self):
+        assert KNL.barrier_cost(68) > KNL.barrier_cost(2) > 0
+
+    def test_oversubscription_blowup(self):
+        """Barriers past the core count get disproportionately expensive —
+        the mechanism behind sync Jacobi's collapse at 272 threads."""
+        assert KNL.barrier_cost(272) > 3 * KNL.barrier_cost(68)
+
+    def test_single_thread(self):
+        assert CPU20.barrier_cost(1) == CPU20.barrier_base
+
+
+class TestNetwork:
+    def test_message_time_scales_with_size(self, rng):
+        from dataclasses import replace
+
+        net = replace(ARIES, jitter_sigma=0.0)
+        small = net.message_time(1, rng)
+        large = net.message_time(10_000, rng)
+        assert large > small
+        assert small >= net.latency
+
+    def test_allreduce_logarithmic(self):
+        assert ARIES.allreduce_cost(1) == 0.0
+        assert ARIES.allreduce_cost(1024) == pytest.approx(10 * ARIES.latency)
+
+    def test_cluster_ranks(self):
+        assert HASWELL_CLUSTER.ranks_for_nodes(4) == 128
+
+
+class TestValidation:
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            MachineModel(name="bad", cores=0, smt=2)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            MachineModel(name="bad", cores=4, smt=2, jitter_sigma=-0.1)

@@ -1,0 +1,66 @@
+"""SimulationResult metrics, including the paper's log-interpolated timing."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.results import SimulationResult
+
+
+def _result(times, residuals, counts=None):
+    counts = counts or list(range(len(times)))
+    return SimulationResult(
+        x=np.zeros(1),
+        converged=residuals[-1] < 1e-3,
+        times=list(times),
+        residual_norms=list(residuals),
+        relaxation_counts=counts,
+        iterations=np.array([len(times)]),
+        total_time=times[-1],
+    )
+
+
+class TestThresholdMetrics:
+    def test_time_to_tolerance_first_crossing(self):
+        r = _result([0, 1, 2, 3], [1.0, 0.5, 0.05, 0.01])
+        assert r.time_to_tolerance(0.1) == 2
+        assert r.time_to_tolerance(0.001) == float("inf")
+
+    def test_relaxations_to_tolerance(self):
+        r = _result([0, 1, 2], [1.0, 0.2, 0.01], counts=[0, 10, 20])
+        assert r.relaxations_to_tolerance(0.1) == 20.0
+
+    def test_final_residual(self):
+        assert _result([0, 1], [1.0, 0.3]).final_residual == 0.3
+
+
+class TestSummary:
+    def test_converged_summary(self):
+        r = _result([0, 1], [1.0, 1e-4])
+        text = r.summary()
+        assert "converged" in text and "1.000e-04" in text
+
+    def test_nonconverged_summary(self):
+        r = _result([0, 1], [1.0, 0.5])
+        assert "did not converge" in r.summary()
+
+
+class TestLogInterpolation:
+    def test_exact_geometric_decay(self):
+        """Residual 10^-t: time to reach 10^-2.5 interpolates to 2.5."""
+        times = [0.0, 1.0, 2.0, 3.0]
+        residuals = [1.0, 0.1, 0.01, 0.001]
+        r = _result(times, residuals)
+        assert r.time_at_residual(10**-2.5) == pytest.approx(2.5)
+
+    def test_crossing_at_first_sample(self):
+        r = _result([0.0, 1.0], [0.01, 0.001])
+        assert r.time_at_residual(0.5) == 0.0
+
+    def test_unreached_is_inf(self):
+        r = _result([0.0, 1.0], [1.0, 0.5])
+        assert r.time_at_residual(1e-6) == float("inf")
+
+    def test_interpolation_between_samples(self):
+        r = _result([0.0, 2.0], [1.0, 0.01])
+        # Halfway in log space: residual 0.1 at t = 1.
+        assert r.time_at_residual(0.1) == pytest.approx(1.0)

@@ -1,0 +1,201 @@
+"""Shared-memory simulator: sync exactness, async convergence, delays,
+tracing, and the paper's qualitative behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration import jacobi
+from repro.core.reconstruct import reconstruct_propagation_steps
+from repro.matrices.laplacian import fd_laplacian_2d, paper_fd_matrix
+from repro.runtime.delays import ConstantDelay, HangDelay, StragglerDelay
+from repro.runtime.machine import KNL
+from repro.runtime.shared import SharedMemoryJacobi
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def system(rng):
+    A = fd_laplacian_2d(8, 8)
+    b = rng.uniform(-1, 1, 64)
+    x0 = rng.uniform(-1, 1, 64)
+    return A, b, x0
+
+
+class TestSyncMode:
+    def test_sync_matches_classical_jacobi(self, system):
+        """Synchronous simulation is numerically exact Jacobi."""
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=0)
+        res = sim.run_sync(x0=x0, tol=1e-6, max_iterations=5000)
+        hist = jacobi(A, b, x0=x0, tol=1e-6, max_iterations=5000)
+        assert res.iterations[0] == hist.iterations
+        np.testing.assert_allclose(res.x, hist.x, rtol=1e-12)
+        np.testing.assert_allclose(res.residual_norms, hist.residual_norms, rtol=1e-10)
+
+    def test_sync_time_includes_barrier(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=0)
+        res = sim.run_sync(x0=x0, tol=1e-4)
+        assert res.total_time >= res.iterations[0] * KNL.barrier_cost(8)
+
+    def test_sync_delay_slows_everyone(self, system):
+        A, b, x0 = system
+        base = SharedMemoryJacobi(A, b, n_threads=8, seed=0)
+        slow = SharedMemoryJacobi(
+            A, b, n_threads=8, seed=0, delay=ConstantDelay({4: 1e-3})
+        )
+        t0 = base.run_sync(x0=x0, tol=1e-4).total_time
+        t1 = slow.run_sync(x0=x0, tol=1e-4).total_time
+        assert t1 > 10 * t0
+
+
+class TestAsyncMode:
+    def test_async_converges_to_solution(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=0)
+        res = sim.run_async(x0=x0, tol=1e-8, max_iterations=20_000)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-5)
+
+    def test_single_thread_equals_jacobi_iterates(self, system):
+        """One thread, block = whole matrix: async == sync == Jacobi."""
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=1, seed=0)
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=5000, observe_every=1)
+        hist = jacobi(A, b, x0=x0, tol=1e-6, max_iterations=5000)
+        assert res.iterations[0] == hist.iterations
+        np.testing.assert_allclose(res.x, hist.x, rtol=1e-12)
+
+    def test_deterministic_given_seed(self, system):
+        A, b, x0 = system
+        r1 = SharedMemoryJacobi(A, b, n_threads=8, seed=42).run_async(x0=x0, tol=1e-5)
+        r2 = SharedMemoryJacobi(A, b, n_threads=8, seed=42).run_async(x0=x0, tol=1e-5)
+        np.testing.assert_array_equal(r1.x, r2.x)
+        assert r1.times == r2.times
+
+    def test_different_seeds_differ(self, system):
+        A, b, x0 = system
+        r1 = SharedMemoryJacobi(A, b, n_threads=8, seed=1).run_async(x0=x0, tol=1e-5)
+        r2 = SharedMemoryJacobi(A, b, n_threads=8, seed=2).run_async(x0=x0, tol=1e-5)
+        assert r1.total_time != r2.total_time
+
+    def test_async_faster_than_sync_wall_clock(self, system):
+        """No barrier => async wins in simulated time (Fig. 5's headline)."""
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=16, seed=0)
+        ra = sim.run_async(x0=x0, tol=1e-4, max_iterations=20_000)
+        rs = sim.run_sync(x0=x0, tol=1e-4, max_iterations=20_000)
+        assert ra.time_to_tolerance(1e-4) < rs.time_to_tolerance(1e-4)
+
+    def test_iteration_counts_vary_across_threads(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=0)
+        res = sim.run_async(x0=x0, tol=1e-8, max_iterations=20_000)
+        assert len(np.unique(res.iterations)) > 1  # free-running threads drift
+
+    def test_relaxation_counts_monotone(self, system):
+        A, b, x0 = system
+        res = SharedMemoryJacobi(A, b, n_threads=8, seed=0).run_async(x0=x0, tol=1e-5)
+        assert all(
+            b >= a for a, b in zip(res.relaxation_counts, res.relaxation_counts[1:])
+        )
+
+
+class TestDelays:
+    def test_delayed_thread_relaxes_less(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(
+            A, b, n_threads=8, seed=0, delay=ConstantDelay({3: 2e-4})
+        )
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=50_000)
+        assert res.converged
+        others = np.delete(res.iterations, 3)
+        assert res.iterations[3] < 0.5 * others.min()
+
+    def test_async_beats_sync_under_delay(self, system):
+        """The Figure 3 effect at one operating point."""
+        A, b, x0 = system
+        delay = ConstantDelay({3: 5e-4})
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=0, delay=delay)
+        ta = sim.run_async(x0=x0, tol=1e-4, max_iterations=200_000).time_to_tolerance(1e-4)
+        ts = sim.run_sync(x0=x0, tol=1e-4, max_iterations=20_000).time_to_tolerance(1e-4)
+        assert ts > 3 * ta
+
+    def test_hung_thread_stops_but_others_continue(self, system):
+        """Failure injection: a dead thread freezes its rows; the rest keep
+        reducing the residual (Theorem 1's transient consequence)."""
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=0, delay=HangDelay({2: 0.0}))
+        res = sim.run_async(x0=x0, tol=1e-300, max_iterations=400)
+        assert res.iterations[2] == 0
+        assert res.iterations.max() == 400
+        assert res.residual_norms[-1] < 0.5 * res.residual_norms[0]
+
+    def test_straggler_factor(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(
+            A, b, n_threads=8, seed=0, delay=StragglerDelay({0: 4.0})
+        )
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=50_000)
+        assert res.converged
+        assert res.iterations[0] < res.iterations[1:].min()
+
+
+class TestFixedIterationMode:
+    def test_run_until_all_reach(self, system):
+        """Fig 5(b) termination: fast threads overshoot the target."""
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=0, delay=ConstantDelay({1: 1e-4}))
+        res = sim.run_async(
+            x0=x0, tol=1e-300, max_iterations=50, run_until_all_reach=True
+        )
+        assert res.iterations.min() >= 50
+        assert res.iterations.max() > 50  # others kept going
+
+    def test_plain_cap_stops_each_thread(self, system):
+        A, b, x0 = system
+        res = SharedMemoryJacobi(A, b, n_threads=8, seed=0).run_async(
+            x0=x0, tol=1e-300, max_iterations=30
+        )
+        assert np.all(res.iterations == 30)
+
+
+class TestTracing:
+    def test_trace_counts_and_versions(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=0)
+        res = sim.run_async(x0=x0, tol=1e-300, max_iterations=5, record_trace=True)
+        assert len(res.trace) == 5 * A.nrows
+        # Reads reference only true matrix neighbors.
+        for rel in res.trace:
+            assert set(rel.reads) == set(A.neighbors(rel.row).tolist())
+
+    def test_trace_reconstructable(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=0)
+        res = sim.run_async(x0=x0, tol=1e-300, max_iterations=8, record_trace=True)
+        rec = reconstruct_propagation_steps(res.trace)
+        assert rec.total == len(res.trace)
+        assert rec.fraction_propagated > 0.5  # the paper's "majority"
+
+    def test_no_trace_by_default(self, system):
+        A, b, x0 = system
+        res = SharedMemoryJacobi(A, b, n_threads=4, seed=0).run_async(x0=x0, tol=1e-3)
+        assert res.trace is None
+
+
+class TestValidation:
+    def test_thread_bounds(self, system):
+        A, b, _ = system
+        with pytest.raises(ShapeError):
+            SharedMemoryJacobi(A, b, n_threads=0)
+        with pytest.raises(ShapeError):
+            SharedMemoryJacobi(A, b, n_threads=A.nrows + 1)
+
+    def test_mode_dispatch(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=0)
+        assert sim.run("sync", x0=x0, tol=1e-3).mode == "sync"
+        assert sim.run("async", x0=x0, tol=1e-3).mode == "async"
+        with pytest.raises(ValueError):
+            sim.run("turbo")

@@ -1,0 +1,34 @@
+"""The ``python -m repro`` experiment runner."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "ablations", "seeds",
+        }
+
+    def test_run_one_experiment(self, capsys):
+        # fig1 is the cheapest full experiment.
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig1" in out
+        assert "{p1, p2}" in out

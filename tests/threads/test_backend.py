@@ -1,0 +1,85 @@
+"""Real-thread racy backend (Section V, on actual threads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration import jacobi
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.threads.backend import ThreadedJacobi
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def system(rng):
+    A = fd_laplacian_2d(10, 10)
+    b = rng.uniform(-1, 1, 100)
+    return A, b
+
+
+class TestSyncThreads:
+    def test_sync_matches_jacobi(self, system, rng):
+        """Barriered threads are numerically exact Jacobi."""
+        A, b = system
+        x0 = rng.uniform(-1, 1, 100)
+        res = ThreadedJacobi(A, b, n_threads=4, mode="sync").solve(
+            x0=x0, tol=1e-6, max_iterations=5000
+        )
+        hist = jacobi(A, b, x0=x0, tol=1e-6, max_iterations=5000)
+        assert res.converged
+        assert res.iterations[0] == hist.iterations
+        np.testing.assert_allclose(res.x, hist.x, rtol=1e-10)
+
+    def test_all_threads_same_iteration_count(self, system):
+        A, b = system
+        res = ThreadedJacobi(A, b, n_threads=3, mode="sync").solve(tol=1e-4)
+        assert len(set(res.iterations.tolist())) == 1
+
+
+class TestAsyncThreads:
+    def test_racy_converges(self, system):
+        A, b = system
+        res = ThreadedJacobi(A, b, n_threads=4, mode="async").solve(
+            tol=1e-6, max_iterations=5000
+        )
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-4)
+
+    def test_single_thread_equals_jacobi(self, system):
+        A, b = system
+        res = ThreadedJacobi(A, b, n_threads=1, mode="async").solve(
+            tol=1e-6, max_iterations=5000
+        )
+        hist = jacobi(A, b, tol=1e-6, max_iterations=5000)
+        assert res.iterations[0] == hist.iterations
+        np.testing.assert_allclose(res.x, hist.x, rtol=1e-10)
+
+    def test_sleeping_thread_lags_but_system_converges(self, system):
+        """The paper's delayed-thread experiment on real threads: the
+        sleeper relaxes far less; everyone still converges."""
+        A, b = system
+        res = ThreadedJacobi(
+            A, b, n_threads=4, mode="async", sleep_us={1: 300}
+        ).solve(tol=1e-5, max_iterations=20_000)
+        assert res.converged
+        others = np.delete(res.iterations, 1)
+        assert res.iterations[1] < others.min()
+
+    def test_max_iterations_bounds_run(self, system):
+        A, b = system
+        res = ThreadedJacobi(A, b, n_threads=2, mode="async").solve(
+            tol=1e-300, max_iterations=40
+        )
+        assert not res.converged
+        assert np.all(res.iterations <= 41)  # may overshoot by the final check
+
+
+class TestValidation:
+    def test_bad_mode(self, system):
+        A, b = system
+        with pytest.raises(ValueError):
+            ThreadedJacobi(A, b, n_threads=2, mode="racy")
+
+    def test_thread_bounds(self, system):
+        A, b = system
+        with pytest.raises(ShapeError):
+            ThreadedJacobi(A, b, n_threads=0)
