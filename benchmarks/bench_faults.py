@@ -1,0 +1,40 @@
+"""Fault-tolerance benchmark: convergence under the scripted crash scenario.
+
+Replays the acceptance scenario from ``repro.experiments.faults``: a
+permanent rank crash at 30% of the clean time-to-tolerance, a 2-rank
+partition window and a 5% put-drop burst. The protected run (reliable puts,
+heartbeat detection, neighbor adoption) must reach the target residual with
+populated recovery telemetry; the unprotected run on the same plan must
+stall above tolerance.
+"""
+
+from conftest import publish, run_once
+
+from repro.experiments import faults
+
+
+def test_faults(benchmark):
+    result = run_once(benchmark, faults.run)
+    publish("faults", faults.format_report(result))
+
+    protected = result["protected"]
+    unprotected = result["unprotected"]
+    tol = result["tol"]
+
+    # The protected run rides the faults out (no deadlock, target reached).
+    assert protected.converged
+    assert protected.final_residual <= tol
+
+    # Telemetry records what happened: detection, retries, degradation.
+    tm = protected.telemetry
+    assert [r for r, _ in tm.failures_detected] == [3]
+    assert tm.adoptions and tm.adoptions[0][0] == 3
+    assert tm.retries > 0 and tm.puts_dropped > 0
+    assert tm.degraded_intervals and tm.detection_latency(result["crash_time"]) > 0
+
+    # Theorem 1: the residual history never increases (up to round-off).
+    assert protected.max_uptick <= faults.NONINCREASE_SLACK
+
+    # Without recovery the dead block pins the residual above tolerance.
+    assert not unprotected.converged
+    assert unprotected.final_residual > 10 * tol

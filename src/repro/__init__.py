@@ -12,6 +12,8 @@ The package implements, from scratch:
   :mod:`repro.partition`;
 * discrete-event shared-memory (OpenMP-substitute) and distributed
   (MPI/RMA-substitute) machine simulators — :mod:`repro.runtime`;
+* scripted fault plans, reliable puts, heartbeat failure detection and
+  recovery policies — :mod:`repro.faults` and the simulators;
 * a real-thread racy backend — :mod:`repro.threads`;
 * a one-call solver front-end — :func:`repro.solve`;
 * one experiment module per paper table/figure — :mod:`repro.experiments`.
@@ -28,9 +30,10 @@ Quickstart::
     print(result.converged, result.iterations)
 """
 
+from repro.faults import FaultPlan
 from repro.matrices.sparse import CSRMatrix
 from repro.solvers.api import SolveResult, solve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["CSRMatrix", "SolveResult", "solve", "__version__"]
+__all__ = ["CSRMatrix", "FaultPlan", "SolveResult", "solve", "__version__"]

@@ -16,6 +16,7 @@ import sys
 
 from repro.experiments import (
     ablations,
+    faults,
     fig1,
     fig2,
     fig3,
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "fig9": fig9,
     "ablations": ablations,
     "seeds": seeds,
+    "faults": faults,
 }
 
 

@@ -1,0 +1,27 @@
+"""Scripted fault scenarios and recovery semantics (see docs/fault_tolerance.md)."""
+
+from repro.faults.plan import (
+    CorruptBurst,
+    Crash,
+    DropBurst,
+    FaultPlan,
+    FaultPlanError,
+    NO_FAULTS,
+    PartitionWindow,
+    RankCrash,
+    ThreadDeath,
+)
+from repro.faults.schedule import FaultMaskedSchedule
+
+__all__ = [
+    "FaultMaskedSchedule",
+    "CorruptBurst",
+    "Crash",
+    "DropBurst",
+    "FaultPlan",
+    "FaultPlanError",
+    "NO_FAULTS",
+    "PartitionWindow",
+    "RankCrash",
+    "ThreadDeath",
+]

@@ -1,0 +1,322 @@
+"""Scripted fault scenarios for the machine simulators.
+
+A :class:`FaultPlan` is a deterministic, declarative description of *what
+goes wrong and when* during a simulated run: agents (MPI ranks or threads)
+crashing and optionally restarting, network-partition windows, and timed
+bursts of message drops or corruption. Plans are pure configuration — every
+stochastic decision (whether a particular put inside a drop burst is lost)
+is rolled by the simulator's failure RNG, so a run is reproducible from
+``(plan, fault_seed)`` alone.
+
+Plans compose with the injected-delay models in
+:mod:`repro.runtime.delays`: a crash window behaves like a hang for its
+duration (see :class:`repro.runtime.delays.PlanDelay`), while the
+message-level queries (:meth:`FaultPlan.blocks_message`,
+:meth:`FaultPlan.drop_probability`, :meth:`FaultPlan.corrupt_probability`)
+have no delay-model analogue and are consulted directly by the distributed
+simulator's put/ack/heartbeat machinery.
+
+The dict-based DSL (:meth:`FaultPlan.from_spec`) exists so scenarios can be
+written down in experiment scripts or JSON without importing the event
+classes::
+
+    plan = FaultPlan.from_spec([
+        {"kind": "crash", "agent": 3, "at": 1e-4, "restart_after": 5e-5},
+        {"kind": "partition", "group": [0, 1], "start": 2e-4, "duration": 1e-4},
+        {"kind": "drop", "start": 0.0, "duration": 3e-4, "probability": 0.05},
+    ])
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+from repro.util.validation import check_nonnegative, check_probability
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault-plan event is malformed or internally inconsistent."""
+
+
+def _check_time(value, name: str) -> float:
+    value = float(value)
+    if math.isnan(value) or value < 0:
+        raise FaultPlanError(f"{name} must be a nonnegative time, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Agent ``agent`` dies at ``at``; with ``restart_after`` set it comes
+    back ``restart_after`` simulated seconds later (ghosts re-synced by the
+    simulator), otherwise it stays dead for the rest of the run."""
+
+    agent: int
+    at: float
+    restart_after: float | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "agent", int(self.agent))
+        object.__setattr__(self, "at", _check_time(self.at, "at"))
+        if self.restart_after is not None:
+            restart = _check_time(self.restart_after, "restart_after")
+            if restart == 0:
+                raise FaultPlanError("restart_after must be > 0 when given")
+            object.__setattr__(self, "restart_after", restart)
+
+    @property
+    def restart_time(self) -> float:
+        """Absolute restart time (inf for a permanent crash)."""
+        if self.restart_after is None:
+            return float("inf")
+        return self.at + self.restart_after
+
+
+#: Aliases matching the two simulators' vocabularies.
+RankCrash = Crash
+ThreadDeath = Crash
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Network partition: during ``[start, start + duration)`` every message
+    between ``group`` and its complement is lost (data, acks, heartbeats,
+    residual reports alike). Traffic within each side is unaffected."""
+
+    group: frozenset
+    start: float
+    duration: float
+
+    def __post_init__(self):
+        group = frozenset(int(a) for a in self.group)
+        if not group:
+            raise FaultPlanError("partition group must be non-empty")
+        object.__setattr__(self, "group", group)
+        object.__setattr__(self, "start", _check_time(self.start, "start"))
+        object.__setattr__(self, "duration", _check_time(self.duration, "duration"))
+
+    def severs(self, src: int, dst: int, t: float) -> bool:
+        """Whether this window cuts the ``src -> dst`` link at time ``t``."""
+        if not self.start <= t < self.start + self.duration:
+            return False
+        return (src in self.group) != (dst in self.group)
+
+
+@dataclass(frozen=True)
+class DropBurst:
+    """During ``[start, start + duration)`` each message sent by an affected
+    source is independently lost with ``probability`` (on top of any
+    steady-state ``drop_probability``). ``agents=None`` affects everyone."""
+
+    start: float
+    duration: float
+    probability: float
+    agents: frozenset | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "start", _check_time(self.start, "start"))
+        object.__setattr__(self, "duration", _check_time(self.duration, "duration"))
+        object.__setattr__(
+            self, "probability", check_probability(self.probability, "probability")
+        )
+        if self.agents is not None:
+            object.__setattr__(self, "agents", frozenset(int(a) for a in self.agents))
+
+    def applies(self, src: int, t: float) -> bool:
+        """Whether the burst covers a message sent by ``src`` at ``t``."""
+        if not self.start <= t < self.start + self.duration:
+            return False
+        return self.agents is None or src in self.agents
+
+
+@dataclass(frozen=True)
+class CorruptBurst(DropBurst):
+    """Like :class:`DropBurst`, but affected messages arrive with corrupted
+    payloads. The reliable-put protocol detects corruption (checksum) and
+    discards the message, turning it into a retried drop; the basic
+    fire-and-forget protocol has no checksum, so the simulator treats the
+    corrupt put as lost at the NIC (never applied) rather than letting a
+    garbage payload violate Theorem 1's premises silently."""
+
+
+class FaultPlan:
+    """An ordered, validated collection of scripted fault events.
+
+    Parameters
+    ----------
+    events
+        Any mix of :class:`Crash`, :class:`PartitionWindow`,
+        :class:`DropBurst` and :class:`CorruptBurst`.
+    seed
+        Optional default failure seed. Simulators fall back to this when no
+        explicit ``fault_seed`` is passed, so a plan can carry its own
+        reproducibility contract.
+    """
+
+    def __init__(self, events=(), seed=None):
+        self.events = tuple(events)
+        self.seed = seed
+        self.crashes: dict[int, list[Crash]] = {}
+        self.partitions: list[PartitionWindow] = []
+        self.drop_bursts: list[DropBurst] = []
+        self.corrupt_bursts: list[CorruptBurst] = []
+        for ev in self.events:
+            if isinstance(ev, Crash):
+                self.crashes.setdefault(ev.agent, []).append(ev)
+            elif isinstance(ev, CorruptBurst):
+                self.corrupt_bursts.append(ev)
+            elif isinstance(ev, DropBurst):
+                self.drop_bursts.append(ev)
+            elif isinstance(ev, PartitionWindow):
+                self.partitions.append(ev)
+            else:
+                raise FaultPlanError(f"unknown fault event type: {ev!r}")
+        for agent, crashes in self.crashes.items():
+            crashes.sort(key=lambda c: c.at)
+            for earlier, later in zip(crashes, crashes[1:]):
+                if earlier.restart_time > later.at:
+                    raise FaultPlanError(
+                        f"agent {agent} crashes at t={later.at} while already down "
+                        f"(previous crash at t={earlier.at} restarts at "
+                        f"t={earlier.restart_time})"
+                    )
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.events)} events, seed={self.seed!r})"
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- crash queries --------------------------------------------------
+    def agents(self) -> set:
+        """All agent ids with a scripted crash."""
+        return set(self.crashes)
+
+    def is_down(self, agent: int, t: float) -> bool:
+        """Whether ``agent`` is crashed (and not yet restarted) at ``t``."""
+        for c in self.crashes.get(agent, ()):
+            if c.at <= t < c.restart_time:
+                return True
+        return False
+
+    def down_forever(self, agent: int, t: float) -> bool:
+        """Whether ``agent`` is down at ``t`` with no restart ever coming."""
+        for c in self.crashes.get(agent, ()):
+            if c.at <= t and c.restart_after is None:
+                return True
+        return False
+
+    def crash_times(self, agent: int) -> list:
+        """Sorted ``(crash_time, restart_time)`` pairs (restart may be inf)."""
+        return [(c.at, c.restart_time) for c in self.crashes.get(agent, ())]
+
+    def next_restart(self, agent: int, t: float) -> float | None:
+        """Restart time of the crash covering ``t`` (None if none is coming)."""
+        for c in self.crashes.get(agent, ()):
+            if c.at <= t < c.restart_time:
+                return None if c.restart_after is None else c.restart_time
+        return None
+
+    def restart_times(self, agent: int) -> list:
+        """Sorted finite restart times for ``agent``."""
+        return [c.restart_time for c in self.crashes.get(agent, ())
+                if c.restart_after is not None]
+
+    # -- message-level queries ------------------------------------------
+    def blocks_message(self, src: int, dst: int, t: float) -> bool:
+        """Whether a partition window severs ``src -> dst`` at ``t``."""
+        return any(w.severs(src, dst, t) for w in self.partitions)
+
+    def drop_probability(self, src: int, t: float) -> float:
+        """Burst drop probability for a message sent by ``src`` at ``t``.
+
+        Overlapping bursts combine as independent loss processes:
+        ``1 - prod(1 - p_i)``.
+        """
+        keep = 1.0
+        for burst in self.drop_bursts:
+            if burst.applies(src, t):
+                keep *= 1.0 - burst.probability
+        return 1.0 - keep
+
+    def corrupt_probability(self, src: int, t: float) -> float:
+        """Burst corruption probability for a message sent by ``src`` at ``t``."""
+        keep = 1.0
+        for burst in self.corrupt_bursts:
+            if burst.applies(src, t):
+                keep *= 1.0 - burst.probability
+        return 1.0 - keep
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def from_spec(cls, spec, seed=None) -> "FaultPlan":
+        """Build a plan from the dict-based DSL (see the module docstring).
+
+        Each entry is a dict with a ``kind`` key: ``"crash"`` (``agent`` or
+        ``rank`` or ``thread``, ``at``, optional ``restart_after``),
+        ``"partition"`` (``group``, ``start``, ``duration``), ``"drop"`` /
+        ``"corrupt"`` (``start``, ``duration``, ``probability``, optional
+        ``agents``).
+        """
+        events = []
+        for entry in spec:
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            try:
+                if kind == "crash":
+                    agent = entry.pop("agent", entry.pop("rank", entry.pop("thread", None)))
+                    if agent is None:
+                        raise FaultPlanError("crash entry needs an 'agent' id")
+                    events.append(Crash(agent=agent, **entry))
+                elif kind == "partition":
+                    events.append(PartitionWindow(group=frozenset(entry.pop("group")), **entry))
+                elif kind == "drop":
+                    events.append(DropBurst(**entry))
+                elif kind == "corrupt":
+                    events.append(CorruptBurst(**entry))
+                else:
+                    raise FaultPlanError(
+                        f"unknown fault kind {kind!r}; expected crash, partition, "
+                        "drop or corrupt"
+                    )
+            except TypeError as exc:  # bad/missing dataclass fields
+                raise FaultPlanError(f"malformed {kind!r} entry: {exc}") from exc
+        return cls(events, seed=seed)
+
+    def describe(self) -> str:
+        """Multi-line human-readable digest of the scripted scenario."""
+        if not self.events:
+            return "FaultPlan: no scripted faults"
+        lines = [f"FaultPlan ({len(self.events)} events):"]
+        for agent in sorted(self.crashes):
+            for c in self.crashes[agent]:
+                tail = (
+                    f"restarts at t={c.restart_time:.3e}"
+                    if c.restart_after is not None
+                    else "never restarts"
+                )
+                lines.append(f"  crash: agent {agent} dies at t={c.at:.3e}, {tail}")
+        for w in self.partitions:
+            lines.append(
+                f"  partition: {{{', '.join(map(str, sorted(w.group)))}}} vs rest, "
+                f"t=[{w.start:.3e}, {w.start + w.duration:.3e})"
+            )
+        for b in self.drop_bursts:
+            who = "all" if b.agents is None else f"{sorted(b.agents)}"
+            lines.append(
+                f"  drop burst: p={b.probability:.3g} from {who}, "
+                f"t=[{b.start:.3e}, {b.start + b.duration:.3e})"
+            )
+        for b in self.corrupt_bursts:
+            who = "all" if b.agents is None else f"{sorted(b.agents)}"
+            lines.append(
+                f"  corrupt burst: p={b.probability:.3g} from {who}, "
+                f"t=[{b.start:.3e}, {b.start + b.duration:.3e})"
+            )
+        return "\n".join(lines)
+
+
+#: The empty plan (no scripted faults); falsy, shared, immutable-enough.
+NO_FAULTS = FaultPlan()

@@ -1,0 +1,79 @@
+"""Fault plans as propagation-model schedules.
+
+Theorem 1 is a statement about the paper's exact-information model: a step
+relaxes a masked subset of rows with *current* values, and a delayed, dead
+or unlucky row is simply absent from the mask — its ``Ĥ(k)`` column stays
+an identity column, so ``‖Ĥ(k)‖₁ = 1`` for W.D.D. ``A`` and the residual
+1-norm cannot increase, whatever the mask sequence does.
+
+:class:`FaultMaskedSchedule` maps a :class:`~repro.faults.FaultPlan` onto
+that mask algebra: rows belong to agents (via a partition label vector), a
+crashed agent's rows leave the mask for the crash window, and a drop burst
+removes each affected row independently per step. This is how the fault
+subsystem's scenarios are checked against the theorem exactly — the machine
+simulators add read staleness between a relaxation and its commit, so their
+*snapshot* residuals may transiently rise even though every individual
+relaxation is residual-non-increasing in the model's sense.
+
+Plan times are interpreted on the model's clock: step ``k`` relaxes at time
+``k * dt`` and completes at ``(k + 1) * dt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedules import Schedule, ScheduleStep
+from repro.util.rng import as_rng
+
+
+class FaultMaskedSchedule(Schedule):
+    """Asynchronous masks shaped by a fault plan.
+
+    Parameters
+    ----------
+    labels
+        Length-n vector mapping each row to its owning agent id.
+    plan
+        The :class:`~repro.faults.FaultPlan`; crashes remove an agent's rows
+        while it is down, drop bursts remove individual rows with the
+        burst's probability. Partition windows and corruption have no
+        exact-information analogue and are ignored here.
+    dt
+        Model seconds per parallel step (plan event times are in these
+        units).
+    seed
+        RNG seed for the per-row drop lotteries. Falls back to
+        ``plan.seed``.
+    """
+
+    def __init__(self, labels, plan, dt: float = 1.0, seed=None):
+        labels = np.asarray(labels, dtype=np.int64)
+        super().__init__(labels.size)
+        self.labels = labels
+        self.plan = plan
+        self.dt = float(dt)
+        self.seed = plan.seed if seed is None else seed
+        self.agent_rows = {
+            int(a): np.flatnonzero(labels == a) for a in np.unique(labels)
+        }
+
+    def steps(self):
+        rng = as_rng(self.seed)
+        k = 0
+        while True:
+            t = k * self.dt
+            parts = []
+            for agent, rows in self.agent_rows.items():
+                if self.plan.is_down(agent, t):
+                    continue
+                p = self.plan.drop_probability(agent, t)
+                if p > 0.0:
+                    rows = rows[rng.random(rows.size) >= p]
+                if rows.size:
+                    parts.append(rows)
+            mask = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            )
+            yield ScheduleStep(time=(k + 1) * self.dt, rows=mask)
+            k += 1

@@ -105,6 +105,23 @@ class StochasticStall(DelayModel):
         return 0.0
 
 
+class PlanDelay(DelayModel):
+    """Adapter exposing a fault plan's crash windows as a delay model.
+
+    Lets a :class:`~repro.faults.FaultPlan` compose with the other delay
+    models through :class:`CompositeDelay`: while an agent is inside one of
+    the plan's crash windows it reads as hung. Message-level faults
+    (partitions, drop/corrupt bursts) have no delay-model analogue and are
+    consulted by the distributed simulator directly.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+
+    def is_hung(self, agent: int, time: float) -> bool:
+        return self.plan.is_down(agent, time)
+
+
 class CompositeDelay(DelayModel):
     """Sum/combination of several delay models."""
 

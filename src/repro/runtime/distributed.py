@@ -20,6 +20,20 @@ the latest boundary values received from its neighbors.
 Failure injection (dropped or duplicated puts, hung ranks) exercises the
 robustness the asynchronous method inherits from Theorem 1: lost updates
 only delay information, they cannot corrupt the iteration.
+
+Fault tolerance (see docs/fault_tolerance.md) goes beyond injection: a
+:class:`~repro.faults.FaultPlan` scripts rank crashes (with optional
+restarts), network-partition windows and drop/corruption bursts; the
+**reliable-put protocol** (sequence-numbered puts, acks, timeout +
+exponential-backoff retries under a bounded budget, duplicate suppression)
+recovers lost boundary updates; **heartbeat failure detection** at rank 0
+drives graceful degradation — surviving neighbours freeze a dead rank's
+ghost values (``recovery="freeze"``, the paper's "delayed until
+convergence" regime) or adopt its rows after a ghost re-sync
+(``recovery="adopt"``) — and ``termination="detect"`` excludes presumed-dead
+reporters so detection can no longer hang on a crashed rank. Per-run
+recovery telemetry lands in
+:class:`~repro.runtime.results.FaultTelemetry`.
 """
 
 from __future__ import annotations
@@ -28,19 +42,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.matrices.sparse import CSRMatrix
 from repro.partition.partitioner import bfs_bisection_partition, contiguous_partition
 from repro.partition.subdomain import DomainDecomposition
 from repro.runtime.delays import CompositeDelay, DelayModel, NO_DELAY, StragglerDelay
 from repro.runtime.events import EventQueue
 from repro.runtime.machine import HASWELL_CLUSTER, ClusterModel
-from repro.runtime.results import SimulationResult
+from repro.runtime.results import FaultTelemetry, SimulationResult
 from repro.util.errors import ShapeError, SingularMatrixError
 from repro.util.norms import relative_residual_norm
 from repro.util.rng import as_rng, spawn_rngs
 from repro.util.validation import check_positive, check_probability, check_vector
 
-_START, _COMMIT, _MESSAGE, _REPORT, _STOP = 0, 1, 2, 3, 4
+(
+    _START,
+    _COMMIT,
+    _MESSAGE,
+    _REPORT,
+    _STOP,
+    _ACK,
+    _RETRY,
+    _HEARTBEAT,
+    _HB_ARRIVE,
+    _HB_CHECK,
+    _RESTART,
+    _FAIL_NOTICE,
+) = range(12)
 
 
 @dataclass
@@ -64,6 +92,9 @@ class _Rank:
     iterations: int = 0
     stopped: bool = False
     pending: np.ndarray = None
+    #: Incarnation number; bumped on restart so events scheduled by a
+    #: pre-crash incarnation (in-flight START/COMMIT) are discarded.
+    epoch: int = 0
 
 
 class DistributedJacobi:
@@ -100,6 +131,41 @@ class DistributedJacobi:
         Override the cluster's ranks-per-node for the intra/inter-node
         message-latency split (None: use the cluster preset). Consecutive
         ranks are co-located, matching the contiguous partition layout.
+    fault_plan
+        Optional :class:`~repro.faults.FaultPlan` scripting crashes,
+        restarts, partition windows and drop/corruption bursts for the
+        asynchronous run.
+    fault_seed
+        Seed for the failure RNG (drop/duplicate/corruption rolls). Falls
+        back to ``fault_plan.seed``, then to the legacy derivation
+        ``seed ^ 0x5EED`` — which is fresh entropy per run when ``seed`` is
+        None, so pass ``fault_seed`` for reproducible fault injection
+        independent of the timing seed.
+    reliable
+        Use the reliable-put protocol (sequence numbers, acks, retries with
+        exponential backoff, duplicate suppression) instead of
+        fire-and-forget RMA puts. Default (None): on exactly when a
+        ``fault_plan`` is given.
+    recovery
+        What surviving ranks do about a detected failure: ``"freeze"``
+        (keep the dead rank's last ghost values — the paper's "delayed
+        until convergence" regime), ``"adopt"`` (the lowest-ranked live
+        neighbour re-syncs the dead rank's ghost layer and relaxes its rows
+        alongside its own), or ``"none"`` (no heartbeats, no detection —
+        the baseline that can stall forever).
+    heartbeat_interval
+        Simulated seconds between liveness beacons to the detector
+        (rank 0). None: a multiple of the iteration overhead + round-trip
+        latency, activated only when a ``fault_plan`` is present.
+    heartbeat_miss
+        Consecutive missed beacons before the detector declares a rank
+        dead.
+    ack_timeout
+        Base retransmission timeout for reliable puts (None: derived from
+        the network model's round-trip time; doubles on every retry).
+    max_put_retries
+        Retry budget per put before the sender gives up (information then
+        reaches the neighbor only via a later iteration's put).
     """
 
     def __init__(
@@ -116,6 +182,14 @@ class DistributedJacobi:
         omega: float = 1.0,
         local_sweep: str = "jacobi",
         ranks_per_node: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_seed=None,
+        reliable: bool | None = None,
+        recovery: str = "freeze",
+        heartbeat_interval: float | None = None,
+        heartbeat_miss: int = 3,
+        ack_timeout: float | None = None,
+        max_put_retries: int = 6,
     ):
         if A.nrows != A.ncols:
             raise ShapeError(f"matrix must be square, got {A.shape}")
@@ -152,6 +226,31 @@ class DistributedJacobi:
             duplicate_probability, "duplicate_probability"
         )
         self.seed = seed
+        self.fault_plan = NO_FAULTS if fault_plan is None else fault_plan
+        if self.fault_plan.agents() and max(self.fault_plan.agents()) >= n_ranks:
+            raise ShapeError(
+                f"fault plan crashes rank {max(self.fault_plan.agents())}, "
+                f"but only {n_ranks} ranks exist"
+            )
+        self.fault_seed = fault_seed
+        self.reliable = bool(self.fault_plan) if reliable is None else bool(reliable)
+        if recovery not in ("freeze", "adopt", "none"):
+            raise ValueError(
+                f"recovery must be 'freeze', 'adopt' or 'none', got {recovery!r}"
+            )
+        self.recovery = recovery
+        if heartbeat_interval is not None:
+            check_positive(heartbeat_interval, "heartbeat_interval")
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_miss = int(heartbeat_miss)
+        if self.heartbeat_miss < 1:
+            raise ValueError(f"heartbeat_miss must be >= 1, got {heartbeat_miss}")
+        if ack_timeout is not None:
+            check_positive(ack_timeout, "ack_timeout")
+        self.ack_timeout = ack_timeout
+        self.max_put_retries = int(max_put_retries)
+        if self.max_put_retries < 0:
+            raise ValueError(f"max_put_retries must be >= 0, got {max_put_retries}")
 
         if isinstance(partition, str):
             if partition == "bfs":
@@ -306,7 +405,11 @@ class DistributedJacobi:
             latency); when the sum of freshest reports drops below ``tol *
             ||b||_1``, rank 0 broadcasts STOP and ranks halt on receipt.
             Detection events do not use the oracle — convergence is decided
-            purely from (stale) reported norms.
+            purely from (stale) reported norms. Ranks the heartbeat
+            detector presumes dead (and that nobody adopted) are excluded
+            from the sum, so a crashed reporter can no longer hang the
+            run: the survivors stop once *their* residuals are below
+            tolerance and the result is flagged degraded.
         """
         check_positive(tol, "tol")
         if termination not in ("count", "detect"):
@@ -317,7 +420,14 @@ class DistributedJacobi:
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
         ranks = self._compile_ranks()
         net = self.cluster.network
-        fail_rng = as_rng(None if self.seed is None else (int(self.seed) ^ 0x5EED))
+        plan = self.fault_plan
+        reliable = self.reliable
+        fs = self.fault_seed if self.fault_seed is not None else plan.seed
+        if fs is not None:
+            fail_rng = as_rng(fs)
+        else:
+            fail_rng = as_rng(None if self.seed is None else (int(self.seed) ^ 0x5EED))
+        tm = FaultTelemetry()
 
         # Ghost layers start from the initial iterate.
         for rk in ranks:
@@ -328,8 +438,16 @@ class DistributedJacobi:
         for rk in ranks:
             queue.push(
                 float(rk.rng.random()) * self.cluster.node.iteration_overhead,
-                (_START, rk.rank, None),
+                (_START, rk.rank, rk.epoch),
             )
+        # Scripted restarts are known up front; crashes need no event — the
+        # plan is consulted at every START/COMMIT/MESSAGE touching the rank.
+        for r in sorted(plan.agents()):
+            for rt in plan.restart_times(r):
+                queue.push(rt, (_RESTART, r, None))
+
+        def down(r: int, t: float) -> bool:
+            return plan.is_down(r, t)
 
         res0 = relative_residual_norm(A, x, b)
         times, residuals, counts = [0.0], [res0], [0]
@@ -354,10 +472,124 @@ class DistributedJacobi:
             ]
         stop_broadcast = False
 
+        # Heartbeat failure detection (rank 0 is also the detector).
+        heartbeats_on = (
+            self.recovery != "none"
+            and self.n_ranks > 1
+            and (bool(plan) or self.heartbeat_interval is not None)
+        )
+        hb_interval = (
+            self.heartbeat_interval
+            if self.heartbeat_interval is not None
+            else 10.0 * (self.cluster.node.iteration_overhead + 2.0 * net.latency)
+        )
+        hb_timeout = self.heartbeat_miss * hb_interval
+        last_hb = [0.0] * self.n_ranks
+        hb_chain_alive = [False] * self.n_ranks
+        presumed_dead = [False] * self.n_ranks
+        adopted_by: dict = {}  # dead rank -> adopter rank
+        adopters: dict = {}  # adopter rank -> [dead ranks]
+        adopt_snapshot: dict = {}  # adopter rank -> dead ranks read at START
+        degraded_since = None
+        if heartbeats_on:
+            for rk in ranks:
+                hb_chain_alive[rk.rank] = True
+                queue.push(
+                    float(rk.rng.random()) * hb_interval, (_HEARTBEAT, rk.rank, None)
+                )
+            queue.push(hb_interval, (_HB_CHECK, 0, None))
+
+        # Reliable-put protocol state, keyed by directed channel (src, dst).
+        next_seq: dict = {}  # channel -> next sequence number
+        applied_seq: dict = {}  # channel -> newest applied sequence number
+        outstanding: dict = {}  # channel -> {seq: [slots, values, attempts, rto]}
+
+        def rto(n_values: int) -> float:
+            """Base retransmission timeout: a generous round-trip multiple."""
+            if self.ack_timeout is not None:
+                return self.ack_timeout
+            return 6.0 * (2.0 * net.latency + n_values * net.time_per_value)
+
+        def control_lost(src: int, dst: int, t: float) -> bool:
+            """Loss roll for a small control message (ack/heartbeat/report)."""
+            if plan.blocks_message(src, dst, t):
+                return True
+            p = self.drop_probability
+            burst = plan.drop_probability(src, t)
+            if burst:
+                p = 1.0 - (1.0 - p) * (1.0 - burst)
+            return bool(p) and fail_rng.random() < p
+
+        def transmit(ch, seq: int, rec, t: float) -> None:
+            """One (re)transmission of a reliable put + its retry timer."""
+            p, q = ch
+            slots_q, values, _, timeout = rec
+            corrupted = False
+            pc = plan.corrupt_probability(p, t)
+            if pc and fail_rng.random() < pc:
+                corrupted = True
+            lost = bool(
+                self.drop_probability and fail_rng.random() < self.drop_probability
+            )
+            if not lost and plan:
+                if plan.blocks_message(p, q, t):
+                    lost = True
+                else:
+                    pb = plan.drop_probability(p, t)
+                    lost = bool(pb) and fail_rng.random() < pb
+            intra = self._same_node(p, q)
+            if lost:
+                tm.puts_dropped += 1
+            else:
+                arrival = t + net.message_time(values.size, ranks[p].rng, intra_node=intra)
+                queue.push(arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted)))
+                if (
+                    self.duplicate_probability
+                    and fail_rng.random() < self.duplicate_probability
+                ):
+                    arrival = t + net.message_time(
+                        values.size, ranks[p].rng, intra_node=intra
+                    )
+                    queue.push(
+                        arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted))
+                    )
+            queue.push(t + timeout, (_RETRY, p, (q, seq)))
+
+        def send_reliable(rk: _Rank, q: int, slots_q, values, t: float) -> None:
+            ch = (rk.rank, q)
+            seq = next_seq.get(ch, 0)
+            next_seq[ch] = seq + 1
+            tm.puts_sent += 1
+            rec = [slots_q, values, 0, rto(values.size)]
+            outstanding.setdefault(ch, {})[seq] = rec
+            transmit(ch, seq, rec, t)
+
         def fire_puts(rk: _Rank, t: float) -> None:
+            if reliable:
+                for q, slots_q, local_rows in rk.send_plan:
+                    send_reliable(rk, q, slots_q, rk.pending[local_rows].copy(), t)
+                return
+            # Fire-and-forget RMA puts (the seed's failure-injection path;
+            # RNG call order kept bit-identical for plan-free runs).
             for q, slots_q, local_rows in rk.send_plan:
+                tm.puts_sent += 1
                 if self.drop_probability and fail_rng.random() < self.drop_probability:
+                    tm.puts_dropped += 1
                     continue
+                if plan:
+                    if plan.blocks_message(rk.rank, q, t):
+                        tm.puts_dropped += 1
+                        continue
+                    pb = plan.drop_probability(rk.rank, t)
+                    if pb and fail_rng.random() < pb:
+                        tm.puts_dropped += 1
+                        continue
+                    pc = plan.corrupt_probability(rk.rank, t)
+                    if pc and fail_rng.random() < pc:
+                        # No checksum without the protocol: the garbage put
+                        # is modeled as lost at the NIC, never applied.
+                        tm.puts_corrupted += 1
+                        continue
                 values = rk.pending[local_rows]
                 n_copies = 1
                 if (
@@ -368,33 +600,213 @@ class DistributedJacobi:
                 intra = self._same_node(rk.rank, q)
                 for _ in range(n_copies):
                     arrival = t + net.message_time(values.size, rk.rng, intra_node=intra)
-                    queue.push(arrival, (_MESSAGE, q, (slots_q, values.copy())))
+                    queue.push(
+                        arrival, (_MESSAGE, q, (None, None, slots_q, values.copy(), False))
+                    )
+
+        def update_degraded(t: float) -> None:
+            """Open/close the degraded-mode interval on membership changes."""
+            nonlocal degraded_since
+            now_degraded = any(
+                presumed_dead[r] and r not in adopted_by
+                for r in range(self.n_ranks)
+            )
+            if now_degraded and degraded_since is None:
+                degraded_since = t
+            elif not now_degraded and degraded_since is not None:
+                tm.degraded_intervals.append((degraded_since, t))
+                degraded_since = None
+
+        def maybe_stop(t: float) -> None:
+            """Detect-mode stop check over the non-excluded reporters."""
+            nonlocal stop_broadcast
+            if termination != "detect" or stop_broadcast:
+                return
+            included = np.array(
+                [
+                    not (presumed_dead[r] and r not in adopted_by)
+                    for r in range(self.n_ranks)
+                ]
+            )
+            if float(np.sum(reported[included])) / b_norm < tol:
+                stop_broadcast = True
+                for other in ranks:
+                    delay = net.message_time(1, other.rng)
+                    queue.push(t + delay, (_STOP, other.rank, None))
+
+        def schedule_adoption(dead: int, t: float) -> None:
+            """Pick the lowest-ranked live neighbour and notify it."""
+            neighbours = sorted({q for q, _, _ in ranks[dead].send_plan})
+            others = [p for p in range(self.n_ranks) if p not in neighbours]
+            for p in neighbours + others:
+                if p == dead or presumed_dead[p] or ranks[p].stopped:
+                    continue
+                if down(p, t) or plan.down_forever(p, t):
+                    continue
+                queue.push(
+                    t + net.message_time(1, ranks[0].rng), (_FAIL_NOTICE, p, dead)
+                )
+                return
+
+        def declare_failed(r: int, t: float) -> None:
+            presumed_dead[r] = True
+            tm.failures_detected.append((r, t))
+            update_degraded(t)
+            if self.recovery == "adopt":
+                schedule_adoption(r, t)
+            maybe_stop(t)
+
+        def release_adoption(dead: int) -> None:
+            adopter = adopted_by.pop(dead, None)
+            if adopter is not None:
+                adopters[adopter].remove(dead)
+
+        def local_residual_norm(block: _Rank) -> float:
+            """Block residual 1-norm from the rank's current (stale) view."""
+            local_x = np.concatenate((x[block.rows], block.ghosts))
+            return float(np.sum(np.abs(b[block.rows] - block.local.matvec(local_x))))
 
         while queue and not converged:
             t, (kind, rid, payload) = queue.pop()
             rk = ranks[rid]
             if kind == _MESSAGE:
-                slots, values = payload
+                src, seq, slots, values, corrupted = payload
+                if plan and down(rid, t):
+                    # The target window is gone; the put lands nowhere.
+                    tm.puts_dropped += 1
+                    continue
+                if src is not None:
+                    # Reliable protocol: checksum, ack, then dedup by seq.
+                    if corrupted:
+                        tm.puts_corrupted += 1
+                        continue  # no ack -> the sender's timer retries
+                    ch = (src, rid)
+                    if control_lost(rid, src, t):
+                        tm.acks_lost += 1
+                    else:
+                        arrival = t + net.message_time(
+                            1, rk.rng, intra_node=self._same_node(rid, src)
+                        )
+                        queue.push(arrival, (_ACK, src, (rid, seq)))
+                    if seq <= applied_seq.get(ch, -1):
+                        tm.duplicates_suppressed += 1
+                        continue
+                    applied_seq[ch] = seq
                 rk.ghosts[slots] = values
+                tm.puts_delivered += 1
                 fresh[rid] = True
                 if eager and idle[rid] and not rk.stopped:
                     idle[rid] = False
-                    queue.push(t, (_START, rid, None))
+                    queue.push(t, (_START, rid, rk.epoch))
+                continue
+            if kind == _ACK:
+                src, seq = payload
+                pend = outstanding.get((rid, src))
+                if pend is not None:
+                    pend.pop(seq, None)
+                continue
+            if kind == _RETRY:
+                q, seq = payload
+                ch = (rid, q)
+                rec = outstanding.get(ch, {}).get(seq)
+                if rec is None:
+                    continue  # acked (or abandoned) in the meantime
+                if rk.stopped or (plan and down(rid, t)):
+                    # A dead/stopped sender's protocol state dies with it.
+                    outstanding[ch].pop(seq, None)
+                    continue
+                rec[2] += 1
+                if rec[2] > self.max_put_retries:
+                    tm.retry_budget_exhausted += 1
+                    outstanding[ch].pop(seq, None)
+                    continue
+                tm.retries += 1
+                rec[3] *= 2.0  # exponential backoff
+                transmit(ch, seq, rec, t)
+                continue
+            if kind == _HEARTBEAT:
+                if rk.stopped or down(rid, t):
+                    hb_chain_alive[rid] = False
+                    continue
+                tm.heartbeats_sent += 1
+                if rid == 0:
+                    last_hb[0] = t
+                elif control_lost(rid, 0, t):
+                    tm.heartbeats_lost += 1
+                else:
+                    arrival = t + net.message_time(
+                        1, rk.rng, intra_node=self._same_node(rid, 0)
+                    )
+                    queue.push(arrival, (_HB_ARRIVE, 0, rid))
+                queue.push(t + hb_interval, (_HEARTBEAT, rid, None))
+                continue
+            if kind == _HB_ARRIVE:
+                src = payload
+                last_hb[src] = t
+                if presumed_dead[src]:
+                    presumed_dead[src] = False
+                    tm.recoveries.append((src, t))
+                    release_adoption(src)
+                    update_degraded(t)
+                continue
+            if kind == _HB_CHECK:
+                if not down(0, t):
+                    for r in range(1, self.n_ranks):
+                        if presumed_dead[r] or ranks[r].stopped:
+                            continue
+                        if t - last_hb[r] > hb_timeout:
+                            declare_failed(r, t)
+                if not all(
+                    other.stopped or plan.down_forever(other.rank, t)
+                    for other in ranks
+                ):
+                    queue.push(t + hb_interval, (_HB_CHECK, 0, None))
+                continue
+            if kind == _RESTART:
+                if rk.stopped:
+                    continue
+                rk.epoch += 1  # invalidate the pre-crash incarnation's events
+                if rk.ghost_cols.size:
+                    rk.ghosts[:] = x[rk.ghost_cols]  # ghost re-sync
+                tm.restarts.append((rid, t))
+                release_adoption(rid)
+                fresh[rid] = True
+                idle[rid] = False
+                queue.push(t + self._overhead_time(rk), (_START, rid, rk.epoch))
+                if heartbeats_on and not hb_chain_alive[rid]:
+                    hb_chain_alive[rid] = True
+                    queue.push(t, (_HEARTBEAT, rid, None))
+                continue
+            if kind == _FAIL_NOTICE:
+                dead = payload
+                if not presumed_dead[dead] or dead in adopted_by:
+                    continue  # recovered or already adopted: moot
+                if rk.stopped or down(rid, t):
+                    schedule_adoption(dead, t)  # pass it on to someone alive
+                    continue
+                adopted_by[dead] = rid
+                adopters.setdefault(rid, []).append(dead)
+                drk = ranks[dead]
+                if drk.ghost_cols.size:
+                    drk.ghosts[:] = x[drk.ghost_cols]  # ghost re-sync
+                tm.adoptions.append((dead, rid, t))
+                update_degraded(t)
+                if eager and idle[rid] and not rk.stopped:
+                    idle[rid] = False
+                    queue.push(t, (_START, rid, rk.epoch))
                 continue
             if kind == _REPORT:
                 # A rank's residual report reaches the detector (rank 0).
                 reported[rid] = payload
-                if not stop_broadcast and np.sum(reported) / b_norm < tol:
-                    stop_broadcast = True
-                    for other in ranks:
-                        delay = net.message_time(1, other.rng)
-                        queue.push(t + delay, (_STOP, other.rank, None))
+                maybe_stop(t)
                 continue
             if kind == _STOP:
                 rk.stopped = True
                 continue
             if kind == _START:
-                if self.delay.is_hung(rid, t) or rk.stopped:
+                if payload != rk.epoch:
+                    continue  # scheduled by a pre-crash incarnation
+                if self.delay.is_hung(rid, t) or rk.stopped or down(rid, t):
                     continue
                 if eager and not fresh[rid] and rk.ghost_cols.size:
                     # Nothing new to compute with: go idle until a message.
@@ -403,22 +815,40 @@ class DistributedJacobi:
                 fresh[rid] = False
                 # Read-to-write span: reads (own + ghosts) now, write at COMMIT.
                 rk.pending = self._relax_block(rk, x)
+                snap = list(adopters.get(rid, ()))
+                adopt_snapshot[rid] = snap
                 if termination == "detect" and rk.iterations % report_every == 0:
                     # Local residual norm from the same (possibly stale) view.
-                    local_x = np.concatenate((x[rk.rows], rk.ghosts))
-                    local_norm = float(
-                        np.sum(np.abs(b[rk.rows] - rk.local.matvec(local_x)))
-                    )
                     arrival = t + net.message_time(1, rk.rng)
-                    queue.push(arrival, (_REPORT, rid, local_norm))
-                queue.push(t + self._compute_time(rk), (_COMMIT, rid, None))
+                    queue.push(arrival, (_REPORT, rid, local_residual_norm(rk)))
+                compute = self._compute_time(rk)
+                for d in snap:
+                    # Hosting an adopted block: refresh its ghost layer from
+                    # the committed state, relax it, pay its compute time.
+                    drk = ranks[d]
+                    if drk.ghost_cols.size:
+                        drk.ghosts[:] = x[drk.ghost_cols]
+                    drk.pending = self._relax_block(drk, x)
+                    compute += self._compute_time(drk)
+                    if termination == "detect" and rk.iterations % report_every == 0:
+                        arrival = t + net.message_time(1, rk.rng)
+                        queue.push(arrival, (_REPORT, d, local_residual_norm(drk)))
+                queue.push(t + compute, (_COMMIT, rid, rk.epoch))
             else:  # _COMMIT
+                if payload != rk.epoch or down(rid, t):
+                    continue  # the rank crashed inside the read-to-write span
                 x[rk.rows] = rk.pending
                 rk.iterations += 1
                 relaxations += rk.rows.size
                 t_end = t
                 fire_puts(rk, t)
-                commits_since_obs += 1
+                snap = adopt_snapshot.pop(rid, ())
+                for d in snap:
+                    drk = ranks[d]
+                    x[drk.rows] = drk.pending
+                    relaxations += drk.rows.size
+                    fire_puts(drk, t)
+                commits_since_obs += 1 + len(snap)
                 if commits_since_obs >= observe_every:
                     commits_since_obs = 0
                     res = relative_residual_norm(A, x, b)
@@ -432,8 +862,10 @@ class DistributedJacobi:
                     rk.stopped = True
                 else:
                     # Next read only begins after the off-span overhead.
-                    queue.push(t + self._overhead_time(rk), (_START, rid, None))
+                    queue.push(t + self._overhead_time(rk), (_START, rid, rk.epoch))
 
+        if degraded_since is not None:
+            tm.degraded_intervals.append((degraded_since, max(t_end, degraded_since)))
         res = relative_residual_norm(A, x, b)
         if times[-1] < t_end or residuals[-1] != res:
             times.append(max(t_end, times[-1]))
@@ -449,6 +881,7 @@ class DistributedJacobi:
             iterations=np.array([rk.iterations for rk in ranks]),
             total_time=t_end,
             mode="eager" if eager else "async",
+            telemetry=tm,
         )
 
     # ------------------------------------------------------------------

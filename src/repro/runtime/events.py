@@ -8,6 +8,7 @@ ties, so simulations are fully deterministic for a fixed seed.
 from __future__ import annotations
 
 import heapq
+import math
 from itertools import count
 
 from repro.util.errors import SimulationError
@@ -35,9 +36,16 @@ class EventQueue:
     def push(self, time: float, payload) -> None:
         """Schedule ``payload`` at ``time``.
 
-        Scheduling into the past (before the last popped event) indicates a
-        simulator bug and raises :class:`SimulationError`.
+        Scheduling into the past (before the last popped event) or at a NaN
+        time indicates a simulator bug and raises :class:`SimulationError`.
+        A NaN would otherwise poison the heap invariant silently — every
+        comparison against it is False, so events start popping in arbitrary
+        order long after the bad push.
         """
+        if math.isnan(time):
+            raise SimulationError(
+                f"cannot schedule event at NaN time (payload={payload!r})"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"

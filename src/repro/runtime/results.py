@@ -8,6 +8,101 @@ import numpy as np
 
 
 @dataclass
+class FaultTelemetry:
+    """Recovery-path counters and timelines for one simulated run.
+
+    Recorded by the simulators whenever fault machinery is active (a
+    :class:`~repro.faults.FaultPlan`, the reliable-put protocol, or
+    heartbeat failure detection). Times are simulated seconds.
+
+    Attributes
+    ----------
+    puts_sent / puts_delivered / puts_dropped
+        Data puts initiated, applied at a receiver, and lost in flight
+        (steady-state drops, burst drops, partition windows, or arrival at
+        a crashed rank).
+    puts_corrupted
+        Puts whose payload a checksum rejected at the receiver (reliable
+        protocol only; they are retried like drops).
+    retries
+        Reliable-protocol retransmissions after an ack timeout.
+    retry_budget_exhausted
+        Puts abandoned after the full retry budget (information then only
+        reaches the neighbor via a later iteration's put).
+    duplicates_suppressed
+        Received puts discarded by the sequence-number filter (duplicate
+        delivery or out-of-order arrival behind a newer update).
+    acks_lost
+        Acks lost in flight (each one costs the sender a retransmission).
+    heartbeats_sent / heartbeats_lost
+        Liveness beacons sent to the detector rank, and those lost in
+        flight.
+    failures_detected
+        ``(rank, time)`` pairs: the detector declared ``rank`` dead.
+    recoveries
+        ``(rank, time)`` pairs: a presumed-dead rank's heartbeat reached
+        the detector again (restart or healed partition).
+    restarts
+        ``(rank, time)`` pairs: a scripted crash restarted.
+    adoptions
+        ``(dead_rank, adopter_rank, time)`` triples under
+        ``recovery="adopt"``.
+    degraded_intervals
+        ``(start, end)`` windows during which at least one rank was
+        presumed dead and its rows were not being relaxed.
+    """
+
+    puts_sent: int = 0
+    puts_delivered: int = 0
+    puts_dropped: int = 0
+    puts_corrupted: int = 0
+    retries: int = 0
+    retry_budget_exhausted: int = 0
+    duplicates_suppressed: int = 0
+    acks_lost: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_lost: int = 0
+    failures_detected: list = field(default_factory=list)
+    recoveries: list = field(default_factory=list)
+    restarts: list = field(default_factory=list)
+    adoptions: list = field(default_factory=list)
+    degraded_intervals: list = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run ever operated with a presumed-dead rank."""
+        return bool(self.degraded_intervals)
+
+    @property
+    def degraded_time(self) -> float:
+        """Total simulated seconds spent in degraded mode."""
+        return float(sum(end - start for start, end in self.degraded_intervals))
+
+    def detection_latency(self, crash_time: float, rank: int | None = None) -> float:
+        """Seconds from ``crash_time`` to the (matching) failure detection.
+
+        ``rank=None`` uses the first detection at or after ``crash_time``
+        regardless of which rank it names. Returns inf if never detected.
+        """
+        for r, t in self.failures_detected:
+            if t >= crash_time and (rank is None or r == rank):
+                return t - crash_time
+        return float("inf")
+
+    def summary(self) -> str:
+        """One-line digest of the recovery activity."""
+        return (
+            f"puts {self.puts_delivered}/{self.puts_sent} delivered "
+            f"({self.puts_dropped} dropped, {self.puts_corrupted} corrupted, "
+            f"{self.retries} retries, {self.duplicates_suppressed} dup-suppressed), "
+            f"{len(self.failures_detected)} failure(s) detected, "
+            f"{len(self.recoveries)} recover(ies), {len(self.adoptions)} adoption(s), "
+            f"degraded {self.degraded_time:.3e}s over "
+            f"{len(self.degraded_intervals)} interval(s)"
+        )
+
+
+@dataclass
 class SimulationResult:
     """Convergence history of one simulated run.
 
@@ -32,6 +127,9 @@ class SimulationResult:
     trace
         Optional :class:`~repro.core.reconstruct.ExecutionTrace` with
         row-level read versions (recorded only when requested).
+    telemetry
+        Optional :class:`FaultTelemetry` with recovery counters/timelines
+        (recorded whenever fault machinery was active).
     """
 
     x: np.ndarray
@@ -43,6 +141,7 @@ class SimulationResult:
     total_time: float = 0.0
     mode: str = "async"
     trace: object = None
+    telemetry: FaultTelemetry = None
 
     @property
     def final_residual(self) -> float:
@@ -76,11 +175,14 @@ class SimulationResult:
             if self.iterations is not None
             else "no iteration counts"
         )
-        return (
+        line = (
             f"{self.mode}: {state} at residual {self.final_residual:.3e} "
             f"after {self.relaxation_counts[-1]} relaxations "
             f"({iters}, simulated {self.total_time:.3e}s)"
         )
+        if self.telemetry is not None and self.telemetry.degraded:
+            line += f" [degraded {self.telemetry.degraded_time:.3e}s]"
+        return line
 
     def time_at_residual(self, target: float) -> float:
         """Time to reach ``target`` residual, log-interpolated.

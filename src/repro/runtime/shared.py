@@ -43,12 +43,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.reconstruct import ExecutionTrace
+from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.matrices.sparse import CSRMatrix
 from repro.runtime.delays import CompositeDelay, DelayModel, NO_DELAY, StragglerDelay
 from repro.runtime.events import EventQueue
 from repro.runtime.machine import KNL, MachineModel
-from repro.runtime.results import SimulationResult
-from repro.util.errors import ShapeError, SingularMatrixError
+from repro.runtime.results import FaultTelemetry, SimulationResult
+from repro.util.errors import ShapeError, SimulationError, SingularMatrixError
 from repro.util.norms import relative_residual_norm
 from repro.util.rng import spawn_rngs
 from repro.util.validation import check_positive, check_vector
@@ -96,6 +97,15 @@ class SharedMemoryJacobi:
         Seed for all timing jitter (per-thread independent streams).
     omega
         Relaxation weight in (0, 2); 1.0 is plain Jacobi.
+    fault_plan
+        Optional :class:`~repro.faults.FaultPlan` with thread-death events
+        (``Crash``/``ThreadDeath``; message-level faults are meaningless in
+        shared memory and rejected). A crashed thread stops relaxing — its
+        in-flight update is discarded — and, with ``restart_after`` set,
+        resumes from the current shared iterate at the restart time.
+        Applies to asynchronous runs; a synchronous run with scripted
+        crashes raises :class:`SimulationError` (the barrier would never
+        complete).
     """
 
     def __init__(
@@ -107,6 +117,7 @@ class SharedMemoryJacobi:
         delay: DelayModel = NO_DELAY,
         seed=None,
         omega: float = 1.0,
+        fault_plan: FaultPlan | None = None,
     ):
         if A.nrows != A.ncols:
             raise ShapeError(f"matrix must be square, got {A.shape}")
@@ -129,6 +140,22 @@ class SharedMemoryJacobi:
         self.machine = machine
         self.delay = delay
         self.seed = seed
+        self.fault_plan = NO_FAULTS if fault_plan is None else fault_plan
+        if (
+            self.fault_plan.partitions
+            or self.fault_plan.drop_bursts
+            or self.fault_plan.corrupt_bursts
+        ):
+            raise ValueError(
+                "the shared-memory simulator supports only crash/thread-death "
+                "fault events; partitions and message bursts need the "
+                "distributed simulator"
+            )
+        if self.fault_plan.agents() and max(self.fault_plan.agents()) >= n_threads:
+            raise ShapeError(
+                f"fault plan kills thread {max(self.fault_plan.agents())}, "
+                f"but only {n_threads} threads exist"
+            )
         # Compact pinning: with T <= cores each thread has its own core;
         # beyond that, adjacent threads (adjacent row blocks) share a core.
         self.n_cores = min(self.n_threads, machine.cores)
@@ -200,6 +227,8 @@ class SharedMemoryJacobi:
         threads = self._make_threads(record_trace)
         trace = ExecutionTrace(self.n) if record_trace else None
         version = np.zeros(self.n, dtype=np.int64) if record_trace else None
+        plan = self.fault_plan
+        tm = FaultTelemetry()
 
         # Per-core run queues implementing iteration-granularity round-robin.
         core_queue = [deque() for _ in range(self.n_cores)]
@@ -237,16 +266,30 @@ class SharedMemoryJacobi:
         t_end = 0.0
         hard_cap = 100 * max_iterations
 
+        def crash_wake(tid: int, t: float) -> None:
+            """Schedule the thread's post-restart wake-up, if one is coming."""
+            restart = plan.next_restart(tid, t)
+            if restart is not None:
+                tm.restarts.append((tid, restart))
+                queue.push(restart, (_REQUEST, tid))
+
         machine = self.machine
         while queue and not converged:
             t, (kind, tid) = queue.pop()
             th = threads[tid]
             if kind == _REQUEST:
-                # A delayed thread's wake-up: ask for the core again.
+                # A delayed (or restarted) thread's wake-up: ask for the
+                # core again.
                 request_run(th, t)
             elif kind == _START:
                 if self.delay.is_hung(tid, t) or th.stopped:
                     release_core(th.core, t)
+                    continue
+                if plan and plan.is_down(tid, t):
+                    # Thread death: the chain ends here; a scripted restart
+                    # resumes it from the then-current shared iterate.
+                    release_core(th.core, t)
+                    crash_wake(tid, t)
                     continue
                 # Read-to-write span: snapshot reads now, writes at COMMIT.
                 lo, hi = th.lo, th.hi
@@ -263,6 +306,11 @@ class SharedMemoryJacobi:
                 ) * self._slowdown(tid)
                 queue.push(t + compute, (_COMMIT, tid))
             elif kind == _COMMIT:
+                if plan and plan.is_down(tid, t):
+                    # Died inside the read-to-write span: the update is lost.
+                    release_core(th.core, t)
+                    crash_wake(tid, t)
+                    continue
                 lo, hi = th.lo, th.hi
                 x[lo:hi] = th.pending
                 th.iterations += 1
@@ -300,7 +348,9 @@ class SharedMemoryJacobi:
                 elif th.iterations >= max_iterations:
                     th.stopped = True
                 release_core(th.core, t)
-                if not th.stopped:
+                if plan and plan.is_down(tid, t):
+                    crash_wake(tid, t)
+                elif not th.stopped:
                     # Injected sleeps happen off-core, before re-queueing.
                     extra = self.delay.extra_time(tid, th.iterations, th.rng)
                     if extra > 0:
@@ -315,6 +365,12 @@ class SharedMemoryJacobi:
             residuals.append(res)
             counts.append(relaxations)
         converged = converged or res < tol
+        # Degraded mode in shared memory needs no detector: the crash
+        # windows are the intervals during which a block went unrelaxed.
+        for tid in sorted(plan.agents()):
+            for crash_at, restart_at in plan.crash_times(tid):
+                if crash_at < t_end:
+                    tm.degraded_intervals.append((crash_at, min(restart_at, t_end)))
         return SimulationResult(
             x=x,
             converged=converged,
@@ -325,6 +381,7 @@ class SharedMemoryJacobi:
             total_time=t_end,
             mode="async",
             trace=trace,
+            telemetry=tm,
         )
 
     # ------------------------------------------------------------------
@@ -342,6 +399,11 @@ class SharedMemoryJacobi:
         injected delay) — plus the barrier cost.
         """
         check_positive(tol, "tol")
+        if self.fault_plan.agents():
+            raise SimulationError(
+                "synchronous mode deadlocks on a crashed thread (the barrier "
+                "never completes); run mode='async' or drop the fault plan"
+            )
         A, b, dinv = self.A, self.b, self.dinv
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
         threads = self._make_threads(record_trace=False)

@@ -73,6 +73,12 @@ class SolveResult:
     residual_norms: list = field(default_factory=list)
     info: dict = field(default_factory=dict)
 
+    @property
+    def telemetry(self):
+        """Recovery telemetry (:class:`~repro.runtime.results.FaultTelemetry`)
+        when the backend recorded one, else None."""
+        return self.info.get("telemetry")
+
 
 def _as_csr(A) -> CSRMatrix:
     if isinstance(A, CSRMatrix):
@@ -157,7 +163,7 @@ def solve(
         n_threads = kwargs.pop("n_threads", 4)
         sim_kwargs = {
             k: kwargs.pop(k)
-            for k in ("machine", "delay", "seed", "omega")
+            for k in ("machine", "delay", "seed", "omega", "fault_plan")
             if k in kwargs
         }
         sim = SharedMemoryJacobi(A, b, n_threads=n_threads, **sim_kwargs)
@@ -168,7 +174,7 @@ def solve(
             method=method,
             iterations=res.mean_iterations,
             residual_norms=list(res.residual_norms),
-            info={"simulation": res},
+            info={"simulation": res, "telemetry": res.telemetry},
         )
 
     if method == "distributed_sim":
@@ -184,6 +190,16 @@ def solve(
                 "drop_probability",
                 "duplicate_probability",
                 "omega",
+                "local_sweep",
+                "ranks_per_node",
+                "fault_plan",
+                "fault_seed",
+                "reliable",
+                "recovery",
+                "heartbeat_interval",
+                "heartbeat_miss",
+                "ack_timeout",
+                "max_put_retries",
             )
             if k in kwargs
         }
@@ -195,7 +211,7 @@ def solve(
             method=method,
             iterations=res.mean_iterations,
             residual_norms=list(res.residual_norms),
-            info={"simulation": res},
+            info={"simulation": res, "telemetry": res.telemetry},
         )
 
     if method == "threads":

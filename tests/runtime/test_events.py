@@ -41,6 +41,14 @@ class TestEventQueue:
         q.push(2.0, "y")  # immediate rescheduling at the current time
         assert q.pop() == (2.0, "y")
 
+    def test_rejects_nan_time(self):
+        # Regression: a NaN timestamp used to poison the heap (NaN compares
+        # false with everything, so heap order silently broke downstream).
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="NaN"):
+            q.push(float("nan"), "poison")
+        assert len(q) == 0
+
     def test_pop_empty_raises(self):
         with pytest.raises(SimulationError):
             EventQueue().pop()

@@ -1,0 +1,511 @@
+"""Fault plans, reliable puts, heartbeat detection, recovery, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CorruptBurst,
+    DropBurst,
+    FaultPlan,
+    FaultPlanError,
+    NO_FAULTS,
+    PartitionWindow,
+    RankCrash,
+    ThreadDeath,
+)
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.runtime.delays import CompositeDelay, ConstantDelay, PlanDelay
+from repro.runtime.distributed import DistributedJacobi
+from repro.runtime.shared import SharedMemoryJacobi
+from repro.util.errors import ShapeError, SimulationError
+
+
+@pytest.fixture
+def system(rng):
+    A = fd_laplacian_2d(9, 9)
+    b = rng.uniform(-1, 1, 81)
+    x0 = rng.uniform(-1, 1, 81)
+    return A, b, x0
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not NO_FAULTS
+        assert not FaultPlan()
+        assert FaultPlan([RankCrash(agent=0, at=1.0)])
+
+    def test_crash_windows(self):
+        plan = FaultPlan([RankCrash(agent=2, at=1.0, restart_after=0.5)])
+        assert not plan.is_down(2, 0.9)
+        assert plan.is_down(2, 1.0)
+        assert plan.is_down(2, 1.4)
+        assert not plan.is_down(2, 1.5)  # restart instant is alive
+        assert not plan.is_down(0, 1.2)
+        assert not plan.down_forever(2, 1.2)
+        assert plan.next_restart(2, 1.2) == 1.5
+        assert plan.restart_times(2) == [1.5]
+
+    def test_permanent_crash(self):
+        plan = FaultPlan([RankCrash(agent=1, at=2.0)])
+        assert plan.is_down(1, 100.0)
+        assert plan.down_forever(1, 2.0)
+        assert plan.next_restart(1, 3.0) is None
+        assert plan.restart_times(1) == []
+
+    def test_overlapping_crashes_rejected(self):
+        with pytest.raises(FaultPlanError, match="already down"):
+            FaultPlan(
+                [
+                    RankCrash(agent=0, at=1.0, restart_after=2.0),
+                    RankCrash(agent=0, at=2.0, restart_after=0.1),
+                ]
+            )
+        with pytest.raises(FaultPlanError, match="already down"):
+            FaultPlan([RankCrash(agent=0, at=1.0), RankCrash(agent=0, at=5.0)])
+
+    def test_sequential_crashes_allowed(self):
+        plan = FaultPlan(
+            [
+                RankCrash(agent=0, at=1.0, restart_after=1.0),
+                RankCrash(agent=0, at=3.0, restart_after=1.0),
+            ]
+        )
+        assert plan.is_down(0, 1.5) and not plan.is_down(0, 2.5)
+        assert plan.is_down(0, 3.5)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(FaultPlanError):
+            RankCrash(agent=0, at=-1.0)
+        with pytest.raises(FaultPlanError):
+            RankCrash(agent=0, at=float("nan"))
+        with pytest.raises(FaultPlanError):
+            RankCrash(agent=0, at=1.0, restart_after=0.0)
+        with pytest.raises(FaultPlanError):
+            PartitionWindow(group=frozenset(), start=0.0, duration=1.0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(["not an event"])
+
+    def test_partition_severs_only_across_groups(self):
+        w = PartitionWindow(group=frozenset({0, 1}), start=1.0, duration=1.0)
+        plan = FaultPlan([w])
+        assert plan.blocks_message(0, 2, 1.5)
+        assert plan.blocks_message(2, 1, 1.5)
+        assert not plan.blocks_message(0, 1, 1.5)  # same side
+        assert not plan.blocks_message(2, 3, 1.5)  # same side
+        assert not plan.blocks_message(0, 2, 2.5)  # window over
+
+    def test_drop_bursts_combine_independently(self):
+        plan = FaultPlan(
+            [
+                DropBurst(start=0.0, duration=2.0, probability=0.5),
+                DropBurst(start=1.0, duration=2.0, probability=0.5, agents={0}),
+            ]
+        )
+        assert plan.drop_probability(0, 0.5) == pytest.approx(0.5)
+        assert plan.drop_probability(0, 1.5) == pytest.approx(0.75)
+        assert plan.drop_probability(1, 1.5) == pytest.approx(0.5)
+        assert plan.drop_probability(0, 5.0) == 0.0
+        assert plan.corrupt_probability(0, 1.5) == 0.0
+
+    def test_from_spec_dsl(self):
+        plan = FaultPlan.from_spec(
+            [
+                {"kind": "crash", "rank": 3, "at": 1e-4, "restart_after": 5e-5},
+                {"kind": "crash", "thread": 1, "at": 2e-4},
+                {"kind": "partition", "group": [0, 1], "start": 0.0, "duration": 1e-4},
+                {"kind": "drop", "start": 0.0, "duration": 1e-4, "probability": 0.05},
+                {"kind": "corrupt", "start": 0.0, "duration": 1e-4, "probability": 0.01},
+            ],
+            seed=7,
+        )
+        assert plan.agents() == {1, 3}
+        assert plan.seed == 7
+        assert len(plan.partitions) == 1
+        assert len(plan.drop_bursts) == 1 and len(plan.corrupt_bursts) == 1
+        assert isinstance(plan.corrupt_bursts[0], CorruptBurst)
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.from_spec([{"kind": "meteor", "at": 0.0}])
+        with pytest.raises(FaultPlanError, match="agent"):
+            FaultPlan.from_spec([{"kind": "crash", "at": 0.0}])
+        with pytest.raises(FaultPlanError, match="malformed"):
+            FaultPlan.from_spec([{"kind": "crash", "agent": 0, "when": 0.0}])
+
+    def test_describe_mentions_every_event(self):
+        plan = FaultPlan(
+            [
+                RankCrash(agent=3, at=1.0),
+                PartitionWindow(group=frozenset({0}), start=0.0, duration=1.0),
+                DropBurst(start=0.0, duration=1.0, probability=0.1),
+            ]
+        )
+        text = plan.describe()
+        assert "agent 3" in text and "never restarts" in text
+        assert "partition" in text and "drop burst" in text
+        assert NO_FAULTS.describe() == "FaultPlan: no scripted faults"
+
+    def test_plan_delay_adapter(self):
+        plan = FaultPlan([ThreadDeath(agent=1, at=1.0, restart_after=1.0)])
+        delay = CompositeDelay(ConstantDelay({0: 1e-6}), PlanDelay(plan))
+        assert delay.is_hung(1, 1.5)
+        assert not delay.is_hung(1, 2.5)
+        assert delay.extra_time(0, 0, None) == 1e-6
+
+
+class TestReliablePuts:
+    def test_retries_recover_dropped_puts(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([DropBurst(start=0.0, duration=1e-3, probability=0.3)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, fault_plan=plan, fault_seed=50, recovery="none"
+        )
+        res = sim.run_async(x0=x0, tol=1e-5, max_iterations=4000)
+        tm = res.telemetry
+        assert res.converged
+        assert tm.puts_dropped > 0 and tm.retries > 0
+        assert tm.puts_delivered > 0
+
+    def test_duplicate_suppression(self, system):
+        A, b, x0 = system
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, duplicate_probability=0.2, reliable=True
+        )
+        res = sim.run_async(x0=x0, tol=1e-5, max_iterations=4000)
+        assert res.converged
+        assert res.telemetry.duplicates_suppressed > 0
+
+    def test_retry_budget_exhaustion_terminates(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([DropBurst(start=0.0, duration=1.0, probability=0.9)])
+        sim = DistributedJacobi(
+            A,
+            b,
+            n_ranks=4,
+            seed=5,
+            fault_plan=plan,
+            fault_seed=50,
+            recovery="none",
+            max_put_retries=2,
+        )
+        res = sim.run_async(x0=x0, tol=1e-8, max_iterations=300)
+        assert res.telemetry.retry_budget_exhausted > 0
+
+    def test_reliable_defaults_on_with_plan_off_without(self, system):
+        A, b, _ = system
+        assert DistributedJacobi(A, b, n_ranks=4).reliable is False
+        plan = FaultPlan([DropBurst(start=0.0, duration=1.0, probability=0.1)])
+        assert DistributedJacobi(A, b, n_ranks=4, fault_plan=plan).reliable is True
+        assert (
+            DistributedJacobi(A, b, n_ranks=4, fault_plan=plan, reliable=False).reliable
+            is False
+        )
+
+    def test_corruption_is_dropped_and_retried(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([CorruptBurst(start=0.0, duration=5e-4, probability=0.2)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, fault_plan=plan, fault_seed=51, recovery="none"
+        )
+        res = sim.run_async(x0=x0, tol=1e-5, max_iterations=4000)
+        assert res.converged
+        assert res.telemetry.puts_corrupted > 0
+        assert res.telemetry.retries > 0
+
+
+class TestDetectionAndRecovery:
+    def test_heartbeats_detect_permanent_crash(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=3, at=1e-4)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, fault_plan=plan, recovery="freeze"
+        )
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=3000)
+        tm = res.telemetry
+        assert [r for r, _ in tm.failures_detected] == [3]
+        assert tm.detection_latency(1e-4, rank=3) > 0
+        assert tm.heartbeats_sent > 0
+
+    def test_restart_recovery_and_telemetry(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=2, at=5e-5, restart_after=5e-4)])
+        sim = DistributedJacobi(
+            A,
+            b,
+            n_ranks=4,
+            seed=5,
+            fault_plan=plan,
+            recovery="freeze",
+            heartbeat_interval=2e-5,
+        )
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=4000)
+        tm = res.telemetry
+        assert res.converged
+        assert [r for r, _ in tm.failures_detected] == [2]
+        assert [r for r, _ in tm.restarts] == [2]
+        assert [r for r, _ in tm.recoveries] == [2]
+        # The degraded window closes once the rank returns.
+        assert tm.degraded
+        assert tm.degraded_time <= res.total_time
+
+    def test_adoption_rescues_global_convergence(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=3, at=1e-4)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, fault_plan=plan, recovery="adopt"
+        )
+        res = sim.run_async(
+            x0=x0, tol=1e-6, max_iterations=4000, termination="detect"
+        )
+        tm = res.telemetry
+        assert res.converged and res.final_residual <= 1e-6
+        assert tm.adoptions and tm.adoptions[0][0] == 3
+        # Adoption ends the degraded interval before the run does.
+        assert not tm.degraded or tm.degraded_time < res.total_time
+
+    def test_detect_termination_with_crashed_reporter(self, system):
+        """termination='detect' must not hang when a reporter dies: the
+        detector excludes presumed-dead ranks from the stop criterion and the
+        run ends in degraded mode."""
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=2, at=1e-4)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, fault_plan=plan, recovery="freeze"
+        )
+        res = sim.run_async(
+            x0=x0, tol=1e-6, max_iterations=4000, termination="detect"
+        )
+        # Terminates long before the iteration cap (live ranks' blocks solved).
+        assert res.mean_iterations < 4000
+        tm = res.telemetry
+        assert [r for r, _ in tm.failures_detected] == [2]
+        assert tm.degraded and tm.degraded_time > 0
+
+    def test_freeze_without_detect_runs_to_cap(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=1, at=1e-4)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, fault_plan=plan, recovery="none", reliable=False
+        )
+        res = sim.run_async(x0=x0, tol=1e-10, max_iterations=150)
+        assert not res.converged
+        assert res.final_residual > 1e-10
+
+    def test_validation(self, system):
+        A, b, _ = system
+        plan = FaultPlan([RankCrash(agent=9, at=1.0)])
+        with pytest.raises(ShapeError):
+            DistributedJacobi(A, b, n_ranks=4, fault_plan=plan)
+        with pytest.raises(ValueError, match="recovery"):
+            DistributedJacobi(A, b, n_ranks=4, recovery="resurrect")
+
+
+class TestFaultReproducibility:
+    def test_same_fault_seed_identical(self, system):
+        A, b, x0 = system
+        plan = FaultPlan(
+            [
+                RankCrash(agent=2, at=1e-4, restart_after=2e-4),
+                DropBurst(start=0.0, duration=5e-4, probability=0.1),
+            ]
+        )
+
+        def go(fault_seed):
+            sim = DistributedJacobi(
+                A, b, n_ranks=4, seed=5, fault_plan=plan, fault_seed=fault_seed
+            )
+            return sim.run_async(x0=x0, tol=1e-6, max_iterations=4000)
+
+        r1, r2 = go(99), go(99)
+        np.testing.assert_array_equal(r1.x, r2.x)
+        assert r1.total_time == r2.total_time
+        assert r1.telemetry.puts_dropped == r2.telemetry.puts_dropped
+        assert r1.telemetry.retries == r2.telemetry.retries
+
+    def test_different_fault_seed_differs(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([DropBurst(start=0.0, duration=5e-4, probability=0.2)])
+
+        def go(fault_seed):
+            sim = DistributedJacobi(
+                A, b, n_ranks=4, seed=5, fault_plan=plan, fault_seed=fault_seed
+            )
+            return sim.run_async(x0=x0, tol=1e-6, max_iterations=4000)
+
+        assert go(1).telemetry.puts_dropped != go(2).telemetry.puts_dropped
+
+    def test_plan_seed_is_the_default_fault_seed(self, system):
+        A, b, x0 = system
+
+        def go(plan):
+            sim = DistributedJacobi(A, b, n_ranks=4, seed=5, fault_plan=plan)
+            return sim.run_async(x0=x0, tol=1e-6, max_iterations=4000)
+
+        spec = [{"kind": "drop", "start": 0.0, "duration": 5e-4, "probability": 0.1}]
+        r1 = go(FaultPlan.from_spec(spec, seed=42))
+        r2 = go(FaultPlan.from_spec(spec, seed=42))
+        np.testing.assert_array_equal(r1.x, r2.x)
+
+
+class TestSharedMemoryFaults:
+    def test_thread_death_and_restart(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([ThreadDeath(agent=2, at=2e-5, restart_after=3e-5)])
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=7, fault_plan=plan)
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=5000)
+        tm = res.telemetry
+        assert res.converged
+        assert [t for t, _ in tm.restarts] == [2]
+        assert tm.degraded and tm.degraded_time == pytest.approx(3e-5)
+
+    def test_permanent_thread_death_stalls(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([ThreadDeath(agent=1, at=2e-5)])
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=7, fault_plan=plan)
+        res = sim.run_async(x0=x0, tol=1e-8, max_iterations=800)
+        assert not res.converged  # the dead thread's rows are never relaxed
+        assert res.telemetry.degraded
+
+    def test_sync_mode_refuses_crash_plans(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([ThreadDeath(agent=0, at=1e-5)])
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=7, fault_plan=plan)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_sync(x0=x0, tol=1e-6, max_iterations=100)
+
+    def test_message_faults_rejected(self, system):
+        A, b, _ = system
+        plan = FaultPlan(
+            [PartitionWindow(group=frozenset({0}), start=0.0, duration=1.0)]
+        )
+        with pytest.raises(ValueError, match="crash/thread-death"):
+            SharedMemoryJacobi(A, b, n_threads=4, fault_plan=plan)
+        with pytest.raises(ShapeError):
+            SharedMemoryJacobi(
+                A, b, n_threads=4,
+                fault_plan=FaultPlan([ThreadDeath(agent=7, at=1.0)]),
+            )
+
+
+def _dedup_crashes(events):
+    """Drop events that collide (same agent crashing while already down)."""
+    out, down = [], {}
+    for ev in events:
+        if isinstance(ev, RankCrash):
+            lo, hi = down.get(ev.agent, (None, None))
+            if lo is not None and not (ev.restart_time <= lo or ev.at >= hi):
+                continue
+            down[ev.agent] = (ev.at, ev.restart_time)
+        out.append(ev)
+    return out
+
+
+class TestTheorem1UnderFaults:
+    """Theorem 1 in the model's own terms: a crashed or dropped row is one
+    absent from the relaxation mask, and for W.D.D. matrices the residual
+    1-norm never increases, whatever the mask sequence does. (The machine
+    simulators add read-to-commit staleness, so their *snapshot* residuals
+    may transiently rise; the guarantee lives at the model layer.)"""
+
+    def test_property_residual_nonincreasing_under_random_faults(self):
+        from hypothesis import given, settings, strategies as st
+
+        from repro.core.model import AsyncJacobiModel
+        from repro.faults import FaultMaskedSchedule
+
+        A = fd_laplacian_2d(6, 6)  # unit diagonal, W.D.D.
+        n = A.nrows
+        labels = np.repeat(np.arange(4), n // 4)
+
+        # Plan times are in model steps (dt=1): crashes (permanent = hang,
+        # or crash + restart) and per-row drop bursts.
+        events_strategy = st.lists(
+            st.one_of(
+                st.builds(
+                    lambda a, at, ra: RankCrash(agent=a, at=at, restart_after=ra),
+                    st.integers(0, 3),
+                    st.integers(0, 40),
+                    st.one_of(st.none(), st.integers(1, 40)),
+                ),
+                st.builds(
+                    lambda s, d, p: DropBurst(start=s, duration=d, probability=p),
+                    st.integers(0, 40),
+                    st.integers(1, 40),
+                    st.floats(0.0, 0.9),
+                ),
+            ),
+            max_size=5,
+        )
+
+        @settings(max_examples=25, deadline=None)
+        @given(events_strategy, st.integers(0, 2**31 - 1))
+        def check(events, seed):
+            plan = FaultPlan(_dedup_crashes(events))
+            rng = np.random.default_rng(seed)
+            b = rng.uniform(-1, 1, n)
+            x0 = rng.uniform(-1, 1, n)
+            schedule = FaultMaskedSchedule(labels, plan, seed=seed)
+            res = AsyncJacobiModel(A, b).run(
+                schedule, x0=x0, tol=1e-300, max_steps=60, record_every=1
+            )
+            history = res.residual_norms
+            assert len(history) > 1
+            for prev, nxt in zip(history, history[1:]):
+                assert nxt <= prev * (1 + 1e-10) + 1e-14
+
+        check()
+
+    def test_property_simulator_survives_random_faults(self):
+        """Liveness: the distributed simulator terminates (no deadlock, no
+        poisoned event queue) under arbitrary crash/partition/drop schedules
+        with detection and recovery enabled."""
+        from hypothesis import given, settings, strategies as st
+
+        A = fd_laplacian_2d(6, 6)
+        n = A.nrows
+
+        events_strategy = st.lists(
+            st.one_of(
+                st.builds(
+                    lambda a, at, ra: RankCrash(agent=a, at=at, restart_after=ra),
+                    st.integers(0, 3),
+                    st.floats(1e-6, 5e-4),
+                    st.one_of(st.none(), st.floats(1e-5, 5e-4)),
+                ),
+                st.builds(
+                    lambda s, d, p: DropBurst(start=s, duration=d, probability=p),
+                    st.floats(0, 5e-4),
+                    st.floats(1e-5, 5e-4),
+                    st.floats(0.0, 0.6),
+                ),
+                st.builds(
+                    lambda g, s, d: PartitionWindow(
+                        group=frozenset(g), start=s, duration=d
+                    ),
+                    st.sets(st.integers(0, 3), min_size=1, max_size=2),
+                    st.floats(0, 5e-4),
+                    st.floats(1e-5, 5e-4),
+                ),
+            ),
+            max_size=4,
+        )
+
+        @settings(max_examples=10, deadline=None)
+        @given(events_strategy, st.integers(0, 2**31 - 1))
+        def check(events, seed):
+            plan = FaultPlan(_dedup_crashes(events))
+            rng = np.random.default_rng(seed)
+            b = rng.uniform(-1, 1, n)
+            sim = DistributedJacobi(
+                A, b, n_ranks=4, seed=seed % 1000, fault_plan=plan,
+                fault_seed=seed, recovery="adopt",
+            )
+            res = sim.run_async(
+                tol=1e-7, max_iterations=250, termination="detect"
+            )
+            assert np.isfinite(res.total_time)
+            assert np.all(np.isfinite(res.x))
+            tm = res.telemetry
+            assert tm.puts_delivered <= tm.puts_sent + tm.duplicates_suppressed
+
+        check()

@@ -26,7 +26,8 @@ class TestReadme:
         assert result.converged
 
     def test_mentions_all_deliverable_docs(self, readme):
-        for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/theory.md", "docs/simulators.md"):
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/theory.md", "docs/simulators.md",
+                    "docs/fault_tolerance.md"):
             assert doc in readme
 
     def test_every_example_listed(self, readme):
@@ -54,5 +55,6 @@ class TestBenchmarkCoverage:
             "bench_table1.py", "bench_fig1.py", "bench_fig2.py", "bench_fig3.py",
             "bench_fig4.py", "bench_fig5.py", "bench_fig6.py", "bench_fig7.py",
             "bench_fig8.py", "bench_fig9.py", "bench_ablations.py",
+            "bench_faults.py",
         ):
             assert required in benches
