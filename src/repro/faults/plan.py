@@ -266,7 +266,13 @@ class FaultPlan:
             kind = entry.pop("kind", None)
             try:
                 if kind == "crash":
-                    agent = entry.pop("agent", entry.pop("rank", entry.pop("thread", None)))
+                    keys = [k for k in ("agent", "rank", "thread") if k in entry]
+                    if len(keys) > 1:
+                        raise FaultPlanError(
+                            "crash entry must identify its agent by exactly "
+                            f"one of 'agent'/'rank'/'thread', got {keys}"
+                        )
+                    agent = entry.pop(keys[0]) if keys else None
                     if agent is None:
                         raise FaultPlanError("crash entry needs an 'agent' id")
                     events.append(Crash(agent=agent, **entry))

@@ -31,8 +31,10 @@ drives graceful degradation — surviving neighbours freeze a dead rank's
 ghost values (``recovery="freeze"``, the paper's "delayed until
 convergence" regime) or adopt its rows after a ghost re-sync
 (``recovery="adopt"``) — and ``termination="detect"`` excludes presumed-dead
-reporters so detection can no longer hang on a crashed rank. Per-run
-recovery telemetry lands in
+reporters so detection can no longer hang on a crashed rank. Rank 0 is the
+detector and does not monitor itself: while a plan has it down, detection
+and STOP broadcasting are suspended (reports and declarations resume if it
+restarts). Per-run recovery telemetry lands in
 :class:`~repro.runtime.results.FaultTelemetry`.
 """
 
@@ -69,6 +71,10 @@ from repro.util.validation import check_positive, check_probability, check_vecto
     _RESTART,
     _FAIL_NOTICE,
 ) = range(12)
+
+#: Self-rescheduling liveness traffic: the only event kinds that may remain
+#: pending forever. Everything else either drains or advances the iteration.
+_HB_KINDS = frozenset({_HEARTBEAT, _HB_ARRIVE, _HB_CHECK})
 
 
 @dataclass
@@ -394,7 +400,10 @@ class DistributedJacobi:
             relaxes again after at least one new ghost message arrived since
             its last relaxation (ranks without neighbors always proceed).
             Avoids wasted relaxations at the price of idle waiting — the
-            comparator discussed in the paper's related work.
+            comparator discussed in the paper's related work. When failure
+            detection is on, a rank whose every sender is stopped or
+            confirmed dead stops waiting and free-runs against its frozen
+            ghosts (nothing could ever wake it).
         termination
             ``"count"`` — the paper's naive scheme: each rank stops after
             ``max_iterations`` local iterations; the zero-communication
@@ -410,6 +419,12 @@ class DistributedJacobi:
             from the sum, so a crashed reporter can no longer hang the
             run: the survivors stop once *their* residuals are below
             tolerance and the result is flagged degraded.
+
+            Rank 0 plays both the detector and the termination aggregator
+            and does not monitor itself; while a fault plan has rank 0
+            down, incoming residual reports are lost, no failure is
+            declared and no STOP is broadcast — if it never restarts, the
+            survivors simply run to ``max_iterations``.
         """
         check_positive(tol, "tol")
         if termination not in ("count", "detect"):
@@ -460,6 +475,11 @@ class DistributedJacobi:
         # Eager-mode bookkeeping: has rank seen fresh data since last relax?
         fresh = [True] * self.n_ranks
         idle = [False] * self.n_ranks
+        # Incoming-neighbour sets: which ranks put into rid's ghost layer.
+        senders = [set() for _ in range(self.n_ranks)]
+        for rk in ranks:
+            for q, _, _ in rk.send_plan:
+                senders[q].add(rk.rank)
         # Termination detection state (rank 0 is the detector).
         b_norm = float(np.sum(np.abs(b))) or 1.0
         reported = np.full(self.n_ranks, np.inf)
@@ -486,6 +506,7 @@ class DistributedJacobi:
         hb_timeout = self.heartbeat_miss * hb_interval
         last_hb = [0.0] * self.n_ranks
         hb_chain_alive = [False] * self.n_ranks
+        hb_stopped = False  # set once the run is quiescent; chains then end
         presumed_dead = [False] * self.n_ranks
         adopted_by: dict = {}  # dead rank -> adopter rank
         adopters: dict = {}  # adopter rank -> [dead ranks]
@@ -604,6 +625,43 @@ class DistributedJacobi:
                         arrival, (_MESSAGE, q, (None, None, slots_q, values.copy(), False))
                     )
 
+        def has_live_source(rid: int, t: float) -> bool:
+            """Whether any ghost data could still reach ``rid``, now or later.
+
+            A sender counts as live while it is running or may yet restart.
+            A presumed-dead, unadopted sender does not (freeze regime:
+            nobody will ever relay its rows); an adopted one does (its
+            adopter fires its puts)."""
+            for p in senders[rid]:
+                if p in adopted_by:
+                    return True
+                if ranks[p].stopped or plan.down_forever(p, t) or presumed_dead[p]:
+                    continue
+                return True
+            return False
+
+        def wake_orphans(t: float) -> None:
+            """Resume idle eager ranks whose every data source is gone.
+
+            An eager rank parks until a message arrives; once no live
+            sender remains, none ever will — the rank must free-run
+            against its frozen ghosts (the paper's delayed-until-
+            convergence regime) to ``max_iterations`` instead of idling
+            forever under a live heartbeat chain (which would keep the
+            event loop spinning and hang the run)."""
+            if not eager:
+                return
+            for other in ranks:
+                r = other.rank
+                if (
+                    idle[r]
+                    and not other.stopped
+                    and not down(r, t)
+                    and not has_live_source(r, t)
+                ):
+                    idle[r] = False
+                    queue.push(t, (_START, r, other.epoch))
+
         def update_degraded(t: float) -> None:
             """Open/close the degraded-mode interval on membership changes."""
             nonlocal degraded_since
@@ -622,6 +680,8 @@ class DistributedJacobi:
             nonlocal stop_broadcast
             if termination != "detect" or stop_broadcast:
                 return
+            if plan and down(0, t):
+                return  # a crashed detector aggregates nothing, stops nobody
             included = np.array(
                 [
                     not (presumed_dead[r] and r not in adopted_by)
@@ -654,6 +714,7 @@ class DistributedJacobi:
             update_degraded(t)
             if self.recovery == "adopt":
                 schedule_adoption(r, t)
+            wake_orphans(t)
             maybe_stop(t)
 
         def release_adoption(dead: int) -> None:
@@ -725,7 +786,7 @@ class DistributedJacobi:
                 transmit(ch, seq, rec, t)
                 continue
             if kind == _HEARTBEAT:
-                if rk.stopped or down(rid, t):
+                if hb_stopped or rk.stopped or down(rid, t):
                     hb_chain_alive[rid] = False
                     continue
                 tm.heartbeats_sent += 1
@@ -756,10 +817,27 @@ class DistributedJacobi:
                             continue
                         if t - last_hb[r] > hb_timeout:
                             declare_failed(r, t)
-                if not all(
-                    other.stopped or plan.down_forever(other.rank, t)
+                wake_orphans(t)
+                # Quiescence: once every rank is finished (or parked on a
+                # peer that can only be woken by traffic that no longer
+                # exists), stop the detector and let the queue drain —
+                # otherwise the self-rescheduling heartbeat chains keep
+                # ``while queue`` alive forever.
+                quiescent = all(
+                    other.stopped
+                    or plan.down_forever(other.rank, t)
+                    or idle[other.rank]
                     for other in ranks
-                ):
+                )
+                if quiescent and any(idle):
+                    # An idle rank is only truly stuck when no data, retry
+                    # or restart event is still in flight to wake it.
+                    quiescent = all(
+                        pl[0] in _HB_KINDS for pl in queue.pending_payloads()
+                    )
+                if quiescent:
+                    hb_stopped = True
+                else:
                     queue.push(t + hb_interval, (_HB_CHECK, 0, None))
                 continue
             if kind == _RESTART:
@@ -796,7 +874,10 @@ class DistributedJacobi:
                     queue.push(t, (_START, rid, rk.epoch))
                 continue
             if kind == _REPORT:
-                # A rank's residual report reaches the detector (rank 0).
+                # A rank's residual report reaches the detector (rank 0);
+                # while rank 0 is scripted down the report lands nowhere.
+                if plan and down(0, t):
+                    continue
                 reported[rid] = payload
                 maybe_stop(t)
                 continue
@@ -808,8 +889,12 @@ class DistributedJacobi:
                     continue  # scheduled by a pre-crash incarnation
                 if self.delay.is_hung(rid, t) or rk.stopped or down(rid, t):
                     continue
-                if eager and not fresh[rid] and rk.ghost_cols.size:
+                if eager and not fresh[rid] and rk.ghost_cols.size and (
+                    not heartbeats_on or has_live_source(rid, t)
+                ):
                     # Nothing new to compute with: go idle until a message.
+                    # With detection on, a rank with no live sender left
+                    # keeps running instead — nothing would ever wake it.
                     idle[rid] = True
                     continue
                 fresh[rid] = False

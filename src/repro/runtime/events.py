@@ -63,3 +63,9 @@ class EventQueue:
     def peek_time(self) -> float:
         """Time of the earliest pending event (inf when empty)."""
         return self._heap[0][0] if self._heap else float("inf")
+
+    def pending_payloads(self):
+        """Iterate over the payloads of all pending events (heap order,
+        not time-sorted). Lets a simulator ask "can anything still happen?"
+        without popping."""
+        return (item[2] for item in self._heap)

@@ -349,6 +349,10 @@ class SharedMemoryJacobi:
                     th.stopped = True
                 release_core(th.core, t)
                 if plan and plan.is_down(tid, t):
+                    # The overhead span has positive width, so a crash whose
+                    # onset falls in (commit, release] is first seen here:
+                    # the update was published, but the thread dies before
+                    # requesting the core again.
                     crash_wake(tid, t)
                 elif not th.stopped:
                     # Injected sleeps happen off-core, before re-queueing.

@@ -132,6 +132,16 @@ class TestFaultPlan:
         with pytest.raises(FaultPlanError, match="malformed"):
             FaultPlan.from_spec([{"kind": "crash", "agent": 0, "when": 0.0}])
 
+    def test_from_spec_rejects_conflicting_agent_keys(self):
+        """'agent'/'rank'/'thread' are aliases; naming two must error, not
+        silently discard one of the ids."""
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultPlan.from_spec([{"kind": "crash", "agent": 1, "rank": 2, "at": 0.0}])
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultPlan.from_spec(
+                [{"kind": "crash", "rank": 1, "thread": 1, "at": 0.0}]
+            )
+
     def test_describe_mentions_every_event(self):
         plan = FaultPlan(
             [
@@ -281,6 +291,66 @@ class TestDetectionAndRecovery:
         assert [r for r, _ in tm.failures_detected] == [2]
         assert tm.degraded and tm.degraded_time > 0
 
+    def test_eager_orphan_of_dead_neighbour_free_runs(self, system):
+        """Regression: eager=True with a permanently crashed only-neighbour
+        used to hang forever — the survivor went idle waiting for a message
+        that could never come while the heartbeat chains kept the event
+        queue non-empty. The orphan must instead free-run against its
+        frozen ghosts to the iteration cap and the run must terminate."""
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=1, at=1e-4)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=2, seed=5, fault_plan=plan, recovery="freeze"
+        )
+        res = sim.run_async(x0=x0, tol=1e-10, max_iterations=300, eager=True)
+        tm = res.telemetry
+        assert [r for r, _ in tm.failures_detected] == [1]
+        assert res.iterations[0] == 300  # survivor ran to the cap, not idle
+        assert res.iterations[1] < 300
+
+    def test_eager_with_crashed_detector_terminates(self, system):
+        """Same shape with rank 0 (the detector) as the casualty: detection
+        is suspended, but the survivor still must not idle forever."""
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=0, at=1e-4)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=2, seed=5, fault_plan=plan, recovery="freeze"
+        )
+        res = sim.run_async(x0=x0, tol=1e-10, max_iterations=300, eager=True)
+        assert res.telemetry.failures_detected == []  # nobody watches rank 0
+        assert res.iterations[1] == 300
+
+    def test_eager_crash_restart_converges(self, system):
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=2, at=5e-5, restart_after=5e-4)])
+        sim = DistributedJacobi(
+            A,
+            b,
+            n_ranks=4,
+            seed=5,
+            fault_plan=plan,
+            recovery="freeze",
+            heartbeat_interval=2e-5,
+        )
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=2000, eager=True)
+        assert res.converged
+        assert [r for r, _ in res.telemetry.recoveries] == [2]
+
+    def test_dead_detector_cannot_stop_the_run(self, system):
+        """With rank 0 scripted down, termination='detect' must neither hang
+        nor let the dead detector aggregate reports and broadcast STOP: the
+        survivors run to the iteration cap."""
+        A, b, x0 = system
+        plan = FaultPlan([RankCrash(agent=0, at=1e-4)])
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=5, fault_plan=plan, recovery="freeze"
+        )
+        res = sim.run_async(
+            x0=x0, tol=1e-6, max_iterations=400, termination="detect"
+        )
+        assert np.all(res.iterations[1:] == 400)
+        assert res.iterations[0] < 400
+
     def test_freeze_without_detect_runs_to_cap(self, system):
         A, b, x0 = system
         plan = FaultPlan([RankCrash(agent=1, at=1e-4)])
@@ -365,6 +435,31 @@ class TestSharedMemoryFaults:
         res = sim.run_async(x0=x0, tol=1e-8, max_iterations=800)
         assert not res.converged  # the dead thread's rows are never relaxed
         assert res.telemetry.degraded
+
+    def test_death_inside_the_post_commit_overhead(self, system):
+        """A crash whose onset falls strictly between a COMMIT and its
+        RELEASE (the overhead span has positive width) is first seen at
+        RELEASE: the update is published, the thread dies before requesting
+        the core again, and the scripted restart still revives it."""
+        from repro.runtime.machine import MachineModel
+
+        A, b, x0 = system
+        machine = MachineModel(name="det", cores=8, smt=1, jitter_sigma=0.0)
+        # Thread 0 owns rows [0, 20); with zero jitter its first commit is
+        # at start + compute (start <= 3e-9 stagger) and its release one
+        # iteration_overhead later. Park the crash mid-overhead.
+        nnz0 = int(A.indptr[20])
+        compute0 = nnz0 * machine.time_per_nnz + 20 * machine.time_per_row
+        crash_at = compute0 + 4e-9 + 0.5 * machine.iteration_overhead
+        plan = FaultPlan([ThreadDeath(agent=0, at=crash_at, restart_after=1e-4)])
+        sim = SharedMemoryJacobi(
+            A, b, n_threads=4, machine=machine, seed=7, fault_plan=plan
+        )
+        res = sim.run_async(x0=x0, tol=1e-6, max_iterations=5000)
+        tm = res.telemetry
+        assert res.converged
+        assert [t for t, _ in tm.restarts] == [0]
+        assert res.iterations[0] > 1  # pre-crash commit landed, then resumed
 
     def test_sync_mode_refuses_crash_plans(self, system):
         A, b, x0 = system
@@ -491,8 +586,8 @@ class TestTheorem1UnderFaults:
         )
 
         @settings(max_examples=10, deadline=None)
-        @given(events_strategy, st.integers(0, 2**31 - 1))
-        def check(events, seed):
+        @given(events_strategy, st.integers(0, 2**31 - 1), st.booleans())
+        def check(events, seed, eager):
             plan = FaultPlan(_dedup_crashes(events))
             rng = np.random.default_rng(seed)
             b = rng.uniform(-1, 1, n)
@@ -501,7 +596,7 @@ class TestTheorem1UnderFaults:
                 fault_seed=seed, recovery="adopt",
             )
             res = sim.run_async(
-                tol=1e-7, max_iterations=250, termination="detect"
+                tol=1e-7, max_iterations=250, termination="detect", eager=eager
             )
             assert np.isfinite(res.total_time)
             assert np.all(np.isfinite(res.x))
