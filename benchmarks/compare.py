@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Flag benchmark regressions against the committed baseline.
+
+Reads the machine-readable results the benchmark suite writes to
+``benchmarks/results/*.json`` and compares every numeric metric that also
+appears in ``benchmarks/results/baseline.json``:
+
+* metrics whose name ends in ``_seconds`` are timings — *lower* is better;
+* metrics whose name contains ``speedup`` are ratios — *higher* is better;
+* anything else (counts, drift diagnostics, metadata) is ignored.
+
+A metric that is worse than baseline by more than ``--threshold``
+(default 0.20, i.e. 20%) is a regression; the script lists them and exits
+nonzero. Absolute timings vary across machines, so CI runs with
+``--ratios-only`` and judges only the speedup metrics, which compare two
+measurements taken on the same host in the same run.
+
+Usage::
+
+    python benchmarks/compare.py                # full comparison
+    python benchmarks/compare.py --ratios-only  # speedups only (CI)
+    python benchmarks/compare.py --threshold 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE = RESULTS_DIR / "baseline.json"
+
+
+def flatten(payload, prefix=""):
+    """Flatten nested dicts to ``section.metric -> float`` pairs."""
+    out = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            out.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        out[prefix[:-1]] = float(payload)
+    return out
+
+
+def metric_direction(name: str):
+    """'down' if lower is better, 'up' if higher is better, None to skip."""
+    leaf = name.rsplit(".", 1)[-1]
+    if "speedup" in leaf:
+        return "up"
+    if leaf.endswith("_seconds"):
+        return "down"
+    return None
+
+
+def load_current(results_dir: pathlib.Path) -> dict:
+    """Current metrics from every results JSON except the baseline."""
+    current = {}
+    for path in sorted(results_dir.glob("*.json")):
+        if path.name == BASELINE.name:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}", file=sys.stderr)
+            continue
+        for name, value in flatten(payload).items():
+            current[f"{path.stem}.{name}"] = value
+    return current
+
+
+def compare(baseline: dict, current: dict, threshold: float, ratios_only: bool):
+    """Yield (name, base, now, change) for every regressed metric."""
+    for name, base in sorted(baseline.items()):
+        direction = metric_direction(name)
+        if direction is None or name not in current or base == 0:
+            continue
+        if ratios_only and direction != "up":
+            continue
+        now = current[name]
+        change = (now - base) / abs(base)
+        worse = change > threshold if direction == "down" else change < -threshold
+        if worse:
+            yield name, base, now, change
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    parser.add_argument("--results-dir", type=pathlib.Path, default=RESULTS_DIR)
+    parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument(
+        "--ratios-only",
+        action="store_true",
+        help="compare only speedup metrics (machine-independent; used in CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to compare", file=sys.stderr)
+        return 0
+    baseline = flatten(json.loads(args.baseline.read_text()))
+    current = load_current(args.results_dir)
+    checked = [
+        n
+        for n in baseline
+        if metric_direction(n) and n in current
+        and (not args.ratios_only or metric_direction(n) == "up")
+    ]
+    regressions = list(
+        compare(baseline, current, args.threshold, args.ratios_only)
+    )
+    for name, base, now, change in regressions:
+        print(f"REGRESSION {name}: baseline {base:.6g} -> current {now:.6g} ({change:+.1%})")
+    print(
+        f"compared {len(checked)} metric(s) against {args.baseline.name}: "
+        f"{len(regressions)} regression(s) beyond {args.threshold:.0%}"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

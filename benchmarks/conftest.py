@@ -11,6 +11,7 @@ suite completes in minutes on one core; the experiment modules accept larger
 values for full runs (see EXPERIMENTS.md).
 """
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -21,6 +22,33 @@ def publish(name: str, report: str) -> None:
     print(f"\n{report}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+
+
+def publish_json(name: str, payload: dict) -> None:
+    """Archive a machine-readable result under benchmarks/results/.
+
+    ``benchmarks/compare.py`` reads these files to flag regressions
+    against the committed baseline, so keep the payloads flat dicts of
+    scalars (metric names ending in ``_seconds`` are timed-lower-is-
+    better; names containing ``speedup`` are higher-is-better).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[benchmarks] wrote {path}")
+
+
+def bench_stats(benchmark) -> dict:
+    """Best-effort timing stats from a finished pytest-benchmark fixture."""
+    try:
+        stats = benchmark.stats.stats
+        return {
+            "mean_seconds": float(stats.mean),
+            "min_seconds": float(stats.min),
+            "rounds": int(stats.rounds),
+        }
+    except Exception:  # pragma: no cover - fixture internals may change
+        return {}
 
 
 def run_once(benchmark, fn, *args, **kwargs):

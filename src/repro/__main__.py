@@ -5,6 +5,10 @@ Usage::
     python -m repro list                 # show available experiments
     python -m repro table1 fig3 fig6     # run specific experiments
     python -m repro all                  # run everything (several minutes)
+    python -m repro --no-cache fig3      # ignore the on-disk result cache
+
+``--no-cache`` disables the experiment-cell cache (equivalent to setting
+``REPRO_NO_CACHE=1``); see docs/performance.md for the cache layout.
 
 Each experiment prints the same rows/series the paper's table or figure
 reports (see EXPERIMENTS.md for the paper-vs-measured comparison).
@@ -12,6 +16,7 @@ reports (see EXPERIMENTS.md for the paper-vs-measured comparison).
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.experiments import (
@@ -50,6 +55,9 @@ EXPERIMENTS = {
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
+    if "--no-cache" in args:
+        args = [a for a in args if a != "--no-cache"]
+        os.environ["REPRO_NO_CACHE"] = "1"
     if not args or args == ["list"]:
         print(__doc__)
         print("available experiments:", ", ".join(EXPERIMENTS), sep="\n  ")

@@ -68,45 +68,132 @@ def run_model(tol: float = 1e-3, seed: int = 1) -> list:
     return points
 
 
-def run_simulator(
-    tol: float = 1e-3, seed: int = 5, samples: int = 3, max_iterations: int = 500_000
-) -> list:
-    """The shared-memory-machine half of Figure 3.
+def model_sweep_cell(config: dict) -> list:
+    """One seed's model sweep — the :func:`repro.perf.runner.run_cells` cell."""
+    return run_model(tol=float(config.get("tol", 1e-3)), seed=int(config["seed"]))
 
-    The paper averages 100 OpenMP samples per delay; ``samples`` keeps this
-    tractable on one core (the shapes are stable from a few samples).
+
+def run_model_seeds(seeds=(0, 1, 2, 3, 4), tol: float = 1e-3, **runner_kwargs) -> list:
+    """Per-seed model sweeps through the parallel cached runner.
+
+    Returns one list of :class:`Fig3Point` per seed. Extra keyword
+    arguments go to :func:`repro.perf.runner.run_cells` (``cache``,
+    ``use_cache``, ``max_workers``).
     """
+    from repro.perf.runner import run_cells
+
+    configs = [{"seed": int(s), "tol": float(tol)} for s in seeds]
+    return run_cells(model_sweep_cell, configs, **runner_kwargs)
+
+
+def run_model_seeds_batched(seeds=(0, 1, 2, 3, 4), tol: float = 1e-3) -> list:
+    """Per-seed model sweeps on the batched trial engine.
+
+    Each delay's sync and async schedules are shared across seeds (the
+    step structure is data-independent), so all seeds run as one ``(n, S)``
+    computation per schedule. Bit-identical to :func:`run_model_seeds`
+    (same per-seed RHS/x0 draws, same executor arithmetic).
+    """
+    from repro.core.schedules import DelayedRowsSchedule, SynchronousSchedule
+    from repro.perf.batched import BatchedAsyncJacobiModel
+
+    A = paper_fd_matrix(N_ROWS)
+    S = len(seeds)
+    B = np.empty((N_ROWS, S))
+    X0 = np.empty((N_ROWS, S))
+    for j, seed in enumerate(seeds):
+        rng = as_rng(int(seed))
+        B[:, j] = rng.uniform(-1, 1, N_ROWS)
+        X0[:, j] = rng.uniform(-1, 1, N_ROWS)
+    model = BatchedAsyncJacobiModel(A, B)
+    per_seed = [[] for _ in seeds]
+    for delay in MODEL_DELAYS:
+        sync_sched = SynchronousSchedule(N_ROWS, delay=float(max(delay, 1)))
+        sync_res = model.run(sync_sched, X0=X0, tol=tol, max_steps=200_000)
+        if delay <= 1:
+            async_sched = SynchronousSchedule(N_ROWS, delay=1.0)
+        else:
+            async_sched = DelayedRowsSchedule(N_ROWS, {DELAYED_ROW: int(delay)})
+        async_res = model.run(async_sched, X0=X0, tol=tol, max_steps=200_000)
+        for j in range(S):
+            t_sync = sync_res.trial(j).time_to_tolerance(tol)
+            t_async = async_res.trial(j).time_to_tolerance(tol)
+            per_seed[j].append(
+                Fig3Point(
+                    source="model",
+                    delay=float(delay),
+                    speedup=t_sync / t_async if np.isfinite(t_async) else float("nan"),
+                    sync_time=t_sync,
+                    async_time=t_async,
+                )
+            )
+    return per_seed
+
+
+def simulator_cell(config: dict) -> Fig3Point:
+    """One delay's simulator measurement — a cached/parallel runner cell."""
+    tol = float(config.get("tol", 1e-3))
+    seed = int(config.get("seed", 5))
+    samples = int(config.get("samples", 3))
+    max_iterations = int(config.get("max_iterations", 500_000))
+    delay_us = float(config["delay_us"])
     rng = as_rng(seed)
     A = paper_fd_matrix(N_ROWS)
     b = rng.uniform(-1, 1, N_ROWS)
     x0 = rng.uniform(-1, 1, N_ROWS)
-    points = []
-    for delay_us in SIM_DELAYS_US:
-        sync_times, async_times = [], []
-        for s in range(samples):
-            delay = ConstantDelay({DELAYED_ROW: delay_us * 1e-6}) if delay_us else None
-            kwargs = {"delay": delay} if delay else {}
-            sim = SharedMemoryJacobi(
-                A, b, n_threads=N_THREADS, machine=KNL, seed=seed + s, **kwargs
-            )
-            ra = sim.run_async(
-                x0=x0, tol=tol, max_iterations=max_iterations, observe_every=N_THREADS
-            )
-            rs = sim.run_sync(x0=x0, tol=tol, max_iterations=20_000)
-            sync_times.append(rs.time_to_tolerance(tol))
-            async_times.append(ra.time_to_tolerance(tol))
-        st = float(np.mean(sync_times))
-        at = float(np.mean(async_times))
-        points.append(
-            Fig3Point(
-                source="simulator",
-                delay=float(delay_us),
-                speedup=st / at if at > 0 else float("nan"),
-                sync_time=st,
-                async_time=at,
-            )
+    sync_times, async_times = [], []
+    for s in range(samples):
+        delay = ConstantDelay({DELAYED_ROW: delay_us * 1e-6}) if delay_us else None
+        kwargs = {"delay": delay} if delay else {}
+        sim = SharedMemoryJacobi(
+            A, b, n_threads=N_THREADS, machine=KNL, seed=seed + s, **kwargs
         )
-    return points
+        ra = sim.run_async(
+            x0=x0, tol=tol, max_iterations=max_iterations, observe_every=N_THREADS
+        )
+        rs = sim.run_sync(x0=x0, tol=tol, max_iterations=20_000)
+        sync_times.append(rs.time_to_tolerance(tol))
+        async_times.append(ra.time_to_tolerance(tol))
+    st = float(np.mean(sync_times))
+    at = float(np.mean(async_times))
+    return Fig3Point(
+        source="simulator",
+        delay=delay_us,
+        speedup=st / at if at > 0 else float("nan"),
+        sync_time=st,
+        async_time=at,
+    )
+
+
+def run_simulator(
+    tol: float = 1e-3,
+    seed: int = 5,
+    samples: int = 3,
+    max_iterations: int = 500_000,
+    **runner_kwargs,
+) -> list:
+    """The shared-memory-machine half of Figure 3.
+
+    The paper averages 100 OpenMP samples per delay; ``samples`` keeps this
+    tractable on one core (the shapes are stable from a few samples). Each
+    delay is one cell of the parallel cached runner, so re-runs after
+    unrelated code-free config changes hit the on-disk cache and multi-core
+    hosts sweep delays concurrently. Extra keyword arguments go to
+    :func:`repro.perf.runner.run_cells`.
+    """
+    from repro.perf.runner import run_cells
+
+    configs = [
+        {
+            "delay_us": float(delay_us),
+            "tol": float(tol),
+            "seed": int(seed),
+            "samples": int(samples),
+            "max_iterations": int(max_iterations),
+        }
+        for delay_us in SIM_DELAYS_US
+    ]
+    return run_cells(simulator_cell, configs, **runner_kwargs)
 
 
 def run(tol: float = 1e-3, samples: int = 3) -> list:

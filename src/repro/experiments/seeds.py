@@ -47,38 +47,64 @@ class SeedStudy:
         return float(np.max(self.samples))
 
 
-def fig3_plateau_speedups(seeds=(0, 1, 2, 3, 4), delay_us: float = 1000.0, tol=1e-3):
-    """Figure 3 plateau speedup across rhs/jitter seeds."""
+def plateau_cell(config: dict) -> float:
+    """One seed's Figure 3 plateau speedup — a runner cell."""
+    seed = int(config["seed"])
+    delay_us = float(config.get("delay_us", 1000.0))
+    tol = float(config.get("tol", 1e-3))
     A = paper_fd_matrix(68)
-    out = []
-    for seed in seeds:
-        rng = as_rng(seed)
-        b = rng.uniform(-1, 1, 68)
-        x0 = rng.uniform(-1, 1, 68)
-        sim = SharedMemoryJacobi(
-            A, b, n_threads=68, machine=KNL, seed=seed,
-            delay=ConstantDelay({34: delay_us * 1e-6}),
-        )
-        ra = sim.run_async(x0=x0, tol=tol, max_iterations=500_000, observe_every=68)
-        rs = sim.run_sync(x0=x0, tol=tol, max_iterations=20_000)
-        out.append(rs.time_to_tolerance(tol) / ra.time_to_tolerance(tol))
+    rng = as_rng(seed)
+    b = rng.uniform(-1, 1, 68)
+    x0 = rng.uniform(-1, 1, 68)
+    sim = SharedMemoryJacobi(
+        A, b, n_threads=68, machine=KNL, seed=seed,
+        delay=ConstantDelay({34: delay_us * 1e-6}),
+    )
+    ra = sim.run_async(x0=x0, tol=tol, max_iterations=500_000, observe_every=68)
+    rs = sim.run_sync(x0=x0, tol=tol, max_iterations=20_000)
+    return rs.time_to_tolerance(tol) / ra.time_to_tolerance(tol)
+
+
+def fig3_plateau_speedups(
+    seeds=(0, 1, 2, 3, 4), delay_us: float = 1000.0, tol=1e-3, **runner_kwargs
+):
+    """Figure 3 plateau speedup across rhs/jitter seeds (one cell each)."""
+    from repro.perf.runner import run_cells
+
+    configs = [
+        {"seed": int(s), "delay_us": float(delay_us), "tol": float(tol)}
+        for s in seeds
+    ]
+    out = run_cells(plateau_cell, configs, **runner_kwargs)
     return SeedStudy(metric=f"fig3 speedup @ {delay_us:g}us", samples=out)
 
 
-def fig5_272_speedups(seeds=(0, 1, 2), tol=1e-3, max_iterations=15_000):
-    """Figure 5's async-over-sync speedup at 272 threads across seeds."""
+def fig5_cell(config: dict) -> float:
+    """One seed's Figure 5 272-thread speedup — a runner cell."""
+    seed = int(config["seed"])
+    tol = float(config.get("tol", 1e-3))
+    max_iterations = int(config.get("max_iterations", 15_000))
     A = paper_fd_matrix(4624)
-    out = []
-    for seed in seeds:
-        rng = as_rng(seed)
-        b = rng.uniform(-1, 1, A.nrows)
-        x0 = rng.uniform(-1, 1, A.nrows)
-        sim = SharedMemoryJacobi(A, b, n_threads=272, machine=KNL, seed=seed)
-        ra = sim.run_async(
-            x0=x0, tol=tol, max_iterations=max_iterations, observe_every=544
-        )
-        rs = sim.run_sync(x0=x0, tol=tol, max_iterations=max_iterations)
-        out.append(rs.time_to_tolerance(tol) / ra.time_to_tolerance(tol))
+    rng = as_rng(seed)
+    b = rng.uniform(-1, 1, A.nrows)
+    x0 = rng.uniform(-1, 1, A.nrows)
+    sim = SharedMemoryJacobi(A, b, n_threads=272, machine=KNL, seed=seed)
+    ra = sim.run_async(
+        x0=x0, tol=tol, max_iterations=max_iterations, observe_every=544
+    )
+    rs = sim.run_sync(x0=x0, tol=tol, max_iterations=max_iterations)
+    return rs.time_to_tolerance(tol) / ra.time_to_tolerance(tol)
+
+
+def fig5_272_speedups(seeds=(0, 1, 2), tol=1e-3, max_iterations=15_000, **runner_kwargs):
+    """Figure 5's async-over-sync speedup at 272 threads across seeds."""
+    from repro.perf.runner import run_cells
+
+    configs = [
+        {"seed": int(s), "tol": float(tol), "max_iterations": int(max_iterations)}
+        for s in seeds
+    ]
+    out = run_cells(fig5_cell, configs, **runner_kwargs)
     return SeedStudy(metric="fig5 speedup @ 272 threads", samples=out)
 
 

@@ -52,7 +52,9 @@ class CSRMatrix:
     arrays, so a matrix can be shared freely between simulated agents.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape", "_row_of_nnz")
+    __slots__ = (
+        "indptr", "indices", "data", "shape", "_row_of_nnz", "_csc", "_matmat_bins",
+    )
 
     def __init__(self, indptr, indices, data, shape):
         self.indptr = np.asarray(indptr, dtype=np.int64)
@@ -66,6 +68,10 @@ class CSRMatrix:
         self._row_of_nnz = np.repeat(
             np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
         )
+        # Lazily built CSC (transpose) view; see :meth:`csc_arrays`.
+        self._csc = None
+        # Per-T flattened bincount bins for :meth:`matmat`, built on demand.
+        self._matmat_bins = {}
 
     # ------------------------------------------------------------------
     # construction / conversion
@@ -229,29 +235,72 @@ class CSRMatrix:
         prods = self.data * x[self.indices]
         return np.bincount(self._row_of_nnz, weights=prods, minlength=self.shape[0])
 
+    def matmat(self, x) -> np.ndarray:
+        """Sparse matrix times dense ``(ncols, T)`` block: ``A @ X``.
+
+        One flattened ``bincount`` over ``nnz * T`` products — no Python loop
+        over columns. Per output entry the accumulation order is the row's
+        nonzero order, exactly as in :meth:`matvec`, so column ``t`` of the
+        result is bit-identical to ``matvec(x[:, t])``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"operand must have shape ({self.shape[1]}, T), got {x.shape}"
+            )
+        ncols_out = x.shape[1]
+        if ncols_out == 0:
+            return np.zeros((self.shape[0], 0))
+        prods = self.data[:, None] * x[self.indices]
+        bins = self._matmat_bins.get(ncols_out)
+        if bins is None:
+            bins = (
+                self._row_of_nnz[:, None] * ncols_out + np.arange(ncols_out)
+            ).ravel()
+            self._matmat_bins[ncols_out] = bins
+        flat = np.bincount(
+            bins, weights=prods.ravel(), minlength=self.shape[0] * ncols_out
+        )
+        return flat.reshape(self.shape[0], ncols_out)
+
     def __matmul__(self, x):
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 1:
             return self.matvec(x)
         if x.ndim == 2:
-            if x.shape[0] != self.shape[1]:
-                raise ShapeError(
-                    f"operand rows {x.shape[0]} != matrix cols {self.shape[1]}"
-                )
-            out = np.empty((self.shape[0], x.shape[1]))
-            for j in range(x.shape[1]):
-                out[:, j] = self.matvec(x[:, j])
-            return out
+            return self.matmat(x)
         raise ShapeError(f"cannot multiply CSR by {x.ndim}-D operand")
 
     def row_matvec(self, rows, x) -> np.ndarray:
         """``A[rows, :] @ x`` without materializing the row slice.
 
         This is the hot kernel of every relaxation: relaxing the set ``rows``
-        needs exactly these inner products.
+        needs exactly these inner products. ``x`` may also be a 2-D
+        ``(ncols, T)`` block of T iterates — one vectorized pass computes all
+        T products with the same per-entry accumulation order as the 1-D
+        path, so the batched trial engine stays bit-identical to a per-trial
+        loop.
         """
         rows = np.asarray(rows, dtype=np.int64)
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            if x.shape[0] != self.shape[1]:
+                raise ShapeError(
+                    f"x must have shape ({self.shape[1]}, T), got {x.shape}"
+                )
+            nt = x.shape[1]
+            if rows.size == 0 or nt == 0:
+                return np.zeros((rows.size, nt))
+            starts = self.indptr[rows]
+            counts = self.indptr[rows + 1] - starts
+            nz = _concat_ranges(starts, counts)
+            prods = self.data[nz][:, None] * x[self.indices[nz]]
+            seg = np.repeat(np.arange(rows.size), counts)
+            bins = seg[:, None] * nt + np.arange(nt)
+            flat = np.bincount(
+                bins.ravel(), weights=prods.ravel(), minlength=rows.size * nt
+            )
+            return flat.reshape(rows.size, nt)
         if x.shape != (self.shape[1],):
             raise ShapeError(f"x must have shape ({self.shape[1]},), got {x.shape}")
         if rows.size == 0:
@@ -262,6 +311,62 @@ class CSRMatrix:
         prods = self.data[nz] * x[self.indices[nz]]
         seg = np.repeat(np.arange(rows.size), counts)
         return np.bincount(seg, weights=prods, minlength=rows.size)
+
+    def csc_arrays(self) -> tuple:
+        """Cached CSC (transpose) view: ``(colptr, row_indices, values)``.
+
+        Entry ``k`` in ``colptr[j]:colptr[j+1]`` says ``A[row_indices[k], j]
+        = values[k]``; within a column the rows are sorted. Built once and
+        cached — the matrix is immutable by convention — and used by the
+        incremental residual maintenance: changing ``x[cols]`` only touches
+        residual entries in the row support of those columns.
+        """
+        if self._csc is None:
+            order = np.argsort(self.indices, kind="stable")
+            counts = np.bincount(self.indices, minlength=self.shape[1])
+            colptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            self._csc = (colptr, self._row_of_nnz[order], self.data[order])
+        return self._csc
+
+    def subtract_columns_update(self, r, cols, dx) -> None:
+        """In-place ``r -= A[:, cols] @ dx`` via the cached CSC view.
+
+        The incremental-residual kernel: after ``x[cols] += dx`` the residual
+        ``r = b - A x`` changes only on the rows with a nonzero in ``cols``.
+        ``dx`` may be 1-D (``r`` a vector) or ``(cols.size, T)`` with ``r`` of
+        shape ``(nrows, T)`` for the batched engine; the per-entry
+        accumulation order matches the 1-D path column by column.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        dx = np.asarray(dx, dtype=np.float64)
+        if cols.size == 0:
+            return
+        colptr, row_ind, vals = self.csc_arrays()
+        starts = colptr[cols]
+        counts = colptr[cols + 1] - starts
+        nz = _concat_ranges(starts, counts)
+        if nz.size == 0:
+            return
+        touched = row_ind[nz]
+        # Scatter into the touched row *span* only: for a localized column
+        # set (a thread's block, a rank's rows) the span is tiny compared to
+        # n, so the update costs O(nnz_touched + span) instead of O(n).
+        base = int(touched.min())
+        span = int(touched.max()) - base + 1
+        local = touched - base
+        if dx.ndim == 1:
+            contrib = vals[nz] * np.repeat(dx, counts)
+            r[base : base + span] -= np.bincount(
+                local, weights=contrib, minlength=span
+            )
+            return
+        nt = dx.shape[1]
+        if nt == 0:
+            return
+        contrib = vals[nz][:, None] * np.repeat(dx, counts, axis=0)
+        bins = local[:, None] * nt + np.arange(nt)
+        flat = np.bincount(bins.ravel(), weights=contrib.ravel(), minlength=span * nt)
+        r[base : base + span] -= flat.reshape(span, nt)
 
     def row_slice(self, rows) -> "CSRMatrix":
         """``A[rows, :]`` as a new CSR matrix (rows in the given order)."""

@@ -1,0 +1,171 @@
+"""On-disk memoization of experiment cells.
+
+An *experiment cell* is one unit of sweep work (one seed, one delay, one
+matrix size) produced by a pure function of its configuration. Cells are
+expensive (seconds to minutes of simulation) and re-run constantly while
+iterating on figures, so :class:`ExperimentCache` memoizes their pickled
+results on disk.
+
+Keys are content hashes of two things:
+
+* the cell configuration, canonicalized to sorted-key JSON (so dict order
+  and tuple-vs-list spelling don't split the cache);
+* the :func:`code_version` — a digest over every ``src/repro`` Python
+  source file. Any code change invalidates every cached cell, which is the
+  safe default for a research repo where "the code changed" almost always
+  means "the numbers may have changed".
+
+The cache is disabled when ``REPRO_NO_CACHE=1`` (or via the ``--no-cache``
+CLI flag, which sets that variable) so CI and fault-injection runs never
+read stale results. ``REPRO_CACHE_DIR`` overrides the on-disk location.
+Writes are atomic (temp file + rename), so a crashed run never leaves a
+truncated cell behind; unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_code_version_cache: str | None = None
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to a truthy value."""
+    return os.environ.get("REPRO_NO_CACHE", "").strip().lower() not in _TRUTHY
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-async-jacobi``."""
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-async-jacobi"
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (memoized per process)."""
+    global _code_version_cache
+    if _code_version_cache is None:
+        pkg_root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            h.update(str(path.relative_to(pkg_root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version_cache = h.hexdigest()[:16]
+    return _code_version_cache
+
+
+def _canonical(obj):
+    """Reduce a config to a JSON-stable structure (tuples become lists)."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (int, float)):
+        return obj
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    raise TypeError(
+        f"experiment configs must be JSON-like (dict/list/str/number), "
+        f"got {type(obj).__name__}"
+    )
+
+
+class ExperimentCache:
+    """Content-addressed pickle store for experiment cells.
+
+    Parameters
+    ----------
+    root
+        Cache directory (default: :func:`default_cache_dir`).
+    enabled
+        Force the cache on or off; default follows :func:`cache_enabled`,
+        re-checked at every access so tests and CLI flags can flip the
+        environment variable after construction.
+    """
+
+    def __init__(self, root=None, enabled: bool | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._forced = enabled
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return cache_enabled() if self._forced is None else self._forced
+
+    def key(self, config) -> str:
+        """Stable hex key for ``config`` under the current code version."""
+        token = json.dumps(
+            {"code": code_version(), "config": _canonical(config)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(token.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def lookup(self, config) -> tuple:
+        """``(hit, value)`` — ``(False, None)`` on miss or disabled cache."""
+        if not self.enabled:
+            return False, None
+        path = self._path(self.key(config))
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, config, value) -> None:
+        """Atomically persist ``value`` for ``config`` (no-op if disabled)."""
+        if not self.enabled:
+            return
+        path = self._path(self.key(config))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_run(self, config, fn):
+        """Return the cached value for ``config`` or run ``fn(config)``."""
+        hit, value = self.lookup(config)
+        if hit:
+            return value
+        value = fn(config)
+        self.store(config, value)
+        return value
+
+    def clear(self) -> int:
+        """Delete every cached cell; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,89 @@
+"""Lightweight per-kernel timing/counter instrumentation.
+
+Executors that accept ``instrument=True`` fill a :class:`PerfCounters` and
+attach it to their result as ``result.perf``, so benchmarks can attribute
+wall-clock time to the three cost centers of every run:
+
+* ``spmv`` — sparse kernels (row-subset SpMV relaxations, incremental
+  CSC residual updates, full residual recomputations);
+* ``residual`` — residual observation (norms, history recording);
+* ``dispatch`` — everything else: schedule iteration, event-queue
+  traffic, Python bookkeeping. Computed as total minus the other two.
+
+Timing uses two ``perf_counter`` calls per instrumented section; with
+``instrument=False`` (the default) executors skip the calls entirely, so
+the hot paths carry no overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    """Kernel-attributed timings and call counts for one run."""
+
+    spmv_seconds: float = 0.0
+    residual_seconds: float = 0.0
+    total_seconds: float = 0.0
+    spmv_calls: int = 0
+    residual_evals: int = 0
+    full_recomputes: int = 0
+    events: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def dispatch_seconds(self) -> float:
+        """Non-kernel time: event dispatch, schedules, bookkeeping."""
+        return max(0.0, self.total_seconds - self.spmv_seconds - self.residual_seconds)
+
+    def tick(self) -> float:
+        """Start a timed section (returns the start stamp)."""
+        return time.perf_counter()
+
+    def tock_spmv(self, start: float) -> None:
+        """Close a timed section opened by :meth:`tick` as SpMV work."""
+        self.spmv_seconds += time.perf_counter() - start
+        self.spmv_calls += 1
+
+    def tock_residual(self, start: float) -> None:
+        """Close a timed section opened by :meth:`tick` as residual work."""
+        self.residual_seconds += time.perf_counter() - start
+        self.residual_evals += 1
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate another run's counters into this one (returns self)."""
+        self.spmv_seconds += other.spmv_seconds
+        self.residual_seconds += other.residual_seconds
+        self.total_seconds += other.total_seconds
+        self.spmv_calls += other.spmv_calls
+        self.residual_evals += other.residual_evals
+        self.full_recomputes += other.full_recomputes
+        self.events += other.events
+        return self
+
+    def as_dict(self) -> dict:
+        """JSON-ready flat view (used by the benchmark emitters)."""
+        return {
+            "spmv_seconds": self.spmv_seconds,
+            "residual_seconds": self.residual_seconds,
+            "dispatch_seconds": self.dispatch_seconds,
+            "total_seconds": self.total_seconds,
+            "spmv_calls": self.spmv_calls,
+            "residual_evals": self.residual_evals,
+            "full_recomputes": self.full_recomputes,
+            "events": self.events,
+            **self.extra,
+        }
+
+    def summary(self) -> str:
+        """One-line digest of where the time went."""
+        return (
+            f"total {self.total_seconds:.3e}s: "
+            f"spmv {self.spmv_seconds:.3e}s/{self.spmv_calls} calls, "
+            f"residual {self.residual_seconds:.3e}s/{self.residual_evals} evals "
+            f"({self.full_recomputes} full recomputes), "
+            f"dispatch {self.dispatch_seconds:.3e}s over {self.events} events"
+        )

@@ -1,0 +1,117 @@
+"""Parallel, cached fan-out of experiment sweeps.
+
+:func:`run_cells` maps a module-level cell function over a list of
+configurations, with two orthogonal accelerations:
+
+* **memoization** — each ``(function, config)`` pair is looked up in an
+  :class:`~repro.perf.cache.ExperimentCache` before running and stored
+  after, so re-running a sweep after editing an unrelated figure is free;
+* **process-pool fan-out** — cache misses are dispatched to a
+  ``concurrent.futures.ProcessPoolExecutor`` when more than one worker is
+  available. The cell function must therefore be picklable (defined at
+  module level) and its config must be plain data.
+
+Worker count resolution, in priority order: the ``max_workers`` argument,
+the ``REPRO_PARALLEL`` environment variable (``0`` forces serial), then
+``os.cpu_count()``. Environments where ``fork``/semaphores are unavailable
+(sandboxes, some CI runners) degrade gracefully: any ``OSError`` or
+``PermissionError`` while *starting* the pool falls back to the serial
+path, so the runner never makes a sweep fail that would have succeeded
+serially. Results always come back in input order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+
+from repro.perf.cache import ExperimentCache
+
+
+def _worker_count(max_workers) -> int:
+    if max_workers is not None:
+        return max(0, int(max_workers))
+    env = os.environ.get("REPRO_PARALLEL", "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _invoke(item):
+    fn, config = item
+    return fn(config)
+
+
+def _cell_token(fn, config) -> dict:
+    return {"cell": f"{fn.__module__}.{fn.__qualname__}", "config": config}
+
+
+def run_cells(
+    fn,
+    configs,
+    *,
+    cache: ExperimentCache | None = None,
+    use_cache: bool = True,
+    max_workers: int | None = None,
+) -> list:
+    """Evaluate ``fn(config)`` for every config, cached and in parallel.
+
+    Parameters
+    ----------
+    fn
+        Module-level callable taking one configuration. Its qualified name
+        participates in the cache key, so two cell functions never collide.
+    configs
+        Iterable of JSON-like configurations (dicts of plain data).
+    cache
+        Cache to consult; defaults to a fresh :class:`ExperimentCache` on
+        the default directory. The cache still honors ``REPRO_NO_CACHE``.
+    use_cache
+        ``False`` skips memoization entirely (both lookup and store).
+    max_workers
+        Worker process count; ``0`` or ``1`` runs serially. Default comes
+        from ``REPRO_PARALLEL`` or the CPU count.
+
+    Returns
+    -------
+    list
+        Results in the same order as ``configs``.
+    """
+    configs = list(configs)
+    if cache is None:
+        cache = ExperimentCache()
+    results = [None] * len(configs)
+    pending = []
+    for i, config in enumerate(configs):
+        if use_cache:
+            hit, value = cache.lookup(_cell_token(fn, config))
+            if hit:
+                results[i] = value
+                continue
+        pending.append(i)
+
+    if pending:
+        workers = _worker_count(max_workers)
+        outputs = None
+        if workers > 1 and len(pending) > 1:
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending))
+                ) as pool:
+                    outputs = list(
+                        pool.map(_invoke, [(fn, configs[i]) for i in pending])
+                    )
+            except (OSError, PermissionError):
+                # Pool creation needs fork + semaphores; fall back rather
+                # than fail sweeps in restricted environments.
+                outputs = None
+        if outputs is None:
+            outputs = [fn(configs[i]) for i in pending]
+        for i, value in zip(pending, outputs):
+            results[i] = value
+            if use_cache:
+                cache.store(_cell_token(fn, configs[i]), value)
+    return results

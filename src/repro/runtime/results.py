@@ -130,6 +130,10 @@ class SimulationResult:
     telemetry
         Optional :class:`FaultTelemetry` with recovery counters/timelines
         (recorded whenever fault machinery was active).
+    perf
+        Optional :class:`~repro.perf.instrument.PerfCounters` with
+        per-kernel wall-clock attribution (recorded when the simulator ran
+        with ``instrument=True``).
     """
 
     x: np.ndarray
@@ -142,6 +146,7 @@ class SimulationResult:
     mode: str = "async"
     trace: object = None
     telemetry: FaultTelemetry = None
+    perf: object = None
 
     @property
     def final_residual(self) -> float:

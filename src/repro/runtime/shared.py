@@ -37,6 +37,7 @@ simulated timing).
 
 from __future__ import annotations
 
+import time as _time
 from collections import deque
 from dataclasses import dataclass
 
@@ -45,12 +46,13 @@ import numpy as np
 from repro.core.reconstruct import ExecutionTrace
 from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.matrices.sparse import CSRMatrix
+from repro.perf.instrument import PerfCounters
 from repro.runtime.delays import CompositeDelay, DelayModel, NO_DELAY, StragglerDelay
 from repro.runtime.events import EventQueue
 from repro.runtime.machine import KNL, MachineModel
 from repro.runtime.results import FaultTelemetry, SimulationResult
 from repro.util.errors import ShapeError, SimulationError, SingularMatrixError
-from repro.util.norms import relative_residual_norm
+from repro.util.norms import relative_residual_norm, vector_norm
 from repro.util.rng import spawn_rngs
 from repro.util.validation import check_positive, check_vector
 
@@ -209,6 +211,9 @@ class SharedMemoryJacobi:
         record_trace: bool = False,
         observe_every: int | None = None,
         run_until_all_reach: bool = False,
+        residual_mode: str = "incremental",
+        recompute_every: int = 64,
+        instrument: bool = False,
     ) -> SimulationResult:
         """Asynchronous (racy) execution.
 
@@ -218,11 +223,30 @@ class SharedMemoryJacobi:
         *slowest* thread reaches ``max_iterations`` (the paper's Fig. 5(b)
         termination: "a thread terminates only if all other threads have
         also converged"), so fast threads overshoot.
+
+        ``residual_mode="incremental"`` (default) keeps the observer's
+        residual ``r = b - A x`` up to date at every commit with a CSC
+        scatter over the committed block's column support, so an
+        observation is just a norm instead of a full SpMV. The simulated
+        trajectory (x, event timing) is untouched — only the observer
+        changes. A full recomputation every ``recompute_every``
+        observations bounds float drift, and any tolerance crossing is
+        confirmed against a fresh residual. ``"full"`` recomputes from
+        scratch at every observation (the naive reference). With
+        ``instrument=True`` the result carries per-kernel
+        :class:`PerfCounters` as ``result.perf``.
         """
         check_positive(tol, "tol")
+        if residual_mode not in ("incremental", "full"):
+            raise ValueError(
+                f"residual_mode must be 'incremental' or 'full', got {residual_mode!r}"
+            )
         A, b, dinv = self.A, self.b, self.dinv
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
         data, cols = A.data, A.indices
+        incremental = residual_mode == "incremental"
+        perf = PerfCounters() if instrument else None
+        run_start = _time.perf_counter() if instrument else 0.0
 
         threads = self._make_threads(record_trace)
         trace = ExecutionTrace(self.n) if record_trace else None
@@ -257,7 +281,40 @@ class SharedMemoryJacobi:
         for rank, tid in enumerate(order):
             request_run(threads[tid], float(rank) * 1e-9)
 
-        res0 = relative_residual_norm(A, x, b)
+        b_norm = vector_norm(b, 1)
+
+        def relnorm(res_vec) -> float:
+            num = vector_norm(res_vec, 1)
+            return num / b_norm if b_norm > 0 else num
+
+        # The observer's residual. In incremental mode it is maintained at
+        # every commit; in full mode it is only used for the initial norm.
+        r_vec = b - A.matvec(x)
+        obs_since_recompute = 0
+        block_cols = [np.arange(th.lo, th.hi, dtype=np.int64) for th in threads]
+
+        def observe_residual() -> float:
+            """Current relative residual, per the selected mode."""
+            nonlocal r_vec, obs_since_recompute
+            if not incremental:
+                return relative_residual_norm(A, x, b)
+            obs_since_recompute += 1
+            if recompute_every and obs_since_recompute >= recompute_every:
+                r_vec = b - A.matvec(x)
+                obs_since_recompute = 0
+                if perf is not None:
+                    perf.full_recomputes += 1
+            res = relnorm(r_vec)
+            if res < tol:
+                # Confirm the crossing against a drift-free residual.
+                r_vec = b - A.matvec(x)
+                obs_since_recompute = 0
+                res = relnorm(r_vec)
+                if perf is not None:
+                    perf.full_recomputes += 1
+            return res
+
+        res0 = relnorm(r_vec)
         times, residuals, counts = [0.0], [res0], [0]
         relaxations = 0
         commits_since_obs = 0
@@ -277,6 +334,8 @@ class SharedMemoryJacobi:
         while queue and not converged:
             t, (kind, tid) = queue.pop()
             th = threads[tid]
+            if perf is not None:
+                perf.events += 1
             if kind == _REQUEST:
                 # A delayed (or restarted) thread's wake-up: ask for the
                 # core again.
@@ -312,7 +371,15 @@ class SharedMemoryJacobi:
                     crash_wake(tid, t)
                     continue
                 lo, hi = th.lo, th.hi
-                x[lo:hi] = th.pending
+                if incremental:
+                    t0 = perf.tick() if perf is not None else 0.0
+                    dx = th.pending - x[lo:hi]
+                    x[lo:hi] = th.pending
+                    A.subtract_columns_update(r_vec, block_cols[tid], dx)
+                    if perf is not None:
+                        perf.tock_spmv(t0)
+                else:
+                    x[lo:hi] = th.pending
                 th.iterations += 1
                 relaxations += hi - lo
                 t_end = t
@@ -323,7 +390,10 @@ class SharedMemoryJacobi:
                 commits_since_obs += 1
                 if commits_since_obs >= observe_every:
                     commits_since_obs = 0
-                    res = relative_residual_norm(A, x, b)
+                    t0 = perf.tick() if perf is not None else 0.0
+                    res = observe_residual()
+                    if perf is not None:
+                        perf.tock_residual(t0)
                     times.append(t)
                     residuals.append(res)
                     counts.append(relaxations)
@@ -362,12 +432,19 @@ class SharedMemoryJacobi:
                     else:
                         request_run(th, t)
 
-        # Final observation.
-        res = relative_residual_norm(A, x, b)
-        if times[-1] < t_end or residuals[-1] != res:
+        # Final observation — only if a commit landed since the last one
+        # (the dirty flag); otherwise the recorded history is already
+        # current and recomputing the residual would be pure waste.
+        if commits_since_obs:
+            t0 = perf.tick() if perf is not None else 0.0
+            res = observe_residual()
+            if perf is not None:
+                perf.tock_residual(t0)
             times.append(max(t_end, times[-1]))
             residuals.append(res)
             counts.append(relaxations)
+        else:
+            res = residuals[-1]
         converged = converged or res < tol
         # Degraded mode in shared memory needs no detector: the crash
         # windows are the intervals during which a block went unrelaxed.
@@ -375,6 +452,8 @@ class SharedMemoryJacobi:
             for crash_at, restart_at in plan.crash_times(tid):
                 if crash_at < t_end:
                     tm.degraded_intervals.append((crash_at, min(restart_at, t_end)))
+        if perf is not None:
+            perf.total_seconds = _time.perf_counter() - run_start
         return SimulationResult(
             x=x,
             converged=converged,
@@ -386,6 +465,7 @@ class SharedMemoryJacobi:
             mode="async",
             trace=trace,
             telemetry=tm,
+            perf=perf,
         )
 
     # ------------------------------------------------------------------
@@ -413,7 +493,12 @@ class SharedMemoryJacobi:
         threads = self._make_threads(record_trace=False)
         barrier = self.machine.barrier_cost(self.n_threads)
 
-        res0 = relative_residual_norm(A, x, b)
+        b_norm = vector_norm(b, 1)
+        # One SpMV per sweep: the residual that drives the update is also
+        # the one observed after the *previous* sweep, so recomputing it
+        # for the convergence check would double the work for nothing.
+        r = b - A.matvec(x)
+        res0 = vector_norm(r, 1) / b_norm if b_norm > 0 else vector_norm(r, 1)
         times, residuals, counts = [0.0], [res0], [0]
         t = 0.0
         relaxations = 0
@@ -425,11 +510,12 @@ class SharedMemoryJacobi:
             for th in threads:
                 core_time[th.core] += self._duration(th, k)
             t += float(core_time.max()) + barrier
-            r = b - A.matvec(x)
             x += dinv * r
             relaxations += self.n
             k += 1
-            res = relative_residual_norm(A, x, b)
+            r = b - A.matvec(x)
+            num = vector_norm(r, 1)
+            res = num / b_norm if b_norm > 0 else num
             times.append(t)
             residuals.append(res)
             counts.append(relaxations)

@@ -212,3 +212,70 @@ class TestTraceReplay:
         res = model.run(TraceSchedule(n, steps), x0=x0, tol=1e-300)
         assert res.steps == 5
         assert res.relaxations == 5 * n
+
+
+class TestIncrementalResiduals:
+    """Incremental residual maintenance in the sequential executor."""
+
+    def test_dense_schedule_is_exact(self, system):
+        """Dense steps recompute the residual: histories are bitwise
+        identical between modes, with no drift at any tolerance."""
+        A, b, x0 = system
+        model = AsyncJacobiModel(A, b)
+        kwargs = dict(x0=x0, tol=1e-8, max_steps=50_000)
+        inc = model.run(SynchronousSchedule(A.nrows), residual_mode="incremental", **kwargs)
+        full = model.run(SynchronousSchedule(A.nrows), residual_mode="full", **kwargs)
+        assert inc.residual_norms == full.residual_norms
+        np.testing.assert_array_equal(inc.x, full.x)
+
+    def test_sparse_schedule_within_tolerance(self, system):
+        """Satellite criterion: <= 1e-12 relative drift at the paper's
+        working tolerance on the FD matrix."""
+        from repro.core.schedules import RandomSubsetSchedule
+
+        A, b, x0 = system
+        model = AsyncJacobiModel(A, b)
+        kwargs = dict(x0=x0, tol=1e-4, max_steps=200_000, recompute_every=64)
+        sched = lambda: RandomSubsetSchedule(A.nrows, 0.2, seed=11)
+        inc = model.run(sched(), residual_mode="incremental", **kwargs)
+        full = model.run(sched(), residual_mode="full", **kwargs)
+        a = np.asarray(inc.residual_norms)
+        f = np.asarray(full.residual_norms)
+        m = min(a.size, f.size)
+        rel = np.abs(a[:m] - f[:m]) / np.maximum(np.abs(f[:m]), 1e-300)
+        assert rel.max() <= 1e-12
+
+    def test_periodic_recompute_bounds_drift(self, system):
+        """A tiny recompute_every must agree with full mode even on long
+        sparse-step runs (the safeguard works)."""
+        from repro.core.schedules import RandomSubsetSchedule
+
+        A, b, x0 = system
+        model = AsyncJacobiModel(A, b)
+        kwargs = dict(x0=x0, tol=1e-6, max_steps=300_000)
+        sched = lambda: RandomSubsetSchedule(A.nrows, 0.1, seed=5)
+        tight = model.run(sched(), residual_mode="incremental",
+                          recompute_every=8, **kwargs)
+        full = model.run(sched(), residual_mode="full", **kwargs)
+        assert tight.converged == full.converged
+        np.testing.assert_allclose(tight.x, full.x, rtol=1e-8)
+
+    def test_convergence_is_confirmed(self, system):
+        """Termination is re-checked on a fresh residual, so a converged
+        result's last recorded norm matches an exact recomputation."""
+        from repro.util.norms import relative_residual_norm
+
+        A, b, x0 = system
+        res = AsyncJacobiModel(A, b).run(
+            SynchronousSchedule(A.nrows), x0=x0, tol=1e-3, max_steps=50_000
+        )
+        assert res.converged
+        exact = relative_residual_norm(A, res.x, b)
+        assert abs(res.residual_norms[-1] - exact) <= 1e-12 * max(exact, 1e-300)
+
+    def test_rejects_bad_residual_mode(self, system):
+        A, b, x0 = system
+        with pytest.raises(ValueError):
+            AsyncJacobiModel(A, b).run(
+                SynchronousSchedule(A.nrows), x0=x0, residual_mode="lazy"
+            )

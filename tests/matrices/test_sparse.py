@@ -236,3 +236,117 @@ def test_property_row_matvec_consistent_with_matvec(n, seed):
     np.testing.assert_allclose(
         A.row_matvec(np.arange(n), x), A @ x, rtol=1e-12, atol=1e-12
     )
+
+
+class TestBatchedKernels:
+    """2-D SpMV, the CSC view, and the incremental-residual scatter."""
+
+    def test_matmat_matches_scipy(self, rng):
+        dense = _random_dense(rng, 12, 9)
+        A = CSRMatrix.from_dense(dense)
+        X = rng.standard_normal((9, 4))
+        np.testing.assert_allclose(A.matmat(X), sp.csr_matrix(dense) @ X)
+
+    def test_matmat_columns_bit_identical_to_matvec(self, rng):
+        dense = _random_dense(rng, 30, 30)
+        A = CSRMatrix.from_dense(dense)
+        X = rng.standard_normal((30, 5))
+        out = A.matmat(X)
+        for t in range(5):
+            np.testing.assert_array_equal(
+                out[:, t], A.matvec(np.ascontiguousarray(X[:, t]))
+            )
+
+    def test_matmat_zero_columns(self, small_fd):
+        out = small_fd.matmat(np.empty((small_fd.ncols, 0)))
+        assert out.shape == (small_fd.nrows, 0)
+
+    def test_matmat_shape_error(self, small_fd):
+        with pytest.raises(ShapeError):
+            small_fd.matmat(np.ones((small_fd.ncols + 1, 2)))
+
+    def test_matmul_dispatches_on_ndim(self, rng):
+        dense = _random_dense(rng, 8, 8)
+        A = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(8)
+        X = rng.standard_normal((8, 3))
+        np.testing.assert_array_equal(A @ x, A.matvec(x))
+        np.testing.assert_array_equal(A @ X, A.matmat(X))
+        with pytest.raises(ShapeError):
+            A @ np.ones((2, 2, 2))
+
+    def test_matmat_bins_cache_reused(self, small_fd, rng):
+        X = rng.standard_normal((small_fd.ncols, 3))
+        first = small_fd.matmat(X)
+        bins = small_fd._matmat_bins[3]
+        second = small_fd.matmat(X + 1.0)
+        assert small_fd._matmat_bins[3] is bins  # built once per T
+        np.testing.assert_allclose(
+            second - first, small_fd.matmat(np.ones_like(X)), rtol=1e-12, atol=1e-12
+        )
+
+    def test_row_matvec_batched_matches_1d(self, rng):
+        dense = _random_dense(rng, 20, 20)
+        A = CSRMatrix.from_dense(dense)
+        rows = np.array([0, 3, 7, 19], dtype=np.int64)
+        X = rng.standard_normal((20, 4))
+        out = A.row_matvec(rows, X)
+        for t in range(4):
+            np.testing.assert_array_equal(
+                out[:, t], A.row_matvec(rows, np.ascontiguousarray(X[:, t]))
+            )
+
+    def test_csc_arrays_roundtrip(self, rng):
+        dense = _random_dense(rng, 10, 13)
+        A = CSRMatrix.from_dense(dense)
+        colptr, row_ind, vals = A.csc_arrays()
+        rebuilt = np.zeros((10, 13))
+        for j in range(13):
+            lo, hi = colptr[j], colptr[j + 1]
+            rebuilt[row_ind[lo:hi], j] = vals[lo:hi]
+            assert np.all(np.diff(row_ind[lo:hi]) > 0)  # sorted rows
+        np.testing.assert_array_equal(rebuilt, dense)
+        assert A.csc_arrays() is A.csc_arrays()  # cached
+
+    @pytest.mark.parametrize("cols", [[0], [2, 5], [0, 1, 2, 3]])
+    def test_subtract_columns_update_vector(self, rng, cols):
+        dense = _random_dense(rng, 14, 14)
+        A = CSRMatrix.from_dense(dense)
+        cols = np.asarray(cols, dtype=np.int64)
+        dx = rng.standard_normal(cols.size)
+        r = rng.standard_normal(14)
+        expected = r - dense[:, cols] @ dx
+        A.subtract_columns_update(r, cols, dx)
+        np.testing.assert_allclose(r, expected, rtol=1e-13, atol=1e-13)
+
+    def test_subtract_columns_update_batched(self, rng):
+        dense = _random_dense(rng, 14, 14)
+        A = CSRMatrix.from_dense(dense)
+        cols = np.array([1, 6, 9], dtype=np.int64)
+        DX = rng.standard_normal((3, 4))
+        R = rng.standard_normal((14, 4))
+        expected = R - dense[:, cols] @ DX
+        A.subtract_columns_update(R, cols, DX)
+        np.testing.assert_allclose(R, expected, rtol=1e-13, atol=1e-13)
+
+    def test_subtract_columns_update_span_untouched_rows(self):
+        """Rows outside the touched span must not even be written."""
+        dense = np.zeros((9, 9))
+        dense[3, 4] = 2.0
+        dense[5, 4] = -1.0
+        A = CSRMatrix.from_dense(dense)
+        r = np.full(9, np.nan)  # NaN canaries outside the span
+        r[3:6] = 1.0
+        A.subtract_columns_update(r, np.array([4]), np.array([0.5]))
+        assert np.isnan(r[:3]).all() and np.isnan(r[6:]).all()
+        np.testing.assert_allclose(r[3:6], [0.0, 1.0, 1.5])
+
+    def test_subtract_columns_update_empty_cases(self, small_fd, rng):
+        r = rng.standard_normal(small_fd.nrows)
+        before = r.copy()
+        small_fd.subtract_columns_update(r, np.empty(0, dtype=np.int64), np.empty(0))
+        np.testing.assert_array_equal(r, before)
+        R = rng.standard_normal((small_fd.nrows, 0))
+        small_fd.subtract_columns_update(
+            R, np.array([1]), np.empty((1, 0))
+        )

@@ -1,0 +1,139 @@
+"""Experiment cache: content-hash keys, env controls, atomic storage."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.perf.cache import (
+    ExperimentCache,
+    _canonical,
+    cache_enabled,
+    code_version,
+    default_cache_dir,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ExperimentCache(root=tmp_path, enabled=True)
+
+
+class TestKeying:
+    def test_key_is_stable_and_order_insensitive(self, cache):
+        a = cache.key({"seed": 1, "tol": 1e-3})
+        b = cache.key({"tol": 1e-3, "seed": 1})
+        assert a == b
+        assert len(a) == 64
+
+    def test_key_distinguishes_configs(self, cache):
+        assert cache.key({"seed": 1}) != cache.key({"seed": 2})
+
+    def test_key_includes_code_version(self, cache, monkeypatch):
+        before = cache.key({"seed": 1})
+        monkeypatch.setattr("repro.perf.cache._code_version_cache", "f" * 16)
+        assert cache.key({"seed": 1}) != before
+
+    def test_tuple_and_list_configs_collide(self, cache):
+        assert cache.key({"seeds": (1, 2)}) == cache.key({"seeds": [1, 2]})
+
+    def test_numpy_scalars_canonicalize(self, cache):
+        assert cache.key({"tol": np.float64(0.5)}) == cache.key({"tol": 0.5})
+
+    def test_non_json_config_rejected(self):
+        with pytest.raises(TypeError):
+            _canonical({"bad": object()})
+
+    def test_code_version_format(self):
+        v = code_version()
+        assert len(v) == 16
+        int(v, 16)  # hex digest
+
+
+class TestStorage:
+    def test_miss_then_hit(self, cache):
+        config = {"seed": 7}
+        hit, value = cache.lookup(config)
+        assert not hit and value is None
+        cache.store(config, {"answer": 42})
+        hit, value = cache.lookup(config)
+        assert hit and value == {"answer": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_get_or_run_runs_once(self, cache):
+        calls = []
+
+        def cell(config):
+            calls.append(config)
+            return config["x"] * 2
+
+        assert cache.get_or_run({"x": 3}, cell) == 6
+        assert cache.get_or_run({"x": 3}, cell) == 6
+        assert len(calls) == 1
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        config = {"seed": 1}
+        cache.store(config, "fine")
+        path = cache._path(cache.key(config))
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.lookup(config)
+        assert not hit
+
+    def test_store_is_atomic_no_tmp_left(self, cache, tmp_path):
+        cache.store({"seed": 1}, list(range(100)))
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_clear_removes_entries(self, cache):
+        for s in range(3):
+            cache.store({"seed": s}, s)
+        assert cache.clear() == 3
+        assert not cache.lookup({"seed": 0})[0]
+
+    def test_stored_values_roundtrip_pickle(self, cache):
+        value = {"arr": np.arange(5), "nested": [(1, 2.5)]}
+        cache.store({"k": 1}, value)
+        hit, back = cache.lookup({"k": 1})
+        assert hit
+        np.testing.assert_array_equal(back["arr"], value["arr"])
+
+
+class TestEnvironmentControls:
+    def test_repro_no_cache_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not cache_enabled()
+        cache = ExperimentCache(root=tmp_path)
+        assert not cache.enabled
+        cache.store({"seed": 1}, "value")
+        assert not cache.lookup({"seed": 1})[0]
+        assert list(tmp_path.rglob("*.pkl")) == []
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_truthy_spellings(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert not cache_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off"])
+    def test_falsy_spellings(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert cache_enabled()
+
+    def test_enabled_recheck_after_env_flip(self, tmp_path, monkeypatch):
+        cache = ExperimentCache(root=tmp_path)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert cache.enabled
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not cache.enabled
+
+    def test_forced_enabled_ignores_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        cache.store({"seed": 1}, "value")
+        assert cache.lookup({"seed": 1})[0]
+
+    def test_repro_cache_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().name == "repro-async-jacobi"

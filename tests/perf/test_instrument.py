@@ -1,0 +1,98 @@
+"""PerfCounters and the instrument=True hooks across executors."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import AsyncJacobiModel
+from repro.core.schedules import SynchronousSchedule
+from repro.matrices.laplacian import fd_laplacian_2d, paper_fd_matrix
+from repro.perf.batched import BatchedAsyncJacobiModel
+from repro.perf.instrument import PerfCounters
+from repro.runtime.distributed import DistributedJacobi
+from repro.runtime.shared import SharedMemoryJacobi
+from repro.util.rng import as_rng
+
+
+class TestPerfCounters:
+    def test_tick_tock_accumulates(self):
+        perf = PerfCounters()
+        perf.tock_spmv(perf.tick())
+        perf.tock_residual(perf.tick())
+        assert perf.spmv_calls == 1 and perf.residual_evals == 1
+        assert perf.spmv_seconds >= 0.0 and perf.residual_seconds >= 0.0
+
+    def test_dispatch_is_remainder_and_nonnegative(self):
+        perf = PerfCounters(spmv_seconds=0.5, residual_seconds=0.3, total_seconds=1.0)
+        assert perf.dispatch_seconds == pytest.approx(0.2)
+        perf.total_seconds = 0.1
+        assert perf.dispatch_seconds == 0.0
+
+    def test_merge_sums_fields(self):
+        a = PerfCounters(spmv_seconds=1.0, spmv_calls=2, events=3)
+        b = PerfCounters(spmv_seconds=0.5, spmv_calls=1, events=4)
+        assert a.merge(b) is a
+        assert a.spmv_seconds == 1.5 and a.spmv_calls == 3 and a.events == 7
+
+    def test_as_dict_and_summary(self):
+        perf = PerfCounters(total_seconds=1.0, extra={"trials": 5})
+        d = perf.as_dict()
+        assert d["total_seconds"] == 1.0 and d["trials"] == 5
+        assert "dispatch" in perf.summary()
+
+
+@pytest.fixture
+def system(rng):
+    A = paper_fd_matrix(68)
+    b = rng.uniform(-1, 1, 68)
+    x0 = rng.uniform(-1, 1, 68)
+    return A, b, x0
+
+
+class TestExecutorHooks:
+    def test_model_run_attaches_perf(self, system):
+        A, b, x0 = system
+        res = AsyncJacobiModel(A, b).run(
+            SynchronousSchedule(68), x0=x0, tol=1e-3, max_steps=5000,
+            instrument=True,
+        )
+        assert res.perf is not None
+        assert res.perf.events == res.steps
+        assert res.perf.spmv_calls > 0
+        assert res.perf.total_seconds > 0.0
+
+    def test_model_run_default_has_no_perf(self, system):
+        A, b, x0 = system
+        res = AsyncJacobiModel(A, b).run(
+            SynchronousSchedule(68), x0=x0, tol=1e-3, max_steps=5000
+        )
+        assert res.perf is None
+
+    def test_batched_run_attaches_perf(self, system):
+        A, _, _ = system
+        rng = as_rng(0)
+        B = rng.uniform(-1, 1, (68, 3))
+        res = BatchedAsyncJacobiModel(A, B).run(
+            SynchronousSchedule(68), tol=1e-3, max_steps=5000, instrument=True
+        )
+        assert res.perf is not None
+        assert res.perf.spmv_calls > 0
+        assert res.perf.events > 0
+
+    def test_shared_run_async_attaches_perf(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=1)
+        res = sim.run_async(
+            x0=x0, tol=1e-3, max_iterations=2000, instrument=True
+        )
+        assert res.perf is not None
+        assert res.perf.events > 0
+        assert res.perf.residual_evals > 0
+
+    def test_distributed_run_async_attaches_perf(self):
+        A = fd_laplacian_2d(8, 8)
+        rng = as_rng(2)
+        b = rng.uniform(-1, 1, A.nrows)
+        sim = DistributedJacobi(A, b, n_ranks=4, seed=3)
+        res = sim.run_async(tol=1e-3, max_iterations=2000, instrument=True)
+        assert res.perf is not None
+        assert res.perf.events > 0

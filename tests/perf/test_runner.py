@@ -1,0 +1,123 @@
+"""Parallel cached runner: ordering, memoization, graceful degradation."""
+
+import concurrent.futures
+
+from repro.perf.cache import ExperimentCache
+from repro.perf.runner import _cell_token, _worker_count, run_cells
+
+# ``dict`` is a convenient module-level, picklable cell function: it
+# returns (a copy of) its config, which makes ordering trivially checkable
+# even through a process pool.
+CONFIGS = [{"i": i} for i in range(5)]
+
+
+def counting_cell_factory():
+    calls = []
+
+    def cell(config):
+        calls.append(config["i"])
+        return config["i"] * 10
+
+    return cell, calls
+
+
+class TestSerial:
+    def test_results_in_input_order(self, tmp_path):
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        out = run_cells(dict, CONFIGS, cache=cache, max_workers=1)
+        assert out == CONFIGS
+
+    def test_second_run_hits_cache(self, tmp_path):
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        cell, calls = counting_cell_factory()
+        first = run_cells(cell, CONFIGS, cache=cache, max_workers=1)
+        second = run_cells(cell, CONFIGS, cache=cache, max_workers=1)
+        assert first == second == [i * 10 for i in range(5)]
+        assert len(calls) == 5  # no re-execution
+        assert cache.hits == 5
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        cell, calls = counting_cell_factory()
+        run_cells(cell, CONFIGS, cache=cache, max_workers=1, use_cache=False)
+        run_cells(cell, CONFIGS, cache=cache, max_workers=1, use_cache=False)
+        assert len(calls) == 10
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_partial_cache_runs_only_misses(self, tmp_path):
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        cell, calls = counting_cell_factory()
+        run_cells(cell, CONFIGS[:2], cache=cache, max_workers=1)
+        out = run_cells(cell, CONFIGS, cache=cache, max_workers=1)
+        assert out == [i * 10 for i in range(5)]
+        assert sorted(calls) == [0, 1, 2, 3, 4]  # 0,1 only ran once
+
+    def test_empty_configs(self, tmp_path):
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        assert run_cells(dict, [], cache=cache) == []
+
+
+class TestParallel:
+    def test_pool_path_preserves_order(self, tmp_path):
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        out = run_cells(dict, CONFIGS, cache=cache, max_workers=2)
+        assert out == CONFIGS
+
+    def test_pool_failure_falls_back_to_serial(self, tmp_path, monkeypatch):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no semaphores here")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", ExplodingPool
+        )
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        out = run_cells(dict, CONFIGS, cache=cache, max_workers=4)
+        assert out == CONFIGS
+
+    def test_single_pending_item_stays_serial(self, tmp_path, monkeypatch):
+        def forbidden_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool must not start for one pending cell")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", forbidden_pool
+        )
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        out = run_cells(dict, CONFIGS[:1], cache=cache, max_workers=8)
+        assert out == CONFIGS[:1]
+
+
+class TestWorkerCount:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "7")
+        assert _worker_count(3) == 3
+        assert _worker_count(0) == 0
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "4")
+        assert _worker_count(None) == 4
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert _worker_count(None) == 0
+
+    def test_garbage_env_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "many")
+        assert _worker_count(None) >= 1
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert _worker_count(None) >= 1
+
+
+class TestCellToken:
+    def test_token_includes_function_identity(self):
+        t1 = _cell_token(dict, {"x": 1})
+        t2 = _cell_token(list, {"x": 1})
+        assert t1 != t2
+        assert t1["cell"] == "builtins.dict"
+        assert t1["config"] == {"x": 1}
+
+    def test_different_functions_do_not_collide_in_cache(self, tmp_path):
+        cache = ExperimentCache(root=tmp_path, enabled=True)
+        cache.store(_cell_token(dict, {"x": 1}), "from-dict")
+        hit, _ = cache.lookup(_cell_token(list, {"x": 1}))
+        assert not hit

@@ -168,3 +168,35 @@ class TestValidation:
         assert dj.run("async", x0=x0, tol=1e-3).mode == "async"
         with pytest.raises(ValueError):
             dj.run("chaotic")
+
+
+class TestIncrementalResiduals:
+    """Incremental residual observation in the distributed simulator."""
+
+    def test_trajectory_bit_identical_across_modes(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=4, seed=3)
+        inc = dj.run_async(x0=x0, tol=1e-3, max_iterations=20_000,
+                           residual_mode="incremental")
+        full = dj.run_async(x0=x0, tol=1e-3, max_iterations=20_000,
+                            residual_mode="full")
+        np.testing.assert_array_equal(inc.x, full.x)
+        np.testing.assert_array_equal(inc.iterations, full.iterations)
+
+    def test_observed_residuals_match_full_recompute(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=4, seed=3)
+        inc = dj.run_async(x0=x0, tol=1e-4, max_iterations=50_000,
+                           residual_mode="incremental", recompute_every=64)
+        full = dj.run_async(x0=x0, tol=1e-4, max_iterations=50_000,
+                            residual_mode="full")
+        a = np.asarray(inc.residual_norms)
+        bb = np.asarray(full.residual_norms)
+        m = min(a.size, bb.size)
+        np.testing.assert_allclose(a[:m], bb[:m], rtol=1e-9)
+
+    def test_rejects_bad_residual_mode(self, system):
+        A, b, x0 = system
+        dj = DistributedJacobi(A, b, n_ranks=3, seed=0)
+        with pytest.raises(ValueError):
+            dj.run_async(x0=x0, tol=1e-3, residual_mode="lazy")

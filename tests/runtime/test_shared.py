@@ -199,3 +199,59 @@ class TestValidation:
         assert sim.run("async", x0=x0, tol=1e-3).mode == "async"
         with pytest.raises(ValueError):
             sim.run("turbo")
+
+
+class TestIncrementalResiduals:
+    """The incremental observer must not change what the simulator does."""
+
+    def test_trajectory_bit_identical_across_modes(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=4)
+        inc = sim.run_async(x0=x0, tol=1e-3, max_iterations=20_000,
+                            residual_mode="incremental")
+        full = sim.run_async(x0=x0, tol=1e-3, max_iterations=20_000,
+                             residual_mode="full")
+        np.testing.assert_array_equal(inc.x, full.x)
+        np.testing.assert_array_equal(inc.iterations, full.iterations)
+        assert inc.times == full.times
+
+    def test_observed_residuals_match_full_recompute(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=4)
+        inc = sim.run_async(x0=x0, tol=1e-4, max_iterations=50_000,
+                            residual_mode="incremental", recompute_every=64)
+        full = sim.run_async(x0=x0, tol=1e-4, max_iterations=50_000,
+                             residual_mode="full")
+        a = np.asarray(inc.residual_norms)
+        bb = np.asarray(full.residual_norms)
+        m = min(a.size, bb.size)
+        np.testing.assert_allclose(a[:m], bb[:m], rtol=1e-9)
+
+    def test_final_residual_is_confirmed(self, system):
+        """Termination is always judged on a trustworthy residual."""
+        from repro.util.norms import relative_residual_norm
+
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=4)
+        res = sim.run_async(x0=x0, tol=1e-3, max_iterations=50_000)
+        assert res.converged
+        exact = relative_residual_norm(A, res.x, b)
+        assert abs(res.residual_norms[-1] - exact) <= 1e-10 * max(exact, 1e-300)
+
+    def test_rejects_bad_residual_mode(self, system):
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=0)
+        with pytest.raises(ValueError):
+            sim.run_async(x0=x0, tol=1e-3, residual_mode="lazy")
+
+    def test_dirty_flag_skips_redundant_final_recompute(self, system):
+        """If nothing committed since the last observation, the terminal
+        residual is reused instead of recomputed (satellite b)."""
+        A, b, x0 = system
+        sim = SharedMemoryJacobi(A, b, n_threads=8, seed=4)
+        inc = sim.run_async(x0=x0, tol=1e-3, max_iterations=20_000,
+                            observe_every=1, instrument=True)
+        assert inc.perf is not None
+        # Every observation evaluates a residual; the terminal one must
+        # not add an extra full recompute when the state is clean.
+        assert inc.perf.residual_evals <= inc.perf.events + 1

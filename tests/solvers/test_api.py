@@ -105,3 +105,16 @@ def test_block_jacobi_with_explicit_labels(system, rng):
                    max_iterations=5000)
     assert result.converged
     np.testing.assert_allclose(result.x, x_exact, atol=1e-3)
+
+
+def test_perf_counters_exposed(system):
+    A, b, _ = system
+    result = solve(A, b, method="shared_sim", n_threads=7, mode="async", seed=1,
+                   tol=1e-4, instrument=True)
+    assert result.perf is not None
+    assert result.perf.events > 0
+    assert result.perf.total_seconds > 0
+
+    plain = solve(A, b, method="shared_sim", n_threads=7, mode="async", seed=1,
+                  tol=1e-4)
+    assert plain.perf is None

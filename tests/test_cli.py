@@ -32,3 +32,22 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "=== fig1" in out
         assert "{p1, p2}" in out
+
+    def test_no_cache_flag_sets_env(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        try:
+            assert main(["--no-cache", "list"]) == 0
+            assert os.environ.get("REPRO_NO_CACHE") == "1"
+            from repro.perf.cache import cache_enabled
+
+            assert not cache_enabled()
+        finally:
+            # main() mutates the real environment; don't leak the flag
+            # into later tests.
+            os.environ.pop("REPRO_NO_CACHE", None)
+
+    def test_no_cache_flag_documented(self, capsys):
+        assert main([]) == 0
+        assert "--no-cache" in capsys.readouterr().out

@@ -27,7 +27,7 @@ class TestReadme:
 
     def test_mentions_all_deliverable_docs(self, readme):
         for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/theory.md", "docs/simulators.md",
-                    "docs/fault_tolerance.md"):
+                    "docs/fault_tolerance.md", "docs/performance.md"):
             assert doc in readme
 
     def test_every_example_listed(self, readme):
