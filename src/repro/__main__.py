@@ -33,6 +33,7 @@ from repro.experiments import (
     fig9,
     seeds,
     table1,
+    trace,
 )
 
 EXPERIMENTS = {
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "ablations": ablations,
     "seeds": seeds,
     "faults": faults,
+    "trace": trace,
 }
 
 

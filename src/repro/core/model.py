@@ -133,6 +133,7 @@ class AsyncJacobiModel:
         residual_mode: str = "incremental",
         recompute_every: int = 64,
         instrument: bool = False,
+        tracer=None,
     ) -> ModelResult:
         """Execute the model against ``schedule``.
 
@@ -155,6 +156,11 @@ class AsyncJacobiModel:
 
         With ``instrument=True`` the result carries per-kernel
         :class:`~repro.perf.instrument.PerfCounters` as ``result.perf``.
+        A live :class:`~repro.observability.Tracer` passed as ``tracer``
+        receives structured relax/observe/convergence events (exact-
+        information reads are synthesized at replay time, so relax events
+        carry only the step's rows); ``tracer=None`` or an all-null-sink
+        tracer leaves the hot loop untouched.
         """
         check_positive(tol, "tol")
         if residual_mode not in ("incremental", "full"):
@@ -170,6 +176,14 @@ class AsyncJacobiModel:
         incremental = residual_mode == "incremental"
         perf = PerfCounters() if instrument else None
         run_start = time.perf_counter() if instrument else 0.0
+        # Resolved once: a missing or all-null-sink tracer costs one branch
+        # per event afterwards (see repro.observability.tracer.resolve).
+        trc = tracer if (tracer is not None and tracer.enabled) else None
+        if trc is not None:
+            trc.run_start(
+                "AsyncJacobiModel", self.n, omega=self.omega, tol=tol,
+                residual_mode=residual_mode,
+            )
 
         b_norm = vector_norm(b, residual_norm_ord)
 
@@ -213,6 +227,8 @@ class AsyncJacobiModel:
                     if perf is not None:
                         perf.tock_spmv(t0)
                     relaxations += rows.size
+                    if trc is not None:
+                        trc.relax(step.time, None, rows)
                 steps_done += 1
                 if perf is not None:
                     perf.events += 1
@@ -243,10 +259,16 @@ class AsyncJacobiModel:
                     times.append(step.time)
                     residuals.append(res)
                     counts.append(relaxations)
+                    if trc is not None:
+                        trc.observe(step.time, res, relaxations)
                     if res < tol:
                         converged = True
+                        if trc is not None:
+                            trc.convergence(step.time, res, tol)
                         break
 
+        if trc is not None:
+            trc.run_end(times[-1], converged, relaxations)
         if perf is not None:
             perf.total_seconds = time.perf_counter() - run_start
         return ModelResult(

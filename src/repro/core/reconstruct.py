@@ -107,6 +107,14 @@ class ReconstructionResult:
     phi
         The parallel steps: each entry is the sorted array of rows relaxed
         together as one propagation matrix.
+    applied
+        The *full* application order the scheduler produced: one
+        ``(rows, propagated)`` pair per application, parallel steps and
+        out-of-band relaxations interleaved exactly as they were applied.
+        Each entry is one propagation-matrix application, so replaying
+        ``applied`` through the model executor reproduces the
+        reconstructed trajectory (the observability replay bridge does
+        exactly this).
     propagated
         Number of relaxations expressed via propagation matrices.
     non_propagated
@@ -116,6 +124,7 @@ class ReconstructionResult:
     """
 
     phi: list = field(default_factory=list)
+    applied: list = field(default_factory=list)
     propagated: int = 0
     non_propagated: int = 0
     flags: list = field(default_factory=list)
@@ -164,6 +173,7 @@ def reconstruct_propagation_steps(trace: ExecutionTrace) -> ReconstructionResult
     version = [0] * n  # relaxations of row i applied so far
     flag_of = {}  # id(Relaxation) -> bool
     phi_steps = []
+    applied_order = []  # (rows array, propagated) per application, in order
 
     def pending_list():
         return [per_row[i][next_idx[i]] for i in range(n) if next_idx[i] < len(per_row[i])]
@@ -182,8 +192,10 @@ def reconstruct_propagation_steps(trace: ExecutionTrace) -> ReconstructionResult
         # relaxations all read the pre-step state.
         for rel in rels:
             version[rel.row] += 1
+        rows = np.asarray(sorted(r.row for r in rels), dtype=np.int64)
+        applied_order.append((rows, propagated))
         if propagated:
-            phi_steps.append(np.asarray(sorted(r.row for r in rels), dtype=np.int64))
+            phi_steps.append(rows)
 
     remaining = len(trace)
     while remaining:
@@ -279,6 +291,7 @@ def reconstruct_propagation_steps(trace: ExecutionTrace) -> ReconstructionResult
 
     result = ReconstructionResult()
     result.phi = phi_steps
+    result.applied = applied_order
     for rel in trace:
         is_prop = flag_of[id(rel)]
         result.flags.append(is_prop)

@@ -46,6 +46,29 @@ def format_series(title: str, xs: Sequence, ys: Sequence, xlabel: str, ylabel: s
     return f"{title}\n{body}"
 
 
+def format_metrics(metrics: dict, max_rows: int = 40) -> str:
+    """A :meth:`repro.observability.Metrics.as_dict` export as a table.
+
+    Scalar instruments print their value; histogram summaries collapse to
+    ``count/mean/max``. Long exports are truncated to ``max_rows`` with an
+    ellipsis row so per-agent fan-out cannot flood the report.
+    """
+    rows = []
+    for name, value in metrics.items():
+        if isinstance(value, dict):
+            cell = f"n={value.get('count', 0)} mean={value.get('mean', 0.0):.3g}"
+            if "max" in value:
+                cell += f" max={value['max']:.3g}"
+            rows.append((name, cell))
+        elif isinstance(value, float):
+            rows.append((name, f"{value:.6g}"))
+        else:
+            rows.append((name, value if value is not None else "-"))
+    if len(rows) > max_rows:
+        rows = rows[:max_rows] + [("...", f"{len(metrics) - max_rows} more")]
+    return format_table(["metric", "value"], rows)
+
+
 def downsample(xs: Sequence, ys: Sequence, max_points: int = 20):
     """Thin a long history to at most ``max_points`` (always keeps the ends)."""
     n = len(xs)

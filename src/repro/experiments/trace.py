@@ -1,0 +1,109 @@
+"""Observability demo: trace two live runs and replay them against Theorem 1.
+
+``python -m repro trace`` captures one shared-memory and one distributed
+asynchronous run on a weakly diagonally dominant 2-D Laplacian with a
+:class:`~repro.observability.Tracer` (``trace_reads=True``, metrics
+attached), then closes the loop through the trace→reconstruction bridge
+(:mod:`repro.observability.replay`):
+
+* the captured per-row read versions feed the Section IV-A reconstruction,
+  which reorders the real execution into propagation-matrix steps
+  ``G-hat(k) = I - D-hat(k) A`` and reports the fraction of relaxations so
+  expressible (the Figure 2 metric, now on *this* run's trace);
+* the full reconstructed application order is replayed through the model
+  executor, checking Theorem 1's guarantee — the residual 1-norm never
+  increases — step by step against the actual trace.
+
+The report prints each run's derived metrics (relaxations, staleness
+distribution, message latency, residual decay rate) and its replay
+verdict. A non-monotone verdict here would mean the simulators produced an
+execution the paper's model cannot explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.report import format_metrics
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.observability import Metrics, Tracer
+from repro.observability.replay import ReplayReport, replay_report
+from repro.runtime.distributed import DistributedJacobi
+from repro.runtime.shared import SharedMemoryJacobi
+
+#: Problem size (nx, ny) of the traced Laplacian — small enough that the
+#: reconstruction's greedy scheduler stays fast.
+GRID = (8, 8)
+N_THREADS = 4
+N_RANKS = 4
+TOL = 1e-5
+MAX_ITERATIONS = 300
+SEED = 2018
+
+
+@dataclass
+class TracedRun:
+    """One traced run plus its replay outcome."""
+
+    label: str
+    converged: bool
+    n_events: int
+    metrics: dict
+    report: ReplayReport
+
+
+def run() -> list:
+    """Trace both simulators and replay their event streams."""
+    A = fd_laplacian_2d(*GRID)
+    b = np.ones(A.nrows)
+    out = []
+
+    metrics = Metrics()
+    tracer = Tracer(metrics=metrics, trace_reads=True)
+    shared = SharedMemoryJacobi(A, b, n_threads=N_THREADS, seed=SEED)
+    result = shared.run_async(tol=TOL, max_iterations=MAX_ITERATIONS, tracer=tracer)
+    events = tracer.events()
+    out.append(
+        TracedRun(
+            label=f"shared-memory ({N_THREADS} threads)",
+            converged=result.converged,
+            n_events=len(events),
+            metrics=metrics.as_dict(),
+            report=replay_report(events, A, b),
+        )
+    )
+
+    metrics = Metrics()
+    tracer = Tracer(metrics=metrics, trace_reads=True)
+    dist = DistributedJacobi(A, b, n_ranks=N_RANKS, seed=SEED)
+    result = dist.run_async(tol=TOL, max_iterations=MAX_ITERATIONS, tracer=tracer)
+    events = tracer.events()
+    out.append(
+        TracedRun(
+            label=f"distributed ({N_RANKS} ranks)",
+            converged=result.converged,
+            n_events=len(events),
+            metrics=metrics.as_dict(),
+            report=replay_report(events, A, b),
+        )
+    )
+    return out
+
+
+def format_report(runs: list) -> str:
+    """Metrics table + replay verdict per traced run."""
+    nx, ny = GRID
+    lines = [f"traced runs on the {nx}x{ny} FD Laplacian (tol={TOL:g}):", ""]
+    for tr in runs:
+        lines.append(f"--- {tr.label}: {tr.n_events} events captured")
+        lines.append(format_metrics(tr.metrics))
+        lines.append(f"replay: {tr.report.verdict}")
+        lines.append("")
+    ok = all(r.report.monotone and r.report.valid_sequence for r in runs)
+    lines.append(
+        "Theorem 1 verdict: "
+        + ("PASS — both traces replay monotonically" if ok else "FAIL")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Observability layer: structured trace events, metrics, and replay.
+
+Three cooperating pieces (see docs/observability.md):
+
+* :mod:`repro.observability.tracer` — a :class:`Tracer` emitting
+  schema-versioned :class:`~repro.observability.events.TraceEvent` records
+  (relaxations, message send/recv/ack, delays, fault injection/detection,
+  convergence crossings) to pluggable sinks: an in-memory
+  :class:`~repro.observability.sinks.RingBufferSink`, a rotating
+  :class:`~repro.observability.sinks.JSONLSink`, or the near-zero-overhead
+  :class:`~repro.observability.sinks.NullSink`;
+* :mod:`repro.observability.metrics` — a :class:`Metrics` registry of
+  counters, gauges and histograms (relaxations per agent, message latency,
+  residual-decay rate, staleness distribution), aggregated per rank/thread
+  and exportable to JSON;
+* :mod:`repro.observability.replay` — the trace→reconstruction bridge:
+  converts captured events into the
+  :class:`~repro.core.reconstruct.ExecutionTrace` the Section IV-A
+  reconstruction consumes, replays the reconstructed propagation-matrix
+  sequence through the model executor, and checks Theorem 1's residual
+  1-norm non-increase step by step.
+
+All three executors (:class:`~repro.core.model.AsyncJacobiModel`,
+:class:`~repro.runtime.shared.SharedMemoryJacobi`,
+:class:`~repro.runtime.distributed.DistributedJacobi`) accept a
+``tracer=`` keyword; with ``tracer=None`` (the default) or an all-null-sink
+tracer the hot paths are untouched.
+"""
+
+from __future__ import annotations
+
+from repro.observability.events import (
+    ACK,
+    CONVERGENCE,
+    DELAY,
+    DETECT,
+    FAULT,
+    OBSERVE,
+    RECV,
+    RELAX,
+    RUN_END,
+    RUN_START,
+    SCHEMA_VERSION,
+    SEND,
+    TraceEvent,
+)
+from repro.observability.metrics import Counter, Gauge, Histogram, Metrics
+from repro.observability.replay import (
+    ReplayReport,
+    replay_report,
+    to_execution_trace,
+)
+from repro.observability.sinks import JSONLSink, NullSink, RingBufferSink, Sink
+from repro.observability.tracer import Tracer
+
+__all__ = [
+    "ACK",
+    "CONVERGENCE",
+    "Counter",
+    "DELAY",
+    "DETECT",
+    "FAULT",
+    "Gauge",
+    "Histogram",
+    "JSONLSink",
+    "Metrics",
+    "NullSink",
+    "OBSERVE",
+    "RECV",
+    "RELAX",
+    "RUN_END",
+    "RUN_START",
+    "ReplayReport",
+    "RingBufferSink",
+    "SCHEMA_VERSION",
+    "SEND",
+    "Sink",
+    "TraceEvent",
+    "Tracer",
+    "replay_report",
+    "to_execution_trace",
+]

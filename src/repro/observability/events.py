@@ -1,0 +1,135 @@
+"""Structured trace events: the schema of everything the tracer emits.
+
+Every event is a :class:`TraceEvent` carrying its *kind*, the simulated
+(model) time at which it happened, a monotonic per-tracer sequence number,
+the agent (thread/rank) it concerns, a wall-clock stamp, and a kind-specific
+payload dict. The payload keys per kind are documented in
+``docs/observability.md`` (the schema reference); :data:`SCHEMA_VERSION` is
+bumped whenever a kind is added or a payload key changes meaning, and the
+JSONL sink writes it in a header line so archived traces stay parseable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Version of the event schema; written by file sinks, checked by readers.
+SCHEMA_VERSION = 1
+
+#: One parallel step / block commit: ``rows`` relaxed at ``time``. Payload:
+#: ``rows`` (list), optional ``reads`` (per-row ``{neighbor: version}``
+#: dicts, captured when the tracer traces reads), optional ``staleness``
+#: (per-read version lag at commit time).
+RELAX = "relax"
+#: A boundary-value put left an agent. Payload: ``dst``, ``n_values``,
+#: optional ``seq`` (reliable protocol).
+SEND = "send"
+#: A put landed and was applied. Payload: ``src``, ``n_values``, optional
+#: ``seq``, optional ``latency`` (simulated seconds in flight).
+RECV = "recv"
+#: A reliable-protocol acknowledgement arrived back at the sender.
+#: Payload: ``src`` (the acking rank), ``seq``.
+ACK = "ack"
+#: An injected delay put an agent to sleep. Payload: ``seconds``.
+DELAY = "delay"
+#: A fault-machinery incident: scripted crash encountered, restart,
+#: dropped/corrupted put, retry exhausted. Payload: ``reason`` plus
+#: reason-specific keys (``dst``, ``seq``, ...).
+FAULT = "fault"
+#: The failure detector declared an agent dead (or recovered). Payload:
+#: ``target``, ``status`` ("dead" | "alive" | "adopted").
+DETECT = "detect"
+#: A residual observation. Payload: ``residual``, ``relaxations``.
+OBSERVE = "observe"
+#: The observed residual first crossed the tolerance. Payload:
+#: ``residual``, ``tol``.
+CONVERGENCE = "convergence"
+#: Run lifecycle markers. Payload: ``executor``, ``n``, plus executor
+#: config on start; ``converged``, ``relaxations`` on end.
+RUN_START = "run_start"
+RUN_END = "run_end"
+
+#: Every kind the current schema defines.
+KINDS = frozenset(
+    {
+        RELAX,
+        SEND,
+        RECV,
+        ACK,
+        DELAY,
+        FAULT,
+        DETECT,
+        OBSERVE,
+        CONVERGENCE,
+        RUN_START,
+        RUN_END,
+    }
+)
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into JSON-encodable values."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {_jsonable(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured observability event.
+
+    Attributes
+    ----------
+    kind
+        One of the module-level kind constants (:data:`KINDS`).
+    time
+        Simulated/model time of the event (seconds or unit steps,
+        whichever clock the emitting executor runs on).
+    seq
+        Monotonic per-tracer sequence number; total-orders events even
+        when simulated times tie.
+    agent
+        Thread/rank the event concerns (None for run-global events).
+    data
+        Kind-specific payload (see the kind constants' docs).
+    wall
+        Host ``perf_counter`` stamp at emission, for overhead attribution.
+    """
+
+    kind: str
+    time: float
+    seq: int
+    agent: int | None = None
+    data: dict = field(default_factory=dict)
+    wall: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        """Flat JSON-encodable view (numpy payloads coerced to lists)."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "seq": self.seq,
+            "agent": self.agent,
+            "data": _jsonable(self.data),
+            "wall": self.wall,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "TraceEvent":
+        """Inverse of :meth:`to_json_dict` (reads archived JSONL traces)."""
+        return cls(
+            kind=payload["kind"],
+            time=float(payload["time"]),
+            seq=int(payload["seq"]),
+            agent=payload.get("agent"),
+            data=payload.get("data", {}),
+            wall=float(payload.get("wall", 0.0)),
+        )

@@ -1,0 +1,219 @@
+"""Metrics registry: counters, gauges, histograms, per-agent aggregation.
+
+A :class:`Metrics` registry can be used directly (``metrics.counter("x")``)
+or attached to a :class:`~repro.observability.tracer.Tracer`, which then
+derives the standard run metrics from the event stream — relaxations per
+agent, message latency, residual level and decay rate, read-staleness
+distribution — so the executors carry exactly one instrumentation path:
+they emit events, and everything else is derived.
+
+Everything exports to a flat JSON-ready dict via :meth:`Metrics.as_dict`
+(used by ``python -m repro trace`` and the observability benchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.observability import events as ev
+
+
+class Counter:
+    """Monotonic event count."""
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (plus the time it was written, when given)."""
+
+    def __init__(self):
+        self.value = None
+        self.time = None
+
+    def set(self, value: float, time: float | None = None) -> None:
+        """Record the current level (and optionally when it was observed)."""
+        self.value = float(value)
+        self.time = time
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; values
+    above the last bound land in the implicit overflow bucket. The default
+    bounds are decade-spaced, which suits both second-scale latencies and
+    integer staleness lags.
+    """
+
+    DEFAULT_BOUNDS = (
+        1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+        1.0, 10.0, 100.0, 1000.0,
+    )
+
+    def __init__(self, bounds=None):
+        self.bounds = tuple(float(b) for b in (bounds or self.DEFAULT_BOUNDS))
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be increasing")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (nan when empty)."""
+        return self.sum / self.count if self.count else math.nan
+
+    def summary(self) -> dict:
+        """Count/sum/mean/min/max plus the non-empty buckets."""
+        out = {"count": self.count, "sum": self.sum, "mean": self.mean}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        buckets = {}
+        for i, c in enumerate(self.bucket_counts):
+            if not c:
+                continue
+            label = f"<={self.bounds[i]:g}" if i < len(self.bounds) else "overflow"
+            buckets[label] = c
+        if buckets:
+            out["buckets"] = buckets
+        return out
+
+
+class Metrics:
+    """A named registry of counters, gauges and histograms.
+
+    Instruments are keyed by ``(name, agent)``; ``agent=None`` is the
+    run-global aggregate. The per-kind derivation rules from trace events
+    live in :meth:`record_event`, so a tracer with a ``metrics=`` registry
+    attached populates all standard metrics without any executor help.
+    """
+
+    def __init__(self):
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        # Residual-decay bookkeeping: first and last observation seen.
+        self._first_obs = None
+        self._last_obs = None
+
+    # -- instrument accessors (create on first use) --------------------
+    def counter(self, name: str, agent: int | None = None) -> Counter:
+        """The counter ``name`` for ``agent`` (created empty on first use)."""
+        return self._counters.setdefault((name, agent), Counter())
+
+    def gauge(self, name: str, agent: int | None = None) -> Gauge:
+        """The gauge ``name`` for ``agent``."""
+        return self._gauges.setdefault((name, agent), Gauge())
+
+    def histogram(self, name: str, agent: int | None = None, bounds=None) -> Histogram:
+        """The histogram ``name`` for ``agent``."""
+        key = (name, agent)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(bounds=bounds)
+        return self._histograms[key]
+
+    # -- event-stream derivation ---------------------------------------
+    def record_event(self, event) -> None:
+        """Fold one trace event into the standard run metrics."""
+        kind, agent, data = event.kind, event.agent, event.data
+        if kind == ev.RELAX:
+            n_rows = len(data.get("rows", ()))
+            self.counter("relaxations").inc(n_rows)
+            self.counter("steps").inc()
+            if agent is not None:
+                self.counter("relaxations", agent).inc(n_rows)
+            for lag in data.get("staleness", ()):
+                self.histogram("staleness", bounds=(0, 1, 2, 4, 8, 16, 32)).observe(lag)
+        elif kind == ev.SEND:
+            self.counter("messages_sent").inc()
+            if agent is not None:
+                self.counter("messages_sent", agent).inc()
+        elif kind == ev.RECV:
+            self.counter("messages_received").inc()
+            if agent is not None:
+                self.counter("messages_received", agent).inc()
+            latency = data.get("latency")
+            if latency is not None:
+                self.histogram("message_latency").observe(latency)
+        elif kind == ev.ACK:
+            self.counter("acks_received").inc()
+        elif kind == ev.DELAY:
+            self.counter("delays").inc()
+            self.histogram("delay_seconds").observe(data.get("seconds", 0.0))
+        elif kind == ev.FAULT:
+            self.counter("faults").inc()
+            reason = data.get("reason")
+            if reason:
+                self.counter(f"faults.{reason}").inc()
+        elif kind == ev.DETECT:
+            self.counter(f"detections.{data.get('status', 'dead')}").inc()
+        elif kind == ev.OBSERVE:
+            residual = data.get("residual")
+            if residual is not None:
+                self.gauge("residual").set(residual, time=event.time)
+                obs = (event.time, float(residual))
+                if self._first_obs is None:
+                    self._first_obs = obs
+                self._last_obs = obs
+                self._update_decay_rate()
+        elif kind == ev.CONVERGENCE:
+            self.gauge("converged_at").set(event.time)
+
+    def _update_decay_rate(self) -> None:
+        """Residual-decay rate in decades per unit simulated time."""
+        (t0, r0), (t1, r1) = self._first_obs, self._last_obs
+        if t1 > t0 and r0 > 0 and r1 > 0:
+            rate = (math.log10(r0) - math.log10(r1)) / (t1 - t0)
+            self.gauge("residual_decay_rate").set(rate)
+
+    # -- export ---------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready nested view: ``{metric: value-or-summary}``.
+
+        Per-agent instruments appear under ``"<name>/agent<k>"``; the
+        unlabelled entry is the run-global aggregate.
+        """
+
+        def label(name, agent):
+            return name if agent is None else f"{name}/agent{agent}"
+
+        out = {}
+        for (name, agent), c in sorted(self._counters.items(), key=str):
+            out[label(name, agent)] = c.value
+        for (name, agent), g in sorted(self._gauges.items(), key=str):
+            out[label(name, agent)] = g.value
+        for (name, agent), h in sorted(self._histograms.items(), key=str):
+            out[label(name, agent)] = h.summary()
+        return out
+
+    def to_json(self, path=None) -> str:
+        """Serialize :meth:`as_dict` (optionally also writing it to a file)."""
+        text = json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            with open(os.fspath(path), "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        return text

@@ -1,0 +1,164 @@
+"""Event sinks: where the tracer's events go.
+
+Three built-ins, all sharing the tiny :class:`Sink` interface:
+
+* :class:`NullSink` — ``enabled = False``; a tracer whose every sink is
+  null reports itself disabled, and executors then skip event construction
+  entirely, so a wired-but-disabled tracer costs one attribute check per
+  run (the <2% overhead budget of ``benchmarks/bench_observability.py``);
+* :class:`RingBufferSink` — keeps the last ``capacity`` events in memory;
+  the default for tests and the replay bridge;
+* :class:`JSONLSink` — appends one JSON object per line to a file, with a
+  schema-version header line and size-based rotation, so long runs can be
+  archived and replayed offline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+
+from repro.observability.events import SCHEMA_VERSION, TraceEvent
+
+
+class Sink:
+    """Interface every event sink implements."""
+
+    #: Disabled sinks are skipped at emit time; a tracer with no enabled
+    #: sink short-circuits before events are even built.
+    enabled = True
+
+    def emit(self, event: TraceEvent) -> None:
+        """Consume one event (must not mutate it)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+
+class NullSink(Sink):
+    """Discards everything; marks the tracer disabled."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        """Drop the event."""
+
+
+class RingBufferSink(Sink):
+    """In-memory ring holding the newest ``capacity`` events.
+
+    Parameters
+    ----------
+    capacity
+        Maximum retained events; older ones are dropped (and counted in
+        :attr:`dropped`) once the ring is full. ``None`` retains
+        everything — the right choice for replay, where losing the front
+        of the trace would desynchronize version counting.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+        #: Events evicted because the ring was full.
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append, evicting (and counting) the oldest event when full."""
+        if self.capacity is not None and len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+
+    def events(self) -> list:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        """Empty the ring (keeps the drop counter)."""
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class JSONLSink(Sink):
+    """Appends events to a JSON-lines file with size-based rotation.
+
+    The first line of every file is a header object
+    ``{"schema_version": ..., "kind": "__header__"}``; readers use it to
+    reject traces from a different schema. When the file would exceed
+    ``max_bytes`` it is rotated: the current file moves to ``<path>.1``
+    (shifting older rotations to ``.2`` ... ``.<backups>``, the oldest
+    falling off), and a fresh file (with a fresh header) is started.
+
+    Parameters
+    ----------
+    path
+        Target file.
+    max_bytes
+        Rotation threshold; ``None`` disables rotation.
+    backups
+        How many rotated files to keep.
+    """
+
+    def __init__(self, path, max_bytes: int | None = None, backups: int = 3):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
+        if backups < 1:
+            raise ValueError(f"backups must be >= 1, got {backups}")
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.backups = int(backups)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._written = self._write_header()
+
+    def _write_header(self) -> int:
+        header = json.dumps({"kind": "__header__", "schema_version": SCHEMA_VERSION})
+        self._fh.write(header + "\n")
+        return len(header) + 1
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        for i in range(self.backups, 1, -1):
+            older = f"{self.path}.{i - 1}"
+            if os.path.exists(older):
+                os.replace(older, f"{self.path}.{i}")
+        os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._written = self._write_header()
+
+    def emit(self, event: TraceEvent) -> None:
+        """Write one event line, rotating first if it would overflow."""
+        line = json.dumps(event.to_json_dict()) + "\n"
+        if self.max_bytes is not None and self._written + len(line) > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
+        self._written += len(line)
+
+    def close(self) -> None:
+        """Flush and close the current file."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    @staticmethod
+    def read(path) -> list:
+        """Load the events of one JSONL trace file (header verified)."""
+        events = []
+        with open(os.fspath(path), encoding="utf-8") as fh:
+            for i, line in enumerate(fh):
+                payload = json.loads(line)
+                if i == 0:
+                    if payload.get("kind") != "__header__":
+                        raise ValueError(f"{path} has no trace header line")
+                    version = payload.get("schema_version")
+                    if version != SCHEMA_VERSION:
+                        raise ValueError(
+                            f"{path} has schema version {version}, "
+                            f"this reader expects {SCHEMA_VERSION}"
+                        )
+                    continue
+                events.append(TraceEvent.from_json_dict(payload))
+        return events

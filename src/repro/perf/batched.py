@@ -73,6 +73,7 @@ class BatchedModelResult:
 
     @property
     def n_trials(self) -> int:
+        """Number of trials stacked in this batch."""
         return self.x.shape[1]
 
     def trial(self, t: int) -> ModelResult:

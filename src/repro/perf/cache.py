@@ -103,6 +103,7 @@ class ExperimentCache:
 
     @property
     def enabled(self) -> bool:
+        """Whether lookups/stores are live (forced flag, else environment)."""
         return cache_enabled() if self._forced is None else self._forced
 
     def key(self, config) -> str:

@@ -103,6 +103,13 @@ class _Rank:
     #: Incarnation number; bumped on restart so events scheduled by a
     #: pre-crash incarnation (in-flight START/COMMIT) are discarded.
     epoch: int = 0
+    #: Read-version capture (tracer with ``trace_reads=True`` only):
+    #: per-row ``{global neighbor: version read}`` snapshotted at START,
+    #: the version of each current ghost value, and each local row's
+    #: precomputed (own-block neighbors, ghost (neighbor, slot)) layout.
+    pending_reads: list = None
+    ghost_ver: np.ndarray = None
+    read_map: list = None
 
 
 class DistributedJacobi:
@@ -392,11 +399,24 @@ class DistributedJacobi:
         residual_mode: str = "incremental",
         recompute_every: int = 64,
         instrument: bool = False,
+        tracer=None,
     ) -> SimulationResult:
         """Asynchronous (RMA put) execution.
 
         Each rank free-runs: relax with current ghosts, commit, fire puts at
         neighbors, repeat.
+
+        A live :class:`~repro.observability.Tracer` passed as ``tracer``
+        receives structured events: per-commit relax events, message
+        send/recv/ack (with latency), fault incidents (drops, corruption,
+        crashes, restarts, retry exhaustion), failure-detector verdicts,
+        residual observations and the convergence crossing. With
+        ``trace_reads=True`` relax events additionally carry the per-row
+        read versions — puts then piggyback their senders' row versions —
+        which is what the trace→reconstruction bridge
+        (:mod:`repro.observability.replay`) consumes. Tracing makes no RNG
+        calls, so the simulated trajectory is bit-identical with or
+        without it.
 
         ``residual_mode="incremental"`` (default) keeps the observer's
         global residual maintained in place: each commit scatters the
@@ -471,6 +491,37 @@ class DistributedJacobi:
             if rk.ghost_cols.size:
                 rk.ghosts[:] = x[rk.ghost_cols]
 
+        # Resolved once: a missing or all-null-sink tracer costs one branch
+        # per event afterwards (see repro.observability.tracer.resolve).
+        trc = tracer if (tracer is not None and tracer.enabled) else None
+        trace_reads = trc is not None and trc.trace_reads
+        version = None
+        if trace_reads:
+            # Read-version capture: the global commit ledger, each ghost
+            # value's version, and each local row's neighbor layout split
+            # into own-block columns and ghost slots.
+            version = np.zeros(self.n, dtype=np.int64)
+            owner = self.decomposition.labels
+            for rk in ranks:
+                slots = {int(g): i for i, g in enumerate(rk.ghost_cols)}
+                rk.ghost_ver = np.zeros(rk.ghost_cols.size, dtype=np.int64)
+                rk.read_map = []
+                for g in rk.rows:
+                    own, ghost = [], []
+                    for j in A.neighbors(int(g)):
+                        j = int(j)
+                        if owner[j] == rk.rank:
+                            own.append(j)
+                        else:
+                            ghost.append((j, slots[j]))
+                    rk.read_map.append((own, ghost))
+        if trc is not None:
+            trc.run_start(
+                "DistributedJacobi", self.n, n_ranks=self.n_ranks, tol=tol,
+                omega=self.omega, termination=termination,
+                residual_mode=residual_mode, reliable=reliable, eager=eager,
+            )
+
         queue = EventQueue()
         for rk in ranks:
             queue.push(
@@ -527,6 +578,32 @@ class DistributedJacobi:
                     perf.tock_spmv(t0)
             else:
                 x[block.rows] = block.pending
+            if version is not None:
+                version[block.rows] += 1
+
+        def capture_reads(block: _Rank) -> None:
+            """Snapshot the versions this relaxation reads (at START)."""
+            reads = []
+            for own, ghost in block.read_map:
+                d = {j: int(version[j]) for j in own}
+                for j, slot in ghost:
+                    d[j] = int(block.ghost_ver[slot])
+                reads.append(d)
+            block.pending_reads = reads
+
+        def emit_relax(block: _Rank, t: float) -> None:
+            """Relax event for one block commit (staleness measured pre-bump)."""
+            if trace_reads:
+                stale = [
+                    max((int(version[j]) - v for j, v in d.items()), default=0)
+                    for d in block.pending_reads
+                ]
+                trc.relax(
+                    t, block.rank, block.rows,
+                    reads=block.pending_reads, staleness=stale,
+                )
+            else:
+                trc.relax(t, block.rank, block.rows)
 
         res0 = relnorm(r_vec)
         times, residuals, counts = [0.0], [res0], [0]
@@ -608,7 +685,9 @@ class DistributedJacobi:
         def transmit(ch, seq: int, rec, t: float) -> None:
             """One (re)transmission of a reliable put + its retry timer."""
             p, q = ch
-            slots_q, values, _, timeout = rec
+            slots_q, values, timeout = rec[0], rec[1], rec[3]
+            if trc is not None:
+                trc.send(t, p, q, values.size, seq=seq)
             corrupted = False
             pc = plan.corrupt_probability(p, t)
             if pc and fail_rng.random() < pc:
@@ -625,9 +704,16 @@ class DistributedJacobi:
             intra = self._same_node(p, q)
             if lost:
                 tm.puts_dropped += 1
+                if trc is not None:
+                    trc.fault(t, p, "put_dropped", dst=q)
             else:
+                meta = None
+                if trc is not None:
+                    meta = {"sent_at": t}
+                    if rec[4] is not None:
+                        meta["vers"] = rec[4]
                 arrival = t + net.message_time(values.size, ranks[p].rng, intra_node=intra)
-                queue.push(arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted)))
+                queue.push(arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted, meta)))
                 if (
                     self.duplicate_probability
                     and fail_rng.random() < self.duplicate_probability
@@ -636,46 +722,65 @@ class DistributedJacobi:
                         values.size, ranks[p].rng, intra_node=intra
                     )
                     queue.push(
-                        arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted))
+                        arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted, meta))
                     )
             queue.push(t + timeout, (_RETRY, p, (q, seq)))
 
-        def send_reliable(rk: _Rank, q: int, slots_q, values, t: float) -> None:
+        def send_reliable(rk: _Rank, q: int, slots_q, values, t: float, vers=None) -> None:
             ch = (rk.rank, q)
             seq = next_seq.get(ch, 0)
             next_seq[ch] = seq + 1
             tm.puts_sent += 1
-            rec = [slots_q, values, 0, rto(values.size)]
+            rec = [slots_q, values, 0, rto(values.size), vers]
             outstanding.setdefault(ch, {})[seq] = rec
             transmit(ch, seq, rec, t)
 
         def fire_puts(rk: _Rank, t: float) -> None:
             if reliable:
                 for q, slots_q, local_rows in rk.send_plan:
-                    send_reliable(rk, q, slots_q, rk.pending[local_rows].copy(), t)
+                    # The put carries the just-committed values, so their
+                    # versions are snapshotted once; retransmissions resend
+                    # the same payload.
+                    vers = version[rk.rows[local_rows]].copy() if trace_reads else None
+                    send_reliable(rk, q, slots_q, rk.pending[local_rows].copy(), t, vers)
                 return
             # Fire-and-forget RMA puts (the seed's failure-injection path;
             # RNG call order kept bit-identical for plan-free runs).
             for q, slots_q, local_rows in rk.send_plan:
                 tm.puts_sent += 1
+                if trc is not None:
+                    trc.send(t, rk.rank, q, local_rows.size)
                 if self.drop_probability and fail_rng.random() < self.drop_probability:
                     tm.puts_dropped += 1
+                    if trc is not None:
+                        trc.fault(t, rk.rank, "put_dropped", dst=q)
                     continue
                 if plan:
                     if plan.blocks_message(rk.rank, q, t):
                         tm.puts_dropped += 1
+                        if trc is not None:
+                            trc.fault(t, rk.rank, "put_dropped", dst=q)
                         continue
                     pb = plan.drop_probability(rk.rank, t)
                     if pb and fail_rng.random() < pb:
                         tm.puts_dropped += 1
+                        if trc is not None:
+                            trc.fault(t, rk.rank, "put_dropped", dst=q)
                         continue
                     pc = plan.corrupt_probability(rk.rank, t)
                     if pc and fail_rng.random() < pc:
                         # No checksum without the protocol: the garbage put
                         # is modeled as lost at the NIC, never applied.
                         tm.puts_corrupted += 1
+                        if trc is not None:
+                            trc.fault(t, rk.rank, "put_corrupted", dst=q)
                         continue
                 values = rk.pending[local_rows]
+                meta = None
+                if trc is not None:
+                    meta = {"sent_at": t}
+                    if trace_reads:
+                        meta["vers"] = version[rk.rows[local_rows]].copy()
                 n_copies = 1
                 if (
                     self.duplicate_probability
@@ -686,7 +791,8 @@ class DistributedJacobi:
                 for _ in range(n_copies):
                     arrival = t + net.message_time(values.size, rk.rng, intra_node=intra)
                     queue.push(
-                        arrival, (_MESSAGE, q, (None, None, slots_q, values.copy(), False))
+                        arrival,
+                        (_MESSAGE, q, (None, None, slots_q, values.copy(), False, meta)),
                     )
 
         def has_live_source(rid: int, t: float) -> bool:
@@ -775,6 +881,8 @@ class DistributedJacobi:
         def declare_failed(r: int, t: float) -> None:
             presumed_dead[r] = True
             tm.failures_detected.append((r, t))
+            if trc is not None:
+                trc.detect(t, r, "dead")
             update_degraded(t)
             if self.recovery == "adopt":
                 schedule_adoption(r, t)
@@ -797,7 +905,7 @@ class DistributedJacobi:
             if perf is not None:
                 perf.events += 1
             if kind == _MESSAGE:
-                src, seq, slots, values, corrupted = payload
+                src, seq, slots, values, corrupted, meta = payload
                 if plan and down(rid, t):
                     # The target window is gone; the put lands nowhere.
                     tm.puts_dropped += 1
@@ -806,6 +914,8 @@ class DistributedJacobi:
                     # Reliable protocol: checksum, ack, then dedup by seq.
                     if corrupted:
                         tm.puts_corrupted += 1
+                        if trc is not None:
+                            trc.fault(t, rid, "put_corrupted", src=src)
                         continue  # no ack -> the sender's timer retries
                     ch = (src, rid)
                     if control_lost(rid, src, t):
@@ -820,7 +930,14 @@ class DistributedJacobi:
                         continue
                     applied_seq[ch] = seq
                 rk.ghosts[slots] = values
+                if trace_reads and meta is not None and meta.get("vers") is not None:
+                    rk.ghost_ver[slots] = meta["vers"]
                 tm.puts_delivered += 1
+                if trc is not None:
+                    trc.recv(
+                        t, rid, src, values.size, seq=seq,
+                        latency=(t - meta["sent_at"]) if meta else None,
+                    )
                 fresh[rid] = True
                 if eager and idle[rid] and not rk.stopped:
                     idle[rid] = False
@@ -831,6 +948,8 @@ class DistributedJacobi:
                 pend = outstanding.get((rid, src))
                 if pend is not None:
                     pend.pop(seq, None)
+                if trc is not None:
+                    trc.ack(t, rid, src, seq)
                 continue
             if kind == _RETRY:
                 q, seq = payload
@@ -846,6 +965,8 @@ class DistributedJacobi:
                 if rec[2] > self.max_put_retries:
                     tm.retry_budget_exhausted += 1
                     outstanding[ch].pop(seq, None)
+                    if trc is not None:
+                        trc.fault(t, rid, "retry_exhausted", dst=q, seq=seq)
                     continue
                 tm.retries += 1
                 rec[3] *= 2.0  # exponential backoff
@@ -873,6 +994,8 @@ class DistributedJacobi:
                 if presumed_dead[src]:
                     presumed_dead[src] = False
                     tm.recoveries.append((src, t))
+                    if trc is not None:
+                        trc.detect(t, src, "alive")
                     release_adoption(src)
                     update_degraded(t)
                 continue
@@ -912,7 +1035,11 @@ class DistributedJacobi:
                 rk.epoch += 1  # invalidate the pre-crash incarnation's events
                 if rk.ghost_cols.size:
                     rk.ghosts[:] = x[rk.ghost_cols]  # ghost re-sync
+                    if trace_reads:
+                        rk.ghost_ver[:] = version[rk.ghost_cols]
                 tm.restarts.append((rid, t))
+                if trc is not None:
+                    trc.fault(t, rid, "restart")
                 release_adoption(rid)
                 fresh[rid] = True
                 idle[rid] = False
@@ -933,7 +1060,11 @@ class DistributedJacobi:
                 drk = ranks[dead]
                 if drk.ghost_cols.size:
                     drk.ghosts[:] = x[drk.ghost_cols]  # ghost re-sync
+                    if trace_reads:
+                        drk.ghost_ver[:] = version[drk.ghost_cols]
                 tm.adoptions.append((dead, rid, t))
+                if trc is not None:
+                    trc.detect(t, dead, "adopted")
                 update_degraded(t)
                 if eager and idle[rid] and not rk.stopped:
                     idle[rid] = False
@@ -954,6 +1085,8 @@ class DistributedJacobi:
                 if payload != rk.epoch:
                     continue  # scheduled by a pre-crash incarnation
                 if self.delay.is_hung(rid, t) or rk.stopped or down(rid, t):
+                    if trc is not None and not rk.stopped and down(rid, t):
+                        trc.fault(t, rid, "crash")
                     continue
                 if eager and not fresh[rid] and rk.ghost_cols.size and (
                     not heartbeats_on or has_live_source(rid, t)
@@ -966,6 +1099,8 @@ class DistributedJacobi:
                 fresh[rid] = False
                 # Read-to-write span: reads (own + ghosts) now, write at COMMIT.
                 rk.pending = self._relax_block(rk, x)
+                if trace_reads:
+                    capture_reads(rk)
                 snap = list(adopters.get(rid, ()))
                 adopt_snapshot[rid] = snap
                 if termination == "detect" and rk.iterations % report_every == 0:
@@ -979,7 +1114,11 @@ class DistributedJacobi:
                     drk = ranks[d]
                     if drk.ghost_cols.size:
                         drk.ghosts[:] = x[drk.ghost_cols]
+                        if trace_reads:
+                            drk.ghost_ver[:] = version[drk.ghost_cols]
                     drk.pending = self._relax_block(drk, x)
+                    if trace_reads:
+                        capture_reads(drk)
                     compute += self._compute_time(drk)
                     if termination == "detect" and rk.iterations % report_every == 0:
                         arrival = t + net.message_time(1, rk.rng)
@@ -987,7 +1126,11 @@ class DistributedJacobi:
                 queue.push(t + compute, (_COMMIT, rid, rk.epoch))
             else:  # _COMMIT
                 if payload != rk.epoch or down(rid, t):
+                    if trc is not None and payload == rk.epoch and down(rid, t):
+                        trc.fault(t, rid, "crash")
                     continue  # the rank crashed inside the read-to-write span
+                if trc is not None:
+                    emit_relax(rk, t)
                 commit_rows(rk)
                 rk.iterations += 1
                 relaxations += rk.rows.size
@@ -996,6 +1139,8 @@ class DistributedJacobi:
                 snap = adopt_snapshot.pop(rid, ())
                 for d in snap:
                     drk = ranks[d]
+                    if trc is not None:
+                        emit_relax(drk, t)
                     commit_rows(drk)
                     relaxations += drk.rows.size
                     fire_puts(drk, t)
@@ -1009,8 +1154,12 @@ class DistributedJacobi:
                     times.append(t)
                     residuals.append(res)
                     counts.append(relaxations)
+                    if trc is not None:
+                        trc.observe(t, res, relaxations)
                     if termination == "count" and res < tol:
                         converged = True
+                        if trc is not None:
+                            trc.convergence(t, res, tol)
                         break
                 if rk.iterations >= max_iterations:
                     rk.stopped = True
@@ -1030,11 +1179,17 @@ class DistributedJacobi:
             times.append(max(t_end, times[-1]))
             residuals.append(res)
             counts.append(relaxations)
+            if trc is not None:
+                trc.observe(times[-1], res, relaxations)
+                if not converged and res < tol:
+                    trc.convergence(times[-1], res, tol)
         else:
             res = residuals[-1]
         converged = converged or res < tol
         if perf is not None:
             perf.total_seconds = _time.perf_counter() - run_start
+        if trc is not None:
+            trc.run_end(t_end, converged, relaxations)
         return SimulationResult(
             x=x,
             converged=converged,

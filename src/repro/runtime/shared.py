@@ -214,6 +214,7 @@ class SharedMemoryJacobi:
         residual_mode: str = "incremental",
         recompute_every: int = 64,
         instrument: bool = False,
+        tracer=None,
     ) -> SimulationResult:
         """Asynchronous (racy) execution.
 
@@ -235,6 +236,15 @@ class SharedMemoryJacobi:
         scratch at every observation (the naive reference). With
         ``instrument=True`` the result carries per-kernel
         :class:`PerfCounters` as ``result.perf``.
+
+        A live :class:`~repro.observability.Tracer` passed as ``tracer``
+        receives structured events: per-commit relax events (with per-row
+        read versions when the tracer has ``trace_reads=True`` — the same
+        bookkeeping ``record_trace`` pays), injected delays, scripted
+        crashes/restarts, residual observations, and the convergence
+        crossing. Tracing never perturbs the simulated trajectory;
+        ``tracer=None`` (default) or an all-null-sink tracer leaves the
+        hot loop untouched.
         """
         check_positive(tol, "tol")
         if residual_mode not in ("incremental", "full"):
@@ -248,11 +258,22 @@ class SharedMemoryJacobi:
         perf = PerfCounters() if instrument else None
         run_start = _time.perf_counter() if instrument else 0.0
 
-        threads = self._make_threads(record_trace)
+        # Resolved once: a missing or all-null-sink tracer costs one branch
+        # per event afterwards (see repro.observability.tracer.resolve).
+        trc = tracer if (tracer is not None and tracer.enabled) else None
+        # Per-row read versions are captured when either consumer wants
+        # them; the bookkeeping is shared so the two never double-pay.
+        trace_rows = record_trace or (trc is not None and trc.trace_reads)
+        threads = self._make_threads(trace_rows)
         trace = ExecutionTrace(self.n) if record_trace else None
-        version = np.zeros(self.n, dtype=np.int64) if record_trace else None
+        version = np.zeros(self.n, dtype=np.int64) if trace_rows else None
         plan = self.fault_plan
         tm = FaultTelemetry()
+        if trc is not None:
+            trc.run_start(
+                "SharedMemoryJacobi", self.n, n_threads=self.n_threads, tol=tol,
+                omega=self.omega, residual_mode=residual_mode,
+            )
 
         # Per-core run queues implementing iteration-granularity round-robin.
         core_queue = [deque() for _ in range(self.n_cores)]
@@ -325,9 +346,13 @@ class SharedMemoryJacobi:
 
         def crash_wake(tid: int, t: float) -> None:
             """Schedule the thread's post-restart wake-up, if one is coming."""
+            if trc is not None:
+                trc.fault(t, tid, "crash")
             restart = plan.next_restart(tid, t)
             if restart is not None:
                 tm.restarts.append((tid, restart))
+                if trc is not None:
+                    trc.fault(restart, tid, "restart")
                 queue.push(restart, (_REQUEST, tid))
 
         machine = self.machine
@@ -355,7 +380,7 @@ class SharedMemoryJacobi:
                 seg = data[th.nnz_lo : th.nnz_hi] * x[cols[th.nnz_lo : th.nnz_hi]]
                 r = b[lo:hi] - np.bincount(th.rowid_local, weights=seg, minlength=hi - lo)
                 th.pending = x[lo:hi] + dinv[lo:hi] * r
-                if record_trace:
+                if trace_rows:
                     th.pending_reads = [
                         {int(j): int(version[j]) for j in nbrs}
                         for nbrs in th.neighbors_per_row
@@ -383,10 +408,27 @@ class SharedMemoryJacobi:
                 th.iterations += 1
                 relaxations += hi - lo
                 t_end = t
-                if record_trace:
+                if trace_rows:
+                    if trc is not None and trc.trace_reads:
+                        # Staleness per row: how many commits behind the
+                        # freshest neighbor read was, measured pre-bump.
+                        stale = [
+                            max(
+                                (int(version[j]) - ver for j, ver in reads.items()),
+                                default=0,
+                            )
+                            for reads in th.pending_reads
+                        ]
+                        trc.relax(
+                            t, tid, range(lo, hi),
+                            reads=th.pending_reads, staleness=stale,
+                        )
                     version[lo:hi] += 1
-                    for i, reads in zip(range(lo, hi), th.pending_reads):
-                        trace.record(i, t, reads)
+                    if record_trace:
+                        for i, reads in zip(range(lo, hi), th.pending_reads):
+                            trace.record(i, t, reads)
+                if trc is not None and not trc.trace_reads:
+                    trc.relax(t, tid, range(lo, hi))
                 commits_since_obs += 1
                 if commits_since_obs >= observe_every:
                     commits_since_obs = 0
@@ -397,8 +439,12 @@ class SharedMemoryJacobi:
                     times.append(t)
                     residuals.append(res)
                     counts.append(relaxations)
+                    if trc is not None:
+                        trc.observe(t, res, relaxations)
                     if res < tol:
                         converged = True
+                        if trc is not None:
+                            trc.convergence(t, res, tol)
                         break
                 # Post-span per-iteration overhead (norms, flags) still
                 # occupies the core; the core frees at RELEASE.
@@ -428,6 +474,8 @@ class SharedMemoryJacobi:
                     # Injected sleeps happen off-core, before re-queueing.
                     extra = self.delay.extra_time(tid, th.iterations, th.rng)
                     if extra > 0:
+                        if trc is not None:
+                            trc.delay(t, tid, extra)
                         queue.push(t + extra, (_REQUEST, tid))
                     else:
                         request_run(th, t)
@@ -443,6 +491,10 @@ class SharedMemoryJacobi:
             times.append(max(t_end, times[-1]))
             residuals.append(res)
             counts.append(relaxations)
+            if trc is not None:
+                trc.observe(times[-1], res, relaxations)
+                if not converged and res < tol:
+                    trc.convergence(times[-1], res, tol)
         else:
             res = residuals[-1]
         converged = converged or res < tol
@@ -454,6 +506,8 @@ class SharedMemoryJacobi:
                     tm.degraded_intervals.append((crash_at, min(restart_at, t_end)))
         if perf is not None:
             perf.total_seconds = _time.perf_counter() - run_start
+        if trc is not None:
+            trc.run_end(t_end, converged, relaxations)
         return SimulationResult(
             x=x,
             converged=converged,

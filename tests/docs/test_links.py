@@ -1,0 +1,41 @@
+"""Markdown cross-references must point at files that exist."""
+
+from pathlib import Path
+
+import pytest
+
+import tools.check_doc_links as checker
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_no_broken_relative_links():
+    broken = checker.broken_links(ROOT)
+    assert not broken, "\n".join(f"{d}: {t}" for d, t in broken)
+
+
+def test_checker_catches_a_broken_link(tmp_path):
+    (tmp_path / "doc.md").write_text("see [missing](gone/nowhere.md)\n")
+    broken = checker.broken_links(tmp_path, files=[tmp_path / "doc.md"])
+    assert broken == [(tmp_path / "doc.md", "gone/nowhere.md")]
+
+
+def test_checker_ignores_external_and_fragment_links(tmp_path):
+    (tmp_path / "doc.md").write_text(
+        "[w](https://example.com) [m](mailto:x@y.z) [s](#section)\n"
+    )
+    assert checker.broken_links(tmp_path, files=[tmp_path / "doc.md"]) == []
+
+
+@pytest.mark.parametrize(
+    "doc,targets",
+    [
+        ("README.md", ["docs/observability.md", "docs/architecture.md"]),
+        ("docs/simulators.md", ["docs/fault_tolerance.md", "docs/performance.md"]),
+        ("EXPERIMENTS.md", ["docs/fault_tolerance.md", "docs/observability.md"]),
+    ],
+)
+def test_subsystem_docs_are_cross_referenced(doc, targets):
+    text = (ROOT / doc).read_text()
+    for target in targets:
+        assert target in text, f"{doc} must mention {target}"

@@ -1,0 +1,132 @@
+"""Metrics registry: instruments, event derivation, export."""
+
+import json
+import math
+
+import pytest
+
+from repro.observability import Histogram, Metrics, TraceEvent, Tracer
+from repro.observability import events as ev
+
+
+class TestInstruments:
+    def test_counter(self):
+        m = Metrics()
+        m.counter("x").inc()
+        m.counter("x").inc(4)
+        assert m.counter("x").value == 5
+
+    def test_gauge(self):
+        m = Metrics()
+        m.gauge("g").set(2.5, time=1.0)
+        assert m.gauge("g").value == 2.5
+        assert m.gauge("g").time == 1.0
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(55.5 / 3)
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.summary()["buckets"] == {"<=1": 1, "<=10": 1, "overflow": 1}
+
+    def test_histogram_empty_mean_is_nan(self):
+        assert math.isnan(Histogram().mean)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_per_agent_keying(self):
+        m = Metrics()
+        m.counter("relaxations", agent=1).inc(7)
+        assert m.counter("relaxations").value == 0
+        assert m.counter("relaxations", agent=1).value == 7
+
+
+class TestEventDerivation:
+    def _event(self, kind, time=0.0, agent=None, **data):
+        return TraceEvent(kind=kind, time=time, seq=0, agent=agent, data=data)
+
+    def test_relax_counts_and_staleness(self):
+        m = Metrics()
+        m.record_event(
+            self._event(ev.RELAX, agent=2, rows=[0, 1, 2], staleness=[0, 1, 5])
+        )
+        assert m.counter("relaxations").value == 3
+        assert m.counter("relaxations", agent=2).value == 3
+        assert m.counter("steps").value == 1
+        assert m.histogram("staleness").count == 3
+
+    def test_messages_and_latency(self):
+        m = Metrics()
+        m.record_event(self._event(ev.SEND, agent=0, dst=1, n_values=4))
+        m.record_event(
+            self._event(ev.RECV, agent=1, src=0, n_values=4, latency=2e-6)
+        )
+        assert m.counter("messages_sent").value == 1
+        assert m.counter("messages_received").value == 1
+        assert m.histogram("message_latency").max == 2e-6
+
+    def test_fault_and_detect_reasons(self):
+        m = Metrics()
+        m.record_event(self._event(ev.FAULT, agent=1, reason="crash"))
+        m.record_event(self._event(ev.FAULT, agent=1, reason="put_dropped"))
+        m.record_event(self._event(ev.DETECT, target=1, status="dead"))
+        assert m.counter("faults").value == 2
+        assert m.counter("faults.crash").value == 1
+        assert m.counter("detections.dead").value == 1
+
+    def test_residual_decay_rate(self):
+        m = Metrics()
+        m.record_event(self._event(ev.OBSERVE, time=0.0, residual=1.0))
+        m.record_event(self._event(ev.OBSERVE, time=2.0, residual=1e-4))
+        # Four decades over two time units.
+        assert m.gauge("residual_decay_rate").value == pytest.approx(2.0)
+        assert m.gauge("residual").value == 1e-4
+
+    def test_convergence_gauge(self):
+        m = Metrics()
+        m.record_event(self._event(ev.CONVERGENCE, time=3.5, residual=1e-7, tol=1e-6))
+        assert m.gauge("converged_at").value == 3.5
+
+    def test_delay_and_ack(self):
+        m = Metrics()
+        m.record_event(self._event(ev.DELAY, agent=0, seconds=0.25))
+        m.record_event(self._event(ev.ACK, agent=0, src=1, seq=0))
+        assert m.counter("delays").value == 1
+        assert m.histogram("delay_seconds").sum == 0.25
+        assert m.counter("acks_received").value == 1
+
+
+class TestExport:
+    def test_as_dict_labels(self):
+        m = Metrics()
+        m.counter("relaxations").inc(10)
+        m.counter("relaxations", agent=3).inc(4)
+        m.gauge("residual").set(0.5)
+        m.histogram("staleness").observe(1)
+        d = m.as_dict()
+        assert d["relaxations"] == 10
+        assert d["relaxations/agent3"] == 4
+        assert d["residual"] == 0.5
+        assert d["staleness"]["count"] == 1
+
+    def test_to_json_writes_file(self, tmp_path):
+        m = Metrics()
+        m.counter("x").inc()
+        path = tmp_path / "metrics.json"
+        text = m.to_json(path)
+        assert json.loads(text) == {"x": 1}
+        assert json.loads(path.read_text()) == {"x": 1}
+
+    def test_tracer_integration_single_path(self):
+        # One instrumentation path: the tracer feeds metrics, nothing else.
+        m = Metrics()
+        tracer = Tracer(metrics=m)
+        tracer.relax(0.0, 0, [0, 1])
+        tracer.relax(1.0, 1, [2])
+        assert m.counter("relaxations").value == 3
+        assert len(tracer.events()) == 2

@@ -1,0 +1,139 @@
+"""Tracer core: events, sinks, enablement, serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    JSONLSink,
+    NullSink,
+    RingBufferSink,
+    SCHEMA_VERSION,
+    TraceEvent,
+    Tracer,
+)
+from repro.observability import events as ev
+from repro.observability.tracer import resolve
+
+
+class TestTraceEvent:
+    def test_json_roundtrip(self):
+        event = TraceEvent(
+            kind=ev.RELAX, time=1.5, seq=3, agent=2,
+            data={"rows": [0, 1], "staleness": [0, 2]},
+        )
+        back = TraceEvent.from_json_dict(event.to_json_dict())
+        assert back.kind == event.kind
+        assert back.time == event.time
+        assert back.seq == event.seq
+        assert back.agent == event.agent
+        assert back.data == event.data
+
+    def test_numpy_payloads_serialize(self):
+        event = TraceEvent(
+            kind=ev.RELAX, time=0.0, seq=0,
+            data={"rows": np.arange(3), "lag": np.int64(4)},
+        )
+        payload = json.dumps(event.to_json_dict())
+        assert json.loads(payload)["data"]["rows"] == [0, 1, 2]
+
+    def test_all_kind_constants_registered(self):
+        assert ev.RELAX in ev.KINDS
+        assert ev.RUN_END in ev.KINDS
+        assert len(ev.KINDS) == 11
+
+
+class TestSinks:
+    def test_ring_buffer_keeps_newest(self):
+        sink = RingBufferSink(capacity=2)
+        for k in range(5):
+            sink.emit(TraceEvent(kind=ev.RELAX, time=float(k), seq=k))
+        assert [e.seq for e in sink.events()] == [3, 4]
+        assert sink.dropped == 3
+        assert len(sink) == 2
+
+    def test_ring_buffer_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_null_sink_is_disabled(self):
+        assert not NullSink().enabled
+        assert not Tracer(sinks=[NullSink()]).enabled
+        assert resolve(Tracer(sinks=[NullSink()])) is None
+        assert resolve(None) is None
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path)
+        tracer = Tracer(sinks=[sink])
+        tracer.relax(0.5, 1, [0, 1])
+        tracer.run_end(1.0, True, 2)
+        tracer.close()
+        events = JSONLSink.read(path)
+        assert [e.kind for e in events] == [ev.RELAX, ev.RUN_END]
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema_version"] == SCHEMA_VERSION
+
+    def test_jsonl_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "__header__", "schema_version": -1}) + "\n"
+        )
+        with pytest.raises(ValueError, match="schema version"):
+            JSONLSink.read(path)
+        (tmp_path / "headerless.jsonl").write_text('{"kind": "relax"}\n')
+        with pytest.raises(ValueError, match="header"):
+            JSONLSink.read(tmp_path / "headerless.jsonl")
+
+    def test_jsonl_rotation(self, tmp_path):
+        path = tmp_path / "rot.jsonl"
+        sink = JSONLSink(path, max_bytes=300, backups=2)
+        tracer = Tracer(sinks=[sink])
+        for k in range(50):
+            tracer.relax(float(k), 0, [k])
+        tracer.close()
+        assert (tmp_path / "rot.jsonl.1").exists()
+        assert not (tmp_path / "rot.jsonl.3").exists()
+        # Every live file (current + rotations) starts with a valid header.
+        for p in sorted(tmp_path.glob("rot.jsonl*")):
+            first = json.loads(p.read_text().splitlines()[0])
+            assert first["kind"] == "__header__"
+        # The newest events are in the current file.
+        assert JSONLSink.read(path)[-1].data["rows"] == [49]
+
+
+class TestTracer:
+    def test_seq_is_monotonic_across_kinds(self):
+        tracer = Tracer()
+        tracer.run_start("X", 4)
+        tracer.relax(0.0, 0, [0])
+        tracer.observe(0.1, 0.5, 1)
+        seqs = [e.seq for e in tracer.events()]
+        assert seqs == sorted(seqs) == list(range(3))
+
+    def test_fans_out_to_all_enabled_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tracer = Tracer(sinks=[a, NullSink(), b])
+        tracer.relax(0.0, 0, [0])
+        assert len(a) == len(b) == 1
+
+    def test_events_empty_without_ring(self, tmp_path):
+        tracer = Tracer(sinks=[JSONLSink(tmp_path / "t.jsonl")])
+        tracer.relax(0.0, 0, [0])
+        assert tracer.events() == []
+        tracer.close()
+
+    def test_metrics_only_tracer_is_enabled(self):
+        from repro.observability import Metrics
+
+        metrics = Metrics()
+        tracer = Tracer(sinks=[NullSink()], metrics=metrics)
+        assert tracer.enabled
+        tracer.relax(0.0, 0, [0, 1])
+        assert metrics.counter("relaxations").value == 2
+
+    def test_wall_stamp_populated(self):
+        tracer = Tracer()
+        tracer.relax(0.0, 0, [0])
+        assert tracer.events()[0].wall > 0.0

@@ -27,7 +27,8 @@ class TestReadme:
 
     def test_mentions_all_deliverable_docs(self, readme):
         for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/theory.md", "docs/simulators.md",
-                    "docs/fault_tolerance.md", "docs/performance.md"):
+                    "docs/fault_tolerance.md", "docs/performance.md",
+                    "docs/observability.md", "docs/architecture.md"):
             assert doc in readme
 
     def test_every_example_listed(self, readme):
@@ -55,6 +56,6 @@ class TestBenchmarkCoverage:
             "bench_table1.py", "bench_fig1.py", "bench_fig2.py", "bench_fig3.py",
             "bench_fig4.py", "bench_fig5.py", "bench_fig6.py", "bench_fig7.py",
             "bench_fig8.py", "bench_fig9.py", "bench_ablations.py",
-            "bench_faults.py",
+            "bench_faults.py", "bench_observability.py",
         ):
             assert required in benches

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Check that markdown links in the docs point at files that exist.
+
+Scans ``README.md``, ``EXPERIMENTS.md``, ``DESIGN.md`` and ``docs/*.md``
+for inline links ``[text](target)``. External links (``http(s)://``,
+``mailto:``) and pure fragments (``#section``) are skipped; everything
+else must resolve — relative to the linking file, or to the repository
+root as a fallback — after stripping any ``#fragment``.
+
+Exit status 0 when every link resolves, 1 otherwise (used by CI's docs
+job; ``tests/docs/test_links.py`` runs the same check in the suite).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links, excluding images. The target stops at the first
+#: closing paren — none of our docs link to paths containing parens.
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path):
+    """The markdown files the repository treats as deliverable docs."""
+    files = [root / "README.md", root / "EXPERIMENTS.md", root / "DESIGN.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def broken_links(root: Path, files=None):
+    """Return ``[(doc_path, target), ...]`` for every unresolvable link."""
+    broken = []
+    for doc in files if files is not None else doc_files(root):
+        for target in LINK.findall(doc.read_text()):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (doc.parent / path).exists() and not (root / path).exists():
+                broken.append((doc, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    """CLI entry point: report broken links and set the exit status."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parents[1]
+    broken = broken_links(root)
+    for doc, target in broken:
+        print(f"BROKEN {doc.relative_to(root)}: ({target})")
+    checked = len(doc_files(root))
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: no broken links across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
