@@ -1,0 +1,181 @@
+"""Event-engine benchmark: new simulator loops vs the legacy oracle.
+
+Times the simulator-dominated paper workloads through the fast engine
+(``repro.runtime.engine``) and through the pre-engine implementations kept
+in ``repro.runtime.legacy`` (the ``legacy_engine=True`` escape hatch), and
+archives the speedups in ``benchmarks/results/engine.json``:
+
+* ``fig3_simulator`` — the Figure 3 shared-memory scenario (FD-68, one
+  thread per row, a constant-delay sleeper mid-domain), fixed iteration
+  budget;
+* ``fig4`` — the Figure 4 delay sweep (same machine, three delay
+  magnitudes spanning the saw-tooth regime), fixed budget per delay;
+* ``fig8`` — the Figure 8 distributed scaling grid (2-D FD Laplacian,
+  4..256 ranks, synchronous and asynchronous to a 10x residual
+  reduction).
+
+Both arms compute *bit-identical trajectories* (asserted here on every
+rep), so the ratio isolates pure engine overhead: queue, dispatch, RNG
+streaming, and relax/commit buffering. Arms are interleaved round-robin
+and each takes its best-of-N, so slow drift hits both alike; absolute
+times are machine-dependent, only the ratios are gated by
+``benchmarks/compare.py``.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import publish, publish_json
+
+from repro.experiments.fig3 import DELAYED_ROW, N_ROWS, N_THREADS
+from repro.matrices.laplacian import fd_laplacian_2d, paper_fd_matrix
+from repro.runtime import KNL
+from repro.runtime.delays import ConstantDelay
+from repro.runtime.distributed import DistributedJacobi
+from repro.runtime.shared import SharedMemoryJacobi
+from repro.util.rng import as_rng
+
+REPS = 5  # best-of-N per arm, interleaved
+FIG8_RANKS = (4, 16, 64, 256)  # the fig8 experiment's scaled grid
+FIG8_GRID = (63, 63)
+FIG8_REDUCTION = 10.0
+SHARED_BUDGET = 250  # fixed iteration budget: identical work per arm
+TOL_NEVER = 1e-30
+
+
+def _interleaved_best(runs):
+    """Best-of-REPS for each (name, fn) with round-robin interleaving.
+
+    Every ``fn`` returns its result object; per-rep results are checked
+    bitwise against the first rep so the two arms provably did the same
+    work.
+    """
+    best = {name: float("inf") for name, _ in runs}
+    reference = {}
+    for name, fn in runs:
+        fn()  # warm-up: imports, allocator, lazy compile steps
+    for _ in range(REPS):
+        for name, fn in runs:
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            best[name] = min(best[name], elapsed)
+            key = (
+                result.x.tobytes(),
+                tuple(result.times),
+                tuple(result.residual_norms),
+            )
+            reference.setdefault(name, key)
+            assert reference[name] == key, f"{name}: non-deterministic rerun"
+    return best, reference
+
+
+def _assert_arms_match(reference, new_name, legacy_name):
+    assert reference[new_name] == reference[legacy_name], (
+        f"{new_name} and {legacy_name} trajectories diverged"
+    )
+
+
+def _shared_sim(delay_us):
+    rng = as_rng(5)
+    A = paper_fd_matrix(N_ROWS)
+    b = rng.uniform(-1, 1, N_ROWS)
+    x0 = rng.uniform(-1, 1, N_ROWS)
+    kwargs = dict(n_threads=N_THREADS, machine=KNL, seed=5)
+    if delay_us:
+        kwargs["delay"] = ConstantDelay({DELAYED_ROW: delay_us * 1e-6})
+    return SharedMemoryJacobi(A, b, **kwargs), x0
+
+
+def _bench_shared(delays_us):
+    """Best-of-REPS over the summed delay sweep, new vs legacy."""
+    sims = [_shared_sim(d) for d in delays_us]
+
+    def run(legacy):
+        def fn():
+            last = None
+            for sim, x0 in sims:
+                last = sim.run_async(
+                    x0=x0, tol=TOL_NEVER, max_iterations=SHARED_BUDGET,
+                    observe_every=N_THREADS, legacy_engine=legacy,
+                )
+            return last
+
+        return fn
+
+    best, ref = _interleaved_best([("new", run(False)), ("legacy", run(True))])
+    _assert_arms_match(ref, "new", "legacy")
+    return best
+
+
+def _bench_fig8():
+    """The fig8 grid: sync + async to a 10x reduction, all rank counts."""
+    A = fd_laplacian_2d(*FIG8_GRID)
+    b = np.random.default_rng(0).standard_normal(A.shape[0])
+    configs = []
+    for n_ranks in FIG8_RANKS:
+        sim = DistributedJacobi(A, b, n_ranks=n_ranks, seed=1)
+        probe = sim.run_sync(max_iterations=1, legacy_engine=True)
+        tol = probe.residual_norms[0] / FIG8_REDUCTION
+        configs.append((sim, n_ranks, tol))
+
+    def run(legacy):
+        def fn():
+            last = None
+            for sim, n_ranks, tol in configs:
+                sim.run_sync(
+                    tol=tol, max_iterations=5000, legacy_engine=legacy
+                )
+                last = sim.run_async(
+                    tol=tol, max_iterations=5000, observe_every=n_ranks,
+                    legacy_engine=legacy,
+                )
+            return last
+
+        return fn
+
+    best, ref = _interleaved_best([("new", run(False)), ("legacy", run(True))])
+    _assert_arms_match(ref, "new", "legacy")
+    return best
+
+
+def test_engine_speedups(benchmark):
+    workloads = {
+        "fig3_simulator": lambda: _bench_shared((250,)),
+        "fig4": lambda: _bench_shared((0, 1000, 10000)),
+        "fig8": _bench_fig8,
+    }
+    payload, rows = {}, []
+    for name, bench in workloads.items():
+        best = bench()
+        speedup = best["legacy"] / best["new"]
+        payload[name] = {
+            "new_seconds": best["new"],
+            "legacy_seconds": best["legacy"],
+            "speedup": speedup,
+        }
+        rows.append(
+            f"{name:>16} {best['new']:>10.4f} {best['legacy']:>10.4f} "
+            f"{speedup:>8.2f}x"
+        )
+        # Loose sanity floor only — the committed baseline plus
+        # compare.py's 20% gate carries the real regression check.
+        assert speedup > 1.2, f"{name}: engine slower than legacy oracle"
+
+    def measured():  # archive the headline number under pytest-benchmark
+        return payload["fig8"]["new_seconds"]
+
+    benchmark.pedantic(measured, rounds=1, iterations=1)
+
+    report = "\n".join(
+        [
+            "Event-engine speedups vs legacy oracle "
+            f"(bit-identical trajectories, best of {REPS}, interleaved):",
+            "",
+            f"{'workload':>16} {'new (s)':>10} {'legacy (s)':>10} {'speedup':>9}",
+            *rows,
+        ]
+    )
+    publish("engine", report)
+    publish_json("engine", payload)

@@ -6,9 +6,16 @@ Usage::
     python -m repro table1 fig3 fig6     # run specific experiments
     python -m repro all                  # run everything (several minutes)
     python -m repro --no-cache fig3      # ignore the on-disk result cache
+    python -m repro --profile fig3       # profile the run, dump profile.pstats
 
 ``--no-cache`` disables the experiment-cell cache (equivalent to setting
 ``REPRO_NO_CACHE=1``); see docs/performance.md for the cache layout.
+
+``--profile`` wraps the selected experiments in :mod:`cProfile`, prints the
+top-20 hot spots by cumulative time, and writes the full profile to
+``profile.pstats`` (inspect with ``python -m pstats profile.pstats``). It
+implies ``--no-cache`` so the experiment actually runs. See
+docs/performance.md.
 
 Each experiment prints the same rows/series the paper's table or figure
 reports (see EXPERIMENTS.md for the paper-vs-measured comparison).
@@ -54,9 +61,21 @@ EXPERIMENTS = {
 }
 
 
+def _run(names) -> None:
+    for name in names:
+        mod = EXPERIMENTS[name]
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        print(mod.format_report(mod.run()))
+        print()
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
+    profile = "--profile" in args
+    if profile:
+        args = [a for a in args if a != "--profile"]
+        os.environ["REPRO_NO_CACHE"] = "1"
     if "--no-cache" in args:
         args = [a for a in args if a != "--no-cache"]
         os.environ["REPRO_NO_CACHE"] = "1"
@@ -70,11 +89,22 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for name in names:
-        mod = EXPERIMENTS[name]
-        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
-        print(mod.format_report(mod.run()))
-        print()
+    if profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            _run(names)
+        finally:
+            profiler.disable()
+            profiler.dump_stats("profile.pstats")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(20)
+            print("full profile written to profile.pstats")
+        return 0
+    _run(names)
     return 0
 
 

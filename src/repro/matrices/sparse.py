@@ -35,6 +35,62 @@ def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return starts[seg_ids] + (pos - seg_starts[seg_ids])
 
 
+class ColumnScatterPlan:
+    """Precompiled in-place ``r -= A[:, cols] @ dx`` for a fixed column set.
+
+    :meth:`CSRMatrix.subtract_columns_update` recomputes the CSC gather
+    (``_concat_ranges`` + touched-row min/max) on every call; for the
+    simulators the column set is a fixed block per agent, so the engine
+    compiles it once via :meth:`CSRMatrix.column_scatter_plan` and
+    :meth:`apply` reduces to one gather, one multiply (both into a reused
+    scratch buffer) and one ``bincount`` scatter over the touched row
+    span. The per-entry accumulation order is identical to
+    ``subtract_columns_update``, so the results are bit-for-bit equal.
+    """
+
+    __slots__ = ("base", "span", "local", "vals", "rep_idx", "pairs", "_scratch")
+
+    def __init__(self, base: int, span: int, local, vals, rep_idx, n_cols: int = 0):
+        self.base = base
+        self.span = span
+        self.local = local
+        self.vals = vals
+        self.rep_idx = rep_idx
+        self._scratch = np.empty(vals.size)
+        # Single-column plans admit a pure-scalar apply: a CSC column's
+        # rows are unique, so each touched entry receives exactly one
+        # contribution and :meth:`apply1` needs no accumulation buffer.
+        self.pairs = (
+            list(zip((base + local).tolist(), vals.tolist()))
+            if n_cols == 1
+            else None
+        )
+
+    def apply(self, r, dx) -> None:
+        """``r[base:base+span] -= (A[:, cols] @ dx)`` over the touched span.
+
+        ``dx`` is the dense update for the plan's columns, in plan order.
+        """
+        if self.vals.size == 0:
+            return
+        s = self._scratch
+        dx.take(self.rep_idx, out=s)
+        np.multiply(self.vals, s, out=s)
+        r[self.base : self.base + self.span] -= np.bincount(
+            self.local, weights=s, minlength=self.span
+        )
+
+    def apply1(self, r, d0) -> None:
+        """Scalar form of :meth:`apply` for a single-column plan.
+
+        ``d0`` is the (scalar) update of the plan's one column; the result
+        is bit-identical to ``apply(r, [d0])`` — untouched rows in the
+        span would only ever subtract ``0.0``, an IEEE no-op.
+        """
+        for i, v in self.pairs:
+            r[i] -= v * d0
+
+
 class CSRMatrix:
     """Compressed-sparse-row matrix (float64 values, int64 indices).
 
@@ -76,6 +132,33 @@ class CSRMatrix:
     # ------------------------------------------------------------------
     # construction / conversion
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_validated(cls, indptr, indices, data, shape, row_of_nnz=None):
+        """Trusted construction from already-validated CSR arrays.
+
+        Internal fast path for callers that transform an existing (hence
+        valid) matrix — e.g. the per-rank compaction in
+        ``DistributedJacobi._compile_ranks`` — where re-running
+        :meth:`_validate` and rebuilding ``_row_of_nnz`` per block is pure
+        overhead. The arrays are adopted as-is (no copy, no dtype
+        coercion): the caller guarantees CSR invariants, int64/float64
+        dtypes, and, if ``row_of_nnz`` is given, that it matches
+        ``indptr``.
+        """
+        m = cls.__new__(cls)
+        m.indptr = indptr
+        m.indices = indices
+        m.data = data
+        m.shape = (int(shape[0]), int(shape[1]))
+        m._row_of_nnz = (
+            np.repeat(np.arange(m.shape[0], dtype=np.int64), np.diff(indptr))
+            if row_of_nnz is None
+            else row_of_nnz
+        )
+        m._csc = None
+        m._matmat_bins = {}
+        return m
+
     def _validate(self) -> None:
         nrows, ncols = self.shape
         if self.indptr.ndim != 1 or self.indptr.shape[0] != nrows + 1:
@@ -367,6 +450,33 @@ class CSRMatrix:
         bins = local[:, None] * nt + np.arange(nt)
         flat = np.bincount(bins.ravel(), weights=contrib.ravel(), minlength=span * nt)
         r[base : base + span] -= flat.reshape(span, nt)
+
+    def column_scatter_plan(self, cols) -> ColumnScatterPlan:
+        """Compile :meth:`subtract_columns_update` for a fixed column set.
+
+        Returns a :class:`ColumnScatterPlan` whose ``apply(r, dx)`` is
+        bit-identical to ``subtract_columns_update(r, cols, dx)`` (1-D
+        ``dx``) but skips the per-call gather construction — the hot-path
+        variant for the simulators, where each agent updates the same
+        column block thousands of times.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        empty_i = np.empty(0, dtype=np.int64)
+        if cols.size == 0:
+            return ColumnScatterPlan(0, 0, empty_i, np.empty(0), empty_i)
+        colptr, row_ind, vals = self.csc_arrays()
+        starts = colptr[cols]
+        counts = colptr[cols + 1] - starts
+        nz = _concat_ranges(starts, counts)
+        if nz.size == 0:
+            return ColumnScatterPlan(0, 0, empty_i, np.empty(0), empty_i)
+        touched = row_ind[nz]
+        base = int(touched.min())
+        span = int(touched.max()) - base + 1
+        rep_idx = np.repeat(np.arange(cols.size, dtype=np.int64), counts)
+        return ColumnScatterPlan(
+            base, span, touched - base, vals[nz], rep_idx, n_cols=int(cols.size)
+        )
 
     def row_slice(self, rows) -> "CSRMatrix":
         """``A[rows, :]`` as a new CSR matrix (rows in the given order)."""

@@ -18,6 +18,14 @@ from repro.runtime.calibration import (
     fit_compute_costs,
 )
 from repro.runtime.distributed import DistributedJacobi
+from repro.runtime.engine import (
+    CalendarEventQueue,
+    HeapEventQueue,
+    JitterStream,
+    NormalStream,
+    PatternJitterStream,
+    make_event_queue,
+)
 from repro.runtime.events import EventQueue
 from repro.runtime.machine import (
     ARIES,
@@ -48,6 +56,12 @@ __all__ = [
     "StragglerDelay",
     "DistributedJacobi",
     "EventQueue",
+    "CalendarEventQueue",
+    "HeapEventQueue",
+    "JitterStream",
+    "NormalStream",
+    "PatternJitterStream",
+    "make_event_queue",
     "ARIES",
     "CPU20",
     "ClusterModel",

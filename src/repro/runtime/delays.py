@@ -29,6 +29,26 @@ class DelayModel:
         """Whether the agent has permanently stopped at ``time``."""
         return False
 
+    def constant_extra(self, agent: int) -> float | None:
+        """The agent's per-iteration extra time, if it is a known constant.
+
+        Returns the constant (possibly 0.0) when :meth:`extra_time` is
+        guaranteed to return that value for every iteration *without
+        consuming any RNG draws*; returns ``None`` when the extra time is
+        stochastic or unknown. The event engine uses this to decide per
+        agent whether timing jitter may be drawn from a chunked
+        :class:`~repro.runtime.engine.JitterStream` (constant: the
+        agent's RNG serves only jitter, so chunked refills preserve the
+        call order bit-for-bit) or must stay on scalar draws (stochastic:
+        delay draws interleave with jitter draws on the same stream).
+
+        Subclasses that override :meth:`extra_time` without also
+        overriding this method are conservatively treated as stochastic.
+        """
+        if type(self).extra_time is not DelayModel.extra_time:
+            return None
+        return 0.0
+
 
 NO_DELAY = DelayModel()
 
@@ -44,6 +64,9 @@ class ConstantDelay(DelayModel):
         self.delays = {int(a): check_nonnegative(d, f"delay[{a}]") for a, d in delays.items()}
 
     def extra_time(self, agent: int, iteration: int, rng) -> float:
+        return self.delays.get(agent, 0.0)
+
+    def constant_extra(self, agent: int) -> float:
         return self.delays.get(agent, 0.0)
 
 
@@ -104,6 +127,13 @@ class StochasticStall(DelayModel):
             return float(rng.exponential(self.mean_stall))
         return 0.0
 
+    def constant_extra(self, agent: int) -> float | None:
+        # Non-members return 0.0 without touching the RNG; members draw
+        # every iteration (even with prob == 0 the roll is consumed).
+        if self.agents is not None and agent not in self.agents:
+            return 0.0
+        return None
+
 
 class PlanDelay(DelayModel):
     """Adapter exposing a fault plan's crash windows as a delay model.
@@ -133,6 +163,17 @@ class CompositeDelay(DelayModel):
 
     def is_hung(self, agent: int, time: float) -> bool:
         return any(m.is_hung(agent, time) for m in self.models)
+
+    def constant_extra(self, agent: int) -> float | None:
+        # ``sum()`` in extra_time folds left-to-right from 0; mirror that
+        # exactly so the constant is bit-identical to the live call.
+        total = 0.0
+        for m in self.models:
+            c = m.constant_extra(agent)
+            if c is None:
+                return None
+            total += c
+        return total
 
     def slowdown(self, agent: int) -> float:
         """Product of slowdowns from any straggler components."""

@@ -40,6 +40,8 @@ restarts). Per-run recovery telemetry lands in
 
 from __future__ import annotations
 
+import heapq
+import math
 import time as _time
 from dataclasses import dataclass
 
@@ -51,7 +53,12 @@ from repro.partition.partitioner import bfs_bisection_partition, contiguous_part
 from repro.partition.subdomain import DomainDecomposition
 from repro.perf.instrument import PerfCounters
 from repro.runtime.delays import CompositeDelay, DelayModel, NO_DELAY, StragglerDelay
-from repro.runtime.events import EventQueue
+from repro.runtime.engine import (
+    HeapEventQueue,
+    NormalStream,
+    PatternJitterStream,
+    make_event_queue,
+)
 from repro.runtime.machine import HASWELL_CLUSTER, ClusterModel
 from repro.runtime.results import FaultTelemetry, SimulationResult
 from repro.util.errors import ShapeError, SingularMatrixError
@@ -289,32 +296,36 @@ class DistributedJacobi:
         """Build per-rank compacted matrices and communication plans."""
         dd = self.decomposition
         rngs = spawn_rngs(self.seed, self.n_ranks)
-        # Global -> (rank, local index) lookup.
-        owner = dd.labels
+        # Global -> local index lookup.
         local_index = np.empty(self.n, dtype=np.int64)
         for sub in dd:
             local_index[sub.rows] = np.arange(sub.size)
 
         ranks = []
-        ghost_slot = []  # per rank: {global col: slot}
+        ghost_cols_of = []  # per rank: sorted global ghost columns
+        # Scratch for the column remap, shared across ranks: every column a
+        # rank's rows reference is in its rows or ghost layer, so each pass
+        # overwrites every entry it will read — no reset needed.
+        col_map = np.empty(self.n, dtype=np.int64)
         for sub in dd:
             gcols = sub.ghost_columns
-            slots = {int(g): i for i, g in enumerate(gcols)}
-            ghost_slot.append(slots)
+            ghost_cols_of.append(gcols)
             # Compact the local row slice: own columns -> [0, size),
             # ghost columns -> size + slot.
-            col_map = np.full(self.n, -1, dtype=np.int64)
             col_map[sub.rows] = np.arange(sub.size)
             col_map[gcols] = sub.size + np.arange(gcols.size)
             sliced = sub.matrix  # rows local, columns global
             new_cols = col_map[sliced.indices]
-            # Remapping breaks the per-row column ordering; rebuild via COO,
-            # which sorts and revalidates.
-            local = CSRMatrix.from_coo(
-                sliced._row_of_nnz,
-                new_cols,
-                sliced.data,
+            # The remap permutes entries only within their row, so the row
+            # structure (indptr, row id per nonzero) carries over; a stable
+            # (row, col) sort restores per-row column order.
+            order = np.lexsort((new_cols, sliced._row_of_nnz))
+            local = CSRMatrix._from_validated(
+                sliced.indptr,
+                new_cols[order],
+                sliced.data[order],
                 (sub.size, sub.size + gcols.size),
+                row_of_nnz=sliced._row_of_nnz,
             )
             ranks.append(
                 _Rank(
@@ -328,11 +339,13 @@ class DistributedJacobi:
                 )
             )
         # Send plans: rank p sends, to each neighbor q, the values of p's
-        # rows that q keeps in its ghost layer.
+        # rows that q keeps in its ghost layer. Ghost columns are strictly
+        # increasing (np.unique per owner, disjoint across owners), so the
+        # slot of a column is its searchsorted position.
         for sub in dd:
             p = sub.rank
             for q, cols in sub.send_to.items():
-                slots_q = np.array([ghost_slot[q][int(g)] for g in cols], dtype=np.int64)
+                slots_q = np.searchsorted(ghost_cols_of[q], cols)
                 local_rows = local_index[cols]
                 ranks[p].send_plan.append((q, slots_q, local_rows))
         return ranks
@@ -400,6 +413,8 @@ class DistributedJacobi:
         recompute_every: int = 64,
         instrument: bool = False,
         tracer=None,
+        legacy_engine: bool = False,
+        queue_backend: str = "auto",
     ) -> SimulationResult:
         """Asynchronous (RMA put) execution.
 
@@ -427,6 +442,17 @@ class DistributedJacobi:
         untouched. ``"full"`` is the naive reference observer. With
         ``instrument=True`` the result carries per-kernel
         :class:`PerfCounters` as ``result.perf``.
+
+        The event loop runs on the typed engine
+        (:mod:`repro.runtime.engine`): a preallocated per-rank ``local_x``
+        scratch buffer with the ghost layer aliased to its tail (no
+        ``np.concatenate`` per relaxation), precompiled CSC scatter plans
+        for the observer's incremental residual, reusable put-payload
+        buffers, and chunked RNG streams — all bit-identical to the
+        pre-engine loop, which remains available as
+        ``legacy_engine=True`` (the equivalence-test oracle).
+        ``queue_backend`` selects the event-queue implementation
+        (``"auto"``, ``"heap"`` or ``"calendar"``).
 
         Parameters beyond the common ones
         ---------------------------------
@@ -461,6 +487,16 @@ class DistributedJacobi:
             declared and no STOP is broadcast — if it never restarts, the
             survivors simply run to ``max_iterations``.
         """
+        if legacy_engine:
+            from repro.runtime.legacy import distributed_run_async
+
+            return distributed_run_async(
+                self, x0=x0, tol=tol, max_iterations=max_iterations,
+                observe_every=observe_every, eager=eager,
+                termination=termination, report_every=report_every,
+                residual_mode=residual_mode, recompute_every=recompute_every,
+                instrument=instrument, tracer=tracer,
+            )
         check_positive(tol, "tol")
         if termination not in ("count", "detect"):
             raise ValueError(
@@ -477,6 +513,7 @@ class DistributedJacobi:
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
         ranks = self._compile_ranks()
         net = self.cluster.network
+        node = self.cluster.node
         plan = self.fault_plan
         reliable = self.reliable
         fs = self.fault_seed if self.fault_seed is not None else plan.seed
@@ -485,6 +522,154 @@ class DistributedJacobi:
         else:
             fail_rng = as_rng(None if self.seed is None else (int(self.seed) ^ 0x5EED))
         tm = FaultTelemetry()
+
+        # ---- engine fast path: everything below is hoisted out of the
+        # event loop once, so the per-event work is scalar arithmetic plus
+        # a handful of buffered NumPy kernels. Trajectories are
+        # bit-identical to ``legacy_engine=True`` (same RNG draw order,
+        # same floating-point operand order).
+        n_ranks = self.n_ranks
+        thr = node.smt_throughput(1)
+        sigma_m = node.effective_jitter(1)
+        sigma_net = net.jitter_sigma
+        lat, lat_in, tpv = net.latency, net.intra_node_latency, net.time_per_value
+        node_of = [r // self.ranks_per_node for r in range(n_ranks)]
+        slow = [self._slowdown(r) for r in range(n_ranks)]
+        const_extra = [self.delay.constant_extra(r) for r in range(n_ranks)]
+        cbase = [
+            (rk.local.nnz * node.time_per_nnz + rk.rows.size * node.time_per_row) / thr
+            for rk in ranks
+        ]
+        ovbase = node.iteration_overhead / thr
+        puts_const = [len(rk.send_plan) * net.put_overhead for rk in ranks]
+        has_plan = bool(plan)
+        drop_p = self.drop_probability
+        dup_p = self.duplicate_probability
+        may_hang = type(self.delay).is_hung is not DelayModel.is_hung
+        detect = termination == "detect"
+        # Precompiled puts: (neighbor, its ghost slots, our local rows, base
+        # in-flight time of the message) per send-plan entry.
+        put_plan = [
+            [
+                (q, slots_q, local_rows,
+                 (lat_in if node_of[rk.rank] == node_of[q] else lat)
+                 + local_rows.size * tpv)
+                for q, slots_q, local_rows in rk.send_plan
+            ]
+            for rk in ranks
+        ]
+
+        # Per-rank relax scratch: one ``local_x`` buffer per rank with the
+        # ghost layer rebound to its tail. Every ghost write (puts landing,
+        # restart/adoption re-syncs) then updates the relax view in place,
+        # and a relaxation is one ``take`` of the rank's own rows plus
+        # buffered elementwise kernels — the per-iteration
+        # ``np.concatenate`` and the ``dinv[rows]``/``b[rows]`` gathers of
+        # the legacy loop are gone.
+        nrows_loc = [rk.rows.size for rk in ranks]
+        loc_buf, own_view, gath_buf, pend_buf = [], [], [], []
+        dx_buf, old_buf, b_loc, dinv_loc, rowid_loc = [], [], [], [], []
+        for rk in ranks:
+            m = rk.rows.size
+            lb = np.zeros(m + rk.ghost_cols.size)
+            rk.ghosts = lb[m:]
+            loc_buf.append(lb)
+            own_view.append(lb[:m])
+            gath_buf.append(np.empty(rk.local.nnz))
+            pend_buf.append(np.empty(m))
+            dx_buf.append(np.empty(m))
+            old_buf.append(np.empty(m))
+            b_loc.append(b[rk.rows])
+            dinv_loc.append(dinv[rk.rows])
+            rowid_loc.append(rk.local._row_of_nnz)
+            rk.pending = pend_buf[-1]
+        splans = (
+            [A.column_scatter_plan(rk.rows) for rk in ranks] if incremental else None
+        )
+        gauss_seidel = self.local_sweep != "jacobi"
+
+        def relax(rk: _Rank) -> None:
+            """One buffered local relaxation; the result lands in
+            ``rk.pending`` (bit-identical to ``_relax_block``)."""
+            r = rk.rank
+            lb = loc_buf[r]
+            x.take(rk.rows, out=own_view[r])
+            if gauss_seidel:
+                mat = rk.local
+                bl, dl = b_loc[r], dinv_loc[r]
+                for i in range(nrows_loc[r]):
+                    cols_i, vals_i = mat.row_entries(i)
+                    r_i = bl[i] - float(vals_i @ lb[cols_i])
+                    lb[i] += dl[i] * r_i
+                np.copyto(pend_buf[r], own_view[r])
+                return
+            g = gath_buf[r]
+            lb.take(rk.local.indices, out=g)
+            np.multiply(rk.local.data, g, out=g)
+            mv = np.bincount(rowid_loc[r], weights=g, minlength=nrows_loc[r])
+            np.subtract(b_loc[r], mv, out=mv)
+            np.multiply(dinv_loc[r], mv, out=mv)
+            np.add(own_view[r], mv, out=pend_buf[r])
+
+        def local_residual_norm(rk: _Rank) -> float:
+            """Block residual 1-norm from the rank's current (stale) view."""
+            r = rk.rank
+            lb = loc_buf[r]
+            x.take(rk.rows, out=own_view[r])
+            g = gath_buf[r]
+            lb.take(rk.local.indices, out=g)
+            np.multiply(rk.local.data, g, out=g)
+            mv = np.bincount(rowid_loc[r], weights=g, minlength=nrows_loc[r])
+            np.subtract(b_loc[r], mv, out=mv)
+            np.abs(mv, out=mv)
+            return float(np.sum(mv))
+
+        # Chunked standard-normal streams: a rank's generator serves both
+        # machine jitter (sigma_m) and network jitter (sigma_net), so the
+        # raw normals are chunked and ``exp(sigma * z)`` applied per draw
+        # (bit-identical to scalar ``lognormal``; see
+        # :class:`~repro.runtime.engine.NormalStream`). A rank whose delay
+        # model draws from the same generator cannot prefetch.
+        streams = [
+            NormalStream(rk.rng) if const_extra[rk.rank] is not None else None
+            for rk in ranks
+        ]
+
+        def mjit(r: int) -> float:
+            st = streams[r]
+            if st is not None:
+                return math.exp(sigma_m * st.next())
+            return float(ranks[r].rng.lognormal(0.0, sigma_m))
+
+        def compute_time(rk: _Rank) -> float:
+            base = cbase[rk.rank]
+            if sigma_m > 0:
+                base *= mjit(rk.rank)
+            return base * slow[rk.rank]
+
+        def overhead_time(rk: _Rank) -> float:
+            r = rk.rank
+            base = ovbase
+            if sigma_m > 0:
+                base *= mjit(r)
+            ce = const_extra[r]
+            extra = (
+                ce if ce is not None
+                else self.delay.extra_time(r, rk.iterations, rk.rng)
+            )
+            return (base + puts_const[r]) * slow[r] + extra
+
+        def net_jit(r: int) -> float:
+            st = streams[r]
+            if st is not None:
+                return math.exp(sigma_net * st.next())
+            return float(ranks[r].rng.lognormal(0.0, sigma_net))
+
+        def msg_time(n_values: int, r: int, intra: bool = False) -> float:
+            base = (lat_in if intra else lat) + n_values * tpv
+            if sigma_net > 0:
+                base *= net_jit(r)
+            return base
 
         # Ghost layers start from the initial iterate.
         for rk in ranks:
@@ -522,20 +707,19 @@ class DistributedJacobi:
                 residual_mode=residual_mode, reliable=reliable, eager=eager,
             )
 
-        queue = EventQueue()
+        queue = make_event_queue(queue_backend, size_hint=4 * n_ranks)
         for rk in ranks:
             queue.push(
                 float(rk.rng.random()) * self.cluster.node.iteration_overhead,
-                (_START, rk.rank, rk.epoch),
+                _START, rk.rank, rk.epoch,
             )
         # Scripted restarts are known up front; crashes need no event — the
         # plan is consulted at every START/COMMIT/MESSAGE touching the rank.
         for r in sorted(plan.agents()):
             for rt in plan.restart_times(r):
-                queue.push(rt, (_RESTART, r, None))
+                queue.push(rt, _RESTART, r, None)
 
-        def down(r: int, t: float) -> bool:
-            return plan.is_down(r, t)
+        down = plan.is_down
 
         obs_b_norm = vector_norm(b, 1)
 
@@ -569,15 +753,18 @@ class DistributedJacobi:
 
         def commit_rows(block: _Rank) -> None:
             """Publish a block's pending update, maintaining the residual."""
+            r = block.rank
+            pb = pend_buf[r]
             if incremental:
                 t0 = perf.tick() if perf is not None else 0.0
-                dx = block.pending - x[block.rows]
-                x[block.rows] = block.pending
-                A.subtract_columns_update(r_vec, block.rows, dx)
+                x.take(block.rows, out=old_buf[r])
+                np.subtract(pb, old_buf[r], out=dx_buf[r])
+                x[block.rows] = pb
+                splans[r].apply(r_vec, dx_buf[r])
                 if perf is not None:
                     perf.tock_spmv(t0)
             else:
-                x[block.rows] = block.pending
+                x[block.rows] = pb
             if version is not None:
                 version[block.rows] += 1
 
@@ -625,12 +812,7 @@ class DistributedJacobi:
         b_norm = float(np.sum(np.abs(b))) or 1.0
         reported = np.full(self.n_ranks, np.inf)
         if termination == "detect":
-            reported[:] = [
-                float(np.sum(np.abs(b[rk.rows] - rk.local.matvec(
-                    np.concatenate((x[rk.rows], rk.ghosts))
-                ))))
-                for rk in ranks
-            ]
+            reported[:] = [local_residual_norm(rk) for rk in ranks]
         stop_broadcast = False
 
         # Heartbeat failure detection (rank 0 is also the detector).
@@ -657,9 +839,9 @@ class DistributedJacobi:
             for rk in ranks:
                 hb_chain_alive[rk.rank] = True
                 queue.push(
-                    float(rk.rng.random()) * hb_interval, (_HEARTBEAT, rk.rank, None)
+                    float(rk.rng.random()) * hb_interval, _HEARTBEAT, rk.rank, None
                 )
-            queue.push(hb_interval, (_HB_CHECK, 0, None))
+            queue.push(hb_interval, _HB_CHECK, 0, None)
 
         # Reliable-put protocol state, keyed by directed channel (src, dst).
         next_seq: dict = {}  # channel -> next sequence number
@@ -701,7 +883,7 @@ class DistributedJacobi:
                 else:
                     pb = plan.drop_probability(p, t)
                     lost = bool(pb) and fail_rng.random() < pb
-            intra = self._same_node(p, q)
+            intra = node_of[p] == node_of[q]
             if lost:
                 tm.puts_dropped += 1
                 if trc is not None:
@@ -712,19 +894,20 @@ class DistributedJacobi:
                     meta = {"sent_at": t}
                     if rec[4] is not None:
                         meta["vers"] = rec[4]
-                arrival = t + net.message_time(values.size, ranks[p].rng, intra_node=intra)
-                queue.push(arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted, meta)))
+                arrival = t + msg_time(values.size, p, intra)
+                queue.push(
+                    arrival, _MESSAGE, q, (p, seq, slots_q, values, corrupted, meta)
+                )
                 if (
                     self.duplicate_probability
                     and fail_rng.random() < self.duplicate_probability
                 ):
-                    arrival = t + net.message_time(
-                        values.size, ranks[p].rng, intra_node=intra
-                    )
+                    arrival = t + msg_time(values.size, p, intra)
                     queue.push(
-                        arrival, (_MESSAGE, q, (p, seq, slots_q, values, corrupted, meta))
+                        arrival, _MESSAGE, q,
+                        (p, seq, slots_q, values, corrupted, meta),
                     )
-            queue.push(t + timeout, (_RETRY, p, (q, seq)))
+            queue.push(t + timeout, _RETRY, p, (q, seq))
 
         def send_reliable(rk: _Rank, q: int, slots_q, values, t: float, vers=None) -> None:
             ch = (rk.rank, q)
@@ -736,64 +919,85 @@ class DistributedJacobi:
             transmit(ch, seq, rec, t)
 
         def fire_puts(rk: _Rank, t: float) -> None:
+            r = rk.rank
+            entries = put_plan[r]
             if reliable:
-                for q, slots_q, local_rows in rk.send_plan:
+                for q, slots_q, local_rows, _mb in entries:
                     # The put carries the just-committed values, so their
                     # versions are snapshotted once; retransmissions resend
-                    # the same payload.
+                    # the same payload. The fancy index is itself a fresh
+                    # array — the payload's one unavoidable allocation.
                     vers = version[rk.rows[local_rows]].copy() if trace_reads else None
-                    send_reliable(rk, q, slots_q, rk.pending[local_rows].copy(), t, vers)
+                    send_reliable(rk, q, slots_q, rk.pending[local_rows], t, vers)
                 return
-            # Fire-and-forget RMA puts (the seed's failure-injection path;
-            # RNG call order kept bit-identical for plan-free runs).
-            for q, slots_q, local_rows in rk.send_plan:
+            pending = pend_buf[r]
+            if not (has_plan or drop_p or dup_p) and trc is None:
+                # Plan-free fire-and-forget hot path: no loss rolls, no
+                # tracing — base times are precompiled, the jitter draw is
+                # inlined, the per-put counter batched.
+                tm.puts_sent += len(entries)
+                st = streams[r]
+                if sigma_net <= 0:
+                    for q, slots_q, local_rows, mb in entries:
+                        queue.push(t + mb, _MESSAGE, q, (slots_q, pending[local_rows]))
+                elif st is not None:
+                    for q, slots_q, local_rows, mb in entries:
+                        queue.push(
+                            t + mb * math.exp(sigma_net * st.next()),
+                            _MESSAGE, q, (slots_q, pending[local_rows]),
+                        )
+                else:
+                    rng = rk.rng
+                    for q, slots_q, local_rows, mb in entries:
+                        queue.push(
+                            t + mb * float(rng.lognormal(0.0, sigma_net)),
+                            _MESSAGE, q, (slots_q, pending[local_rows]),
+                        )
+                return
+            # Fire-and-forget RMA puts under failure injection/tracing (RNG
+            # call order kept bit-identical to the legacy loop).
+            for q, slots_q, local_rows, mb in entries:
                 tm.puts_sent += 1
                 if trc is not None:
-                    trc.send(t, rk.rank, q, local_rows.size)
-                if self.drop_probability and fail_rng.random() < self.drop_probability:
+                    trc.send(t, r, q, local_rows.size)
+                if drop_p and fail_rng.random() < drop_p:
                     tm.puts_dropped += 1
                     if trc is not None:
-                        trc.fault(t, rk.rank, "put_dropped", dst=q)
+                        trc.fault(t, r, "put_dropped", dst=q)
                     continue
-                if plan:
-                    if plan.blocks_message(rk.rank, q, t):
+                if has_plan:
+                    if plan.blocks_message(r, q, t):
                         tm.puts_dropped += 1
                         if trc is not None:
-                            trc.fault(t, rk.rank, "put_dropped", dst=q)
+                            trc.fault(t, r, "put_dropped", dst=q)
                         continue
-                    pb = plan.drop_probability(rk.rank, t)
+                    pb = plan.drop_probability(r, t)
                     if pb and fail_rng.random() < pb:
                         tm.puts_dropped += 1
                         if trc is not None:
-                            trc.fault(t, rk.rank, "put_dropped", dst=q)
+                            trc.fault(t, r, "put_dropped", dst=q)
                         continue
-                    pc = plan.corrupt_probability(rk.rank, t)
+                    pc = plan.corrupt_probability(r, t)
                     if pc and fail_rng.random() < pc:
                         # No checksum without the protocol: the garbage put
                         # is modeled as lost at the NIC, never applied.
                         tm.puts_corrupted += 1
                         if trc is not None:
-                            trc.fault(t, rk.rank, "put_corrupted", dst=q)
+                            trc.fault(t, r, "put_corrupted", dst=q)
                         continue
-                values = rk.pending[local_rows]
+                values = pending[local_rows]
                 meta = None
                 if trc is not None:
                     meta = {"sent_at": t}
                     if trace_reads:
                         meta["vers"] = version[rk.rows[local_rows]].copy()
                 n_copies = 1
-                if (
-                    self.duplicate_probability
-                    and fail_rng.random() < self.duplicate_probability
-                ):
+                if dup_p and fail_rng.random() < dup_p:
                     n_copies = 2
-                intra = self._same_node(rk.rank, q)
+                payload = (slots_q, values) if meta is None else (slots_q, values, meta)
                 for _ in range(n_copies):
-                    arrival = t + net.message_time(values.size, rk.rng, intra_node=intra)
-                    queue.push(
-                        arrival,
-                        (_MESSAGE, q, (None, None, slots_q, values.copy(), False, meta)),
-                    )
+                    jit = net_jit(r) if sigma_net > 0 else 1.0
+                    queue.push(t + mb * jit, _MESSAGE, q, payload)
 
         def has_live_source(rid: int, t: float) -> bool:
             """Whether any ghost data could still reach ``rid``, now or later.
@@ -830,7 +1034,7 @@ class DistributedJacobi:
                     and not has_live_source(r, t)
                 ):
                     idle[r] = False
-                    queue.push(t, (_START, r, other.epoch))
+                    queue.push(t, _START, r, other.epoch)
 
         def update_degraded(t: float) -> None:
             """Open/close the degraded-mode interval on membership changes."""
@@ -850,7 +1054,7 @@ class DistributedJacobi:
             nonlocal stop_broadcast
             if termination != "detect" or stop_broadcast:
                 return
-            if plan and down(0, t):
+            if has_plan and down(0, t):
                 return  # a crashed detector aggregates nothing, stops nobody
             included = np.array(
                 [
@@ -861,8 +1065,8 @@ class DistributedJacobi:
             if float(np.sum(reported[included])) / b_norm < tol:
                 stop_broadcast = True
                 for other in ranks:
-                    delay = net.message_time(1, other.rng)
-                    queue.push(t + delay, (_STOP, other.rank, None))
+                    delay = msg_time(1, other.rank)
+                    queue.push(t + delay, _STOP, other.rank, None)
 
         def schedule_adoption(dead: int, t: float) -> None:
             """Pick the lowest-ranked live neighbour and notify it."""
@@ -873,9 +1077,7 @@ class DistributedJacobi:
                     continue
                 if down(p, t) or plan.down_forever(p, t):
                     continue
-                queue.push(
-                    t + net.message_time(1, ranks[0].rng), (_FAIL_NOTICE, p, dead)
-                )
+                queue.push(t + msg_time(1, 0), _FAIL_NOTICE, p, dead)
                 return
 
         def declare_failed(r: int, t: float) -> None:
@@ -894,23 +1096,246 @@ class DistributedJacobi:
             if adopter is not None:
                 adopters[adopter].remove(dead)
 
-        def local_residual_norm(block: _Rank) -> float:
-            """Block residual 1-norm from the rank's current (stale) view."""
-            local_x = np.concatenate((x[block.rows], block.ghosts))
-            return float(np.sum(np.abs(b[block.rows] - block.local.matvec(local_x))))
+        # Plain-run fast dispatcher: no faults, no loss rolls, no tracing,
+        # no reliable protocol, no eager/detect/heartbeat machinery, no
+        # instrumentation. Only START/COMMIT/MESSAGE events can then exist,
+        # so the loop below handles exactly those three kinds with the
+        # timing draws inlined — the trajectory is the same event-for-event
+        # (the general loop would take identical branches, just through
+        # more indirection per event).
+        fast = (
+            not has_plan
+            and not drop_p
+            and not dup_p
+            and trc is None
+            and not reliable
+            and not eager
+            and not detect
+            and not heartbeats_on
+            and not may_hang
+            and perf is None
+        )
+        if fast:
+            # Per-rank pattern streams: in a plain run, a rank's generator
+            # is consumed in a fixed per-iteration pattern — one machine
+            # jitter at START (compute span), one network jitter per put at
+            # COMMIT, one machine jitter for the next overhead span — so a
+            # whole iteration's factors come from one chunked
+            # PatternJitterStream step (bit-identical to the scalar draws;
+            # zero sigmas contribute no position, exactly like the scalar
+            # path makes no draw). Delay models that draw from the rank's
+            # generator fall back to scalar draws in legacy order.
+            fstreams: list = []
+            for fr, frk in enumerate(ranks):
+                if const_extra[fr] is None:
+                    fstreams.append(None)
+                    continue
+                pat: list = []
+                if sigma_m > 0:
+                    pat.append(sigma_m)
+                if sigma_net > 0:
+                    pat.extend([sigma_net] * len(put_plan[fr]))
+                if sigma_m > 0:
+                    pat.append(sigma_m)
+                fstreams.append(
+                    PatternJitterStream(frk.rng, pat) if pat else ()
+                )
+            fbuf: list = [None] * n_ranks  # current iteration's factors
+            net_j0 = 1 if sigma_m > 0 else 0  # put factors start here
+            ghosts_of = [rk.ghosts for rk in ranks]
+            rows_of = [rk.rows for rk in ranks]
+            delivered = 0
+            # The dispatcher commits to the heap backend so it can inline
+            # push/pop on the flat (time, seq, kind, agent, obj) tuples;
+            # calendar-backed runs take the general loop below instead
+            # (identical results — both backends share one pop order).
+            fast = type(queue) is HeapEventQueue
+        if fast:
+            heap = queue._heap
+            hpush = heapq.heappush
+            hpop = heapq.heappop
+            seq = queue._seq
+        while fast and heap and not converged:
+            t, _, kind, rid, payload = hpop(heap)
+            if kind == _MESSAGE:
+                slots, values = payload
+                ghosts_of[rid][slots] = values
+                delivered += 1
+                continue
+            rk = ranks[rid]
+            if kind == _START:
+                if rk.stopped:
+                    continue
+                relax(rk)
+                st = fstreams[rid]
+                if st is None:
+                    base = cbase[rid]
+                    if sigma_m > 0:
+                        base *= float(rk.rng.lognormal(0.0, sigma_m))
+                    hpush(heap, (t + base * slow[rid], seq, _COMMIT, rid, 0))
+                elif type(st) is tuple:
+                    hpush(
+                        heap, (t + cbase[rid] * slow[rid], seq, _COMMIT, rid, 0)
+                    )
+                else:
+                    f = fbuf[rid] = st.next_step()
+                    if sigma_m > 0:
+                        hpush(
+                            heap,
+                            (t + (cbase[rid] * f[0]) * slow[rid], seq,
+                             _COMMIT, rid, 0),
+                        )
+                    else:
+                        hpush(
+                            heap,
+                            (t + cbase[rid] * slow[rid], seq, _COMMIT, rid, 0),
+                        )
+                seq += 1
+                continue
+            # _COMMIT: nothing else is ever scheduled on this path. Inlined
+            # commit_rows: on this path a commit always directly follows the
+            # rank's own relax, so ``own_view`` still holds ``x[rows]`` as of
+            # the take in ``relax`` (only the owner writes its rows; ghost
+            # traffic never touches ``x``) — the old-value gather is free.
+            # Gauss-Seidel relaxes in place through ``own_view``, so it
+            # re-gathers the old values instead.
+            pb = pend_buf[rid]
+            if incremental:
+                if gauss_seidel:
+                    x.take(rows_of[rid], out=own_view[rid])
+                np.subtract(pb, own_view[rid], out=dx_buf[rid])
+                x[rows_of[rid]] = pb
+                splans[rid].apply(r_vec, dx_buf[rid])
+            else:
+                x[rows_of[rid]] = pb
+            rk.iterations += 1
+            relaxations += nrows_loc[rid]
+            t_end = t
+            # Inlined plan-free fire_puts + overhead scheduling.
+            entries = put_plan[rid]
+            pending = pb
+            f = fbuf[rid]
+            if f is not None:
+                if sigma_net > 0:
+                    j = net_j0
+                    for q, slots_q, local_rows, mb in entries:
+                        hpush(
+                            heap,
+                            (t + mb * f[j], seq, _MESSAGE, q,
+                             (slots_q, pending.take(local_rows))),
+                        )
+                        seq += 1
+                        j += 1
+                else:
+                    for q, slots_q, local_rows, mb in entries:
+                        hpush(
+                            heap,
+                            (t + mb, seq, _MESSAGE, q,
+                             (slots_q, pending.take(local_rows))),
+                        )
+                        seq += 1
+            else:
+                rng = rk.rng if fstreams[rid] is None else None
+                if rng is not None and sigma_net > 0:
+                    for q, slots_q, local_rows, mb in entries:
+                        hpush(
+                            heap,
+                            (t + mb * float(rng.lognormal(0.0, sigma_net)),
+                             seq, _MESSAGE, q,
+                             (slots_q, pending.take(local_rows))),
+                        )
+                        seq += 1
+                else:
+                    for q, slots_q, local_rows, mb in entries:
+                        hpush(
+                            heap,
+                            (t + mb, seq, _MESSAGE, q,
+                             (slots_q, pending.take(local_rows))),
+                        )
+                        seq += 1
+            tm.puts_sent += len(entries)
+            commits_since_obs += 1
+            if commits_since_obs >= observe_every:
+                commits_since_obs = 0
+                res = observe_residual()
+                times.append(t)
+                residuals.append(res)
+                counts.append(relaxations)
+                if res < tol:
+                    converged = True
+                    continue
+            if rk.iterations >= max_iterations:
+                rk.stopped = True
+                continue
+            if f is not None:
+                if sigma_m > 0:
+                    hpush(
+                        heap,
+                        (t + ((ovbase * f[-1] + puts_const[rid]) * slow[rid]
+                              + const_extra[rid]), seq, _START, rid, 0),
+                    )
+                else:
+                    hpush(
+                        heap,
+                        (t + ((ovbase + puts_const[rid]) * slow[rid]
+                              + const_extra[rid]), seq, _START, rid, 0),
+                    )
+            else:
+                base = ovbase
+                rng = rk.rng
+                if fstreams[rid] is None and sigma_m > 0:
+                    base *= float(rng.lognormal(0.0, sigma_m))
+                ce = const_extra[rid]
+                if ce is None:
+                    ce = self.delay.extra_time(rid, rk.iterations, rng)
+                hpush(
+                    heap,
+                    (t + ((base + puts_const[rid]) * slow[rid] + ce),
+                     seq, _START, rid, 0),
+                )
+            seq += 1
+        if fast:
+            queue._seq = seq
+            tm.puts_delivered += delivered
 
         while queue and not converged:
-            t, (kind, rid, payload) = queue.pop()
-            rk = ranks[rid]
-            if perf is not None:
-                perf.events += 1
-            if kind == _MESSAGE:
-                src, seq, slots, values, corrupted, meta = payload
-                if plan and down(rid, t):
-                    # The target window is gone; the put lands nowhere.
-                    tm.puts_dropped += 1
-                    continue
-                if src is not None:
+            t, kind, agents, objs = queue.pop_batch()
+            for rid, payload in zip(agents, objs):
+                rk = ranks[rid]
+                if perf is not None:
+                    perf.events += 1
+                if kind == _MESSAGE:
+                    if has_plan and down(rid, t):
+                        # The target window is gone; the put lands nowhere.
+                        tm.puts_dropped += 1
+                        continue
+                    if not reliable:
+                        # Fire-and-forget puts carry lean payloads: the ghost
+                        # scatter below IS the one-sided RMA landing.
+                        if trc is None:
+                            slots, values = payload
+                            rk.ghosts[slots] = values
+                            tm.puts_delivered += 1
+                            fresh[rid] = True
+                            if eager and idle[rid] and not rk.stopped:
+                                idle[rid] = False
+                                queue.push(t, _START, rid, rk.epoch)
+                            continue
+                        slots, values, meta = payload
+                        rk.ghosts[slots] = values
+                        if trace_reads and meta is not None and meta.get("vers") is not None:
+                            rk.ghost_ver[slots] = meta["vers"]
+                        tm.puts_delivered += 1
+                        trc.recv(
+                            t, rid, None, values.size, seq=None,
+                            latency=(t - meta["sent_at"]) if meta else None,
+                        )
+                        fresh[rid] = True
+                        if eager and idle[rid] and not rk.stopped:
+                            idle[rid] = False
+                            queue.push(t, _START, rid, rk.epoch)
+                        continue
+                    src, seq, slots, values, corrupted, meta = payload
                     # Reliable protocol: checksum, ack, then dedup by seq.
                     if corrupted:
                         tm.puts_corrupted += 1
@@ -921,251 +1346,256 @@ class DistributedJacobi:
                     if control_lost(rid, src, t):
                         tm.acks_lost += 1
                     else:
-                        arrival = t + net.message_time(
-                            1, rk.rng, intra_node=self._same_node(rid, src)
+                        arrival = t + msg_time(
+                            1, rid, node_of[rid] == node_of[src]
                         )
-                        queue.push(arrival, (_ACK, src, (rid, seq)))
+                        queue.push(arrival, _ACK, src, (rid, seq))
                     if seq <= applied_seq.get(ch, -1):
                         tm.duplicates_suppressed += 1
                         continue
                     applied_seq[ch] = seq
-                rk.ghosts[slots] = values
-                if trace_reads and meta is not None and meta.get("vers") is not None:
-                    rk.ghost_ver[slots] = meta["vers"]
-                tm.puts_delivered += 1
-                if trc is not None:
-                    trc.recv(
-                        t, rid, src, values.size, seq=seq,
-                        latency=(t - meta["sent_at"]) if meta else None,
-                    )
-                fresh[rid] = True
-                if eager and idle[rid] and not rk.stopped:
-                    idle[rid] = False
-                    queue.push(t, (_START, rid, rk.epoch))
-                continue
-            if kind == _ACK:
-                src, seq = payload
-                pend = outstanding.get((rid, src))
-                if pend is not None:
-                    pend.pop(seq, None)
-                if trc is not None:
-                    trc.ack(t, rid, src, seq)
-                continue
-            if kind == _RETRY:
-                q, seq = payload
-                ch = (rid, q)
-                rec = outstanding.get(ch, {}).get(seq)
-                if rec is None:
-                    continue  # acked (or abandoned) in the meantime
-                if rk.stopped or (plan and down(rid, t)):
-                    # A dead/stopped sender's protocol state dies with it.
-                    outstanding[ch].pop(seq, None)
-                    continue
-                rec[2] += 1
-                if rec[2] > self.max_put_retries:
-                    tm.retry_budget_exhausted += 1
-                    outstanding[ch].pop(seq, None)
+                    rk.ghosts[slots] = values
+                    if trace_reads and meta is not None and meta.get("vers") is not None:
+                        rk.ghost_ver[slots] = meta["vers"]
+                    tm.puts_delivered += 1
                     if trc is not None:
-                        trc.fault(t, rid, "retry_exhausted", dst=q, seq=seq)
+                        trc.recv(
+                            t, rid, src, values.size, seq=seq,
+                            latency=(t - meta["sent_at"]) if meta else None,
+                        )
+                    fresh[rid] = True
+                    if eager and idle[rid] and not rk.stopped:
+                        idle[rid] = False
+                        queue.push(t, _START, rid, rk.epoch)
                     continue
-                tm.retries += 1
-                rec[3] *= 2.0  # exponential backoff
-                transmit(ch, seq, rec, t)
-                continue
-            if kind == _HEARTBEAT:
-                if hb_stopped or rk.stopped or down(rid, t):
-                    hb_chain_alive[rid] = False
-                    continue
-                tm.heartbeats_sent += 1
-                if rid == 0:
-                    last_hb[0] = t
-                elif control_lost(rid, 0, t):
-                    tm.heartbeats_lost += 1
-                else:
-                    arrival = t + net.message_time(
-                        1, rk.rng, intra_node=self._same_node(rid, 0)
-                    )
-                    queue.push(arrival, (_HB_ARRIVE, 0, rid))
-                queue.push(t + hb_interval, (_HEARTBEAT, rid, None))
-                continue
-            if kind == _HB_ARRIVE:
-                src = payload
-                last_hb[src] = t
-                if presumed_dead[src]:
-                    presumed_dead[src] = False
-                    tm.recoveries.append((src, t))
+                if kind == _ACK:
+                    src, seq = payload
+                    pend = outstanding.get((rid, src))
+                    if pend is not None:
+                        pend.pop(seq, None)
                     if trc is not None:
-                        trc.detect(t, src, "alive")
-                    release_adoption(src)
-                    update_degraded(t)
-                continue
-            if kind == _HB_CHECK:
-                if not down(0, t):
-                    for r in range(1, self.n_ranks):
-                        if presumed_dead[r] or ranks[r].stopped:
-                            continue
-                        if t - last_hb[r] > hb_timeout:
-                            declare_failed(r, t)
-                wake_orphans(t)
-                # Quiescence: once every rank is finished (or parked on a
-                # peer that can only be woken by traffic that no longer
-                # exists), stop the detector and let the queue drain —
-                # otherwise the self-rescheduling heartbeat chains keep
-                # ``while queue`` alive forever.
-                quiescent = all(
-                    other.stopped
-                    or plan.down_forever(other.rank, t)
-                    or idle[other.rank]
-                    for other in ranks
-                )
-                if quiescent and any(idle):
-                    # An idle rank is only truly stuck when no data, retry
-                    # or restart event is still in flight to wake it.
+                        trc.ack(t, rid, src, seq)
+                    continue
+                if kind == _RETRY:
+                    q, seq = payload
+                    ch = (rid, q)
+                    rec = outstanding.get(ch, {}).get(seq)
+                    if rec is None:
+                        continue  # acked (or abandoned) in the meantime
+                    if rk.stopped or (has_plan and down(rid, t)):
+                        # A dead/stopped sender's protocol state dies with it.
+                        outstanding[ch].pop(seq, None)
+                        continue
+                    rec[2] += 1
+                    if rec[2] > self.max_put_retries:
+                        tm.retry_budget_exhausted += 1
+                        outstanding[ch].pop(seq, None)
+                        if trc is not None:
+                            trc.fault(t, rid, "retry_exhausted", dst=q, seq=seq)
+                        continue
+                    tm.retries += 1
+                    rec[3] *= 2.0  # exponential backoff
+                    transmit(ch, seq, rec, t)
+                    continue
+                if kind == _HEARTBEAT:
+                    if hb_stopped or rk.stopped or down(rid, t):
+                        hb_chain_alive[rid] = False
+                        continue
+                    tm.heartbeats_sent += 1
+                    if rid == 0:
+                        last_hb[0] = t
+                    elif control_lost(rid, 0, t):
+                        tm.heartbeats_lost += 1
+                    else:
+                        arrival = t + msg_time(1, rid, node_of[rid] == node_of[0])
+                        queue.push(arrival, _HB_ARRIVE, 0, rid)
+                    queue.push(t + hb_interval, _HEARTBEAT, rid, None)
+                    continue
+                if kind == _HB_ARRIVE:
+                    src = payload
+                    last_hb[src] = t
+                    if presumed_dead[src]:
+                        presumed_dead[src] = False
+                        tm.recoveries.append((src, t))
+                        if trc is not None:
+                            trc.detect(t, src, "alive")
+                        release_adoption(src)
+                        update_degraded(t)
+                    continue
+                if kind == _HB_CHECK:
+                    if not down(0, t):
+                        for r in range(1, self.n_ranks):
+                            if presumed_dead[r] or ranks[r].stopped:
+                                continue
+                            if t - last_hb[r] > hb_timeout:
+                                declare_failed(r, t)
+                    wake_orphans(t)
+                    # Quiescence: once every rank is finished (or parked on a
+                    # peer that can only be woken by traffic that no longer
+                    # exists), stop the detector and let the queue drain —
+                    # otherwise the self-rescheduling heartbeat chains keep
+                    # ``while queue`` alive forever.
                     quiescent = all(
-                        pl[0] in _HB_KINDS for pl in queue.pending_payloads()
+                        other.stopped
+                        or plan.down_forever(other.rank, t)
+                        or idle[other.rank]
+                        for other in ranks
                     )
-                if quiescent:
-                    hb_stopped = True
-                else:
-                    queue.push(t + hb_interval, (_HB_CHECK, 0, None))
-                continue
-            if kind == _RESTART:
-                if rk.stopped:
+                    if quiescent and any(idle):
+                        # An idle rank is only truly stuck when no data, retry
+                        # or restart event is still in flight to wake it.
+                        quiescent = all(
+                            k in _HB_KINDS for k, _a, _o in queue.pending_payloads()
+                        )
+                    if quiescent:
+                        hb_stopped = True
+                    else:
+                        queue.push(t + hb_interval, _HB_CHECK, 0, None)
                     continue
-                rk.epoch += 1  # invalidate the pre-crash incarnation's events
-                if rk.ghost_cols.size:
-                    rk.ghosts[:] = x[rk.ghost_cols]  # ghost re-sync
-                    if trace_reads:
-                        rk.ghost_ver[:] = version[rk.ghost_cols]
-                tm.restarts.append((rid, t))
-                if trc is not None:
-                    trc.fault(t, rid, "restart")
-                release_adoption(rid)
-                fresh[rid] = True
-                idle[rid] = False
-                queue.push(t + self._overhead_time(rk), (_START, rid, rk.epoch))
-                if heartbeats_on and not hb_chain_alive[rid]:
-                    hb_chain_alive[rid] = True
-                    queue.push(t, (_HEARTBEAT, rid, None))
-                continue
-            if kind == _FAIL_NOTICE:
-                dead = payload
-                if not presumed_dead[dead] or dead in adopted_by:
-                    continue  # recovered or already adopted: moot
-                if rk.stopped or down(rid, t):
-                    schedule_adoption(dead, t)  # pass it on to someone alive
-                    continue
-                adopted_by[dead] = rid
-                adopters.setdefault(rid, []).append(dead)
-                drk = ranks[dead]
-                if drk.ghost_cols.size:
-                    drk.ghosts[:] = x[drk.ghost_cols]  # ghost re-sync
-                    if trace_reads:
-                        drk.ghost_ver[:] = version[drk.ghost_cols]
-                tm.adoptions.append((dead, rid, t))
-                if trc is not None:
-                    trc.detect(t, dead, "adopted")
-                update_degraded(t)
-                if eager and idle[rid] and not rk.stopped:
+                if kind == _RESTART:
+                    if rk.stopped:
+                        continue
+                    rk.epoch += 1  # invalidate the pre-crash incarnation's events
+                    if rk.ghost_cols.size:
+                        rk.ghosts[:] = x[rk.ghost_cols]  # ghost re-sync
+                        if trace_reads:
+                            rk.ghost_ver[:] = version[rk.ghost_cols]
+                    tm.restarts.append((rid, t))
+                    if trc is not None:
+                        trc.fault(t, rid, "restart")
+                    release_adoption(rid)
+                    fresh[rid] = True
                     idle[rid] = False
-                    queue.push(t, (_START, rid, rk.epoch))
-                continue
-            if kind == _REPORT:
-                # A rank's residual report reaches the detector (rank 0);
-                # while rank 0 is scripted down the report lands nowhere.
-                if plan and down(0, t):
+                    queue.push(t + overhead_time(rk), _START, rid, rk.epoch)
+                    if heartbeats_on and not hb_chain_alive[rid]:
+                        hb_chain_alive[rid] = True
+                        queue.push(t, _HEARTBEAT, rid, None)
                     continue
-                reported[rid] = payload
-                maybe_stop(t)
-                continue
-            if kind == _STOP:
-                rk.stopped = True
-                continue
-            if kind == _START:
-                if payload != rk.epoch:
-                    continue  # scheduled by a pre-crash incarnation
-                if self.delay.is_hung(rid, t) or rk.stopped or down(rid, t):
-                    if trc is not None and not rk.stopped and down(rid, t):
-                        trc.fault(t, rid, "crash")
-                    continue
-                if eager and not fresh[rid] and rk.ghost_cols.size and (
-                    not heartbeats_on or has_live_source(rid, t)
-                ):
-                    # Nothing new to compute with: go idle until a message.
-                    # With detection on, a rank with no live sender left
-                    # keeps running instead — nothing would ever wake it.
-                    idle[rid] = True
-                    continue
-                fresh[rid] = False
-                # Read-to-write span: reads (own + ghosts) now, write at COMMIT.
-                rk.pending = self._relax_block(rk, x)
-                if trace_reads:
-                    capture_reads(rk)
-                snap = list(adopters.get(rid, ()))
-                adopt_snapshot[rid] = snap
-                if termination == "detect" and rk.iterations % report_every == 0:
-                    # Local residual norm from the same (possibly stale) view.
-                    arrival = t + net.message_time(1, rk.rng)
-                    queue.push(arrival, (_REPORT, rid, local_residual_norm(rk)))
-                compute = self._compute_time(rk)
-                for d in snap:
-                    # Hosting an adopted block: refresh its ghost layer from
-                    # the committed state, relax it, pay its compute time.
-                    drk = ranks[d]
+                if kind == _FAIL_NOTICE:
+                    dead = payload
+                    if not presumed_dead[dead] or dead in adopted_by:
+                        continue  # recovered or already adopted: moot
+                    if rk.stopped or down(rid, t):
+                        schedule_adoption(dead, t)  # pass it on to someone alive
+                        continue
+                    adopted_by[dead] = rid
+                    adopters.setdefault(rid, []).append(dead)
+                    drk = ranks[dead]
                     if drk.ghost_cols.size:
-                        drk.ghosts[:] = x[drk.ghost_cols]
+                        drk.ghosts[:] = x[drk.ghost_cols]  # ghost re-sync
                         if trace_reads:
                             drk.ghost_ver[:] = version[drk.ghost_cols]
-                    drk.pending = self._relax_block(drk, x)
-                    if trace_reads:
-                        capture_reads(drk)
-                    compute += self._compute_time(drk)
-                    if termination == "detect" and rk.iterations % report_every == 0:
-                        arrival = t + net.message_time(1, rk.rng)
-                        queue.push(arrival, (_REPORT, d, local_residual_norm(drk)))
-                queue.push(t + compute, (_COMMIT, rid, rk.epoch))
-            else:  # _COMMIT
-                if payload != rk.epoch or down(rid, t):
-                    if trc is not None and payload == rk.epoch and down(rid, t):
-                        trc.fault(t, rid, "crash")
-                    continue  # the rank crashed inside the read-to-write span
-                if trc is not None:
-                    emit_relax(rk, t)
-                commit_rows(rk)
-                rk.iterations += 1
-                relaxations += rk.rows.size
-                t_end = t
-                fire_puts(rk, t)
-                snap = adopt_snapshot.pop(rid, ())
-                for d in snap:
-                    drk = ranks[d]
+                    tm.adoptions.append((dead, rid, t))
                     if trc is not None:
-                        emit_relax(drk, t)
-                    commit_rows(drk)
-                    relaxations += drk.rows.size
-                    fire_puts(drk, t)
-                commits_since_obs += 1 + len(snap)
-                if commits_since_obs >= observe_every:
-                    commits_since_obs = 0
-                    t0 = perf.tick() if perf is not None else 0.0
-                    res = observe_residual()
-                    if perf is not None:
-                        perf.tock_residual(t0)
-                    times.append(t)
-                    residuals.append(res)
-                    counts.append(relaxations)
-                    if trc is not None:
-                        trc.observe(t, res, relaxations)
-                    if termination == "count" and res < tol:
-                        converged = True
-                        if trc is not None:
-                            trc.convergence(t, res, tol)
-                        break
-                if rk.iterations >= max_iterations:
+                        trc.detect(t, dead, "adopted")
+                    update_degraded(t)
+                    if eager and idle[rid] and not rk.stopped:
+                        idle[rid] = False
+                        queue.push(t, _START, rid, rk.epoch)
+                    continue
+                if kind == _REPORT:
+                    # A rank's residual report reaches the detector (rank 0);
+                    # while rank 0 is scripted down the report lands nowhere.
+                    if has_plan and down(0, t):
+                        continue
+                    reported[rid] = payload
+                    maybe_stop(t)
+                    continue
+                if kind == _STOP:
                     rk.stopped = True
-                else:
-                    # Next read only begins after the off-span overhead.
-                    queue.push(t + self._overhead_time(rk), (_START, rid, rk.epoch))
+                    continue
+                if kind == _START:
+                    if payload != rk.epoch:
+                        continue  # scheduled by a pre-crash incarnation
+                    if (
+                        (may_hang and self.delay.is_hung(rid, t))
+                        or rk.stopped
+                        or (has_plan and down(rid, t))
+                    ):
+                        if trc is not None and not rk.stopped and down(rid, t):
+                            trc.fault(t, rid, "crash")
+                        continue
+                    if eager and not fresh[rid] and rk.ghost_cols.size and (
+                        not heartbeats_on or has_live_source(rid, t)
+                    ):
+                        # Nothing new to compute with: go idle until a message.
+                        # With detection on, a rank with no live sender left
+                        # keeps running instead — nothing would ever wake it.
+                        idle[rid] = True
+                        continue
+                    fresh[rid] = False
+                    # Read-to-write span: reads (own + ghosts) now, write at COMMIT.
+                    relax(rk)
+                    if trace_reads:
+                        capture_reads(rk)
+                    if adopters:
+                        snap = list(adopters.get(rid, ()))
+                        adopt_snapshot[rid] = snap
+                    else:
+                        snap = ()
+                    if detect and rk.iterations % report_every == 0:
+                        # Local residual norm from the same (possibly stale) view.
+                        arrival = t + msg_time(1, rid)
+                        queue.push(arrival, _REPORT, rid, local_residual_norm(rk))
+                    compute = compute_time(rk)
+                    for d in snap:
+                        # Hosting an adopted block: refresh its ghost layer from
+                        # the committed state, relax it, pay its compute time.
+                        drk = ranks[d]
+                        if drk.ghost_cols.size:
+                            drk.ghosts[:] = x[drk.ghost_cols]
+                            if trace_reads:
+                                drk.ghost_ver[:] = version[drk.ghost_cols]
+                        relax(drk)
+                        if trace_reads:
+                            capture_reads(drk)
+                        compute += compute_time(drk)
+                        if detect and rk.iterations % report_every == 0:
+                            arrival = t + msg_time(1, rid)
+                            queue.push(arrival, _REPORT, d, local_residual_norm(drk))
+                    queue.push(t + compute, _COMMIT, rid, rk.epoch)
+                else:  # _COMMIT
+                    if payload != rk.epoch or (has_plan and down(rid, t)):
+                        if trc is not None and payload == rk.epoch and down(rid, t):
+                            trc.fault(t, rid, "crash")
+                        continue  # the rank crashed inside the read-to-write span
+                    if trc is not None:
+                        emit_relax(rk, t)
+                    commit_rows(rk)
+                    rk.iterations += 1
+                    relaxations += rk.rows.size
+                    t_end = t
+                    fire_puts(rk, t)
+                    snap = adopt_snapshot.pop(rid, ()) if adopt_snapshot else ()
+                    for d in snap:
+                        drk = ranks[d]
+                        if trc is not None:
+                            emit_relax(drk, t)
+                        commit_rows(drk)
+                        relaxations += drk.rows.size
+                        fire_puts(drk, t)
+                    commits_since_obs += 1 + len(snap)
+                    if commits_since_obs >= observe_every:
+                        commits_since_obs = 0
+                        t0 = perf.tick() if perf is not None else 0.0
+                        res = observe_residual()
+                        if perf is not None:
+                            perf.tock_residual(t0)
+                        times.append(t)
+                        residuals.append(res)
+                        counts.append(relaxations)
+                        if trc is not None:
+                            trc.observe(t, res, relaxations)
+                        if termination == "count" and res < tol:
+                            converged = True
+                            if trc is not None:
+                                trc.convergence(t, res, tol)
+                            break
+                    if rk.iterations >= max_iterations:
+                        rk.stopped = True
+                    else:
+                        # Next read only begins after the off-span overhead.
+                        queue.push(t + overhead_time(rk), _START, rid, rk.epoch)
 
         if degraded_since is not None:
             tm.degraded_intervals.append((degraded_since, max(t_end, degraded_since)))
@@ -1209,19 +1639,77 @@ class DistributedJacobi:
         x0=None,
         tol: float = 1e-3,
         max_iterations: int = 10_000,
+        legacy_engine: bool = False,
     ) -> SimulationResult:
         """Synchronous (point-to-point) execution.
 
         Every sweep: post ghost exchanges, wait for the slowest rank's
         compute and the largest message, relax, allreduce for the residual
         check. Numerically identical to global Jacobi.
+
+        The sweep timing draws a fixed per-rank pattern every sweep — two
+        machine-jitter lognormals plus one network lognormal per outgoing
+        message — so the draws are served from a per-rank
+        :class:`~repro.runtime.engine.PatternJitterStream` (bit-identical
+        to the scalar draws; ``legacy_engine=True`` runs the pre-engine
+        scalar loop kept in :mod:`repro.runtime.legacy`).
         """
+        if legacy_engine:
+            from repro.runtime import legacy
+
+            return legacy.distributed_run_sync(
+                self, x0=x0, tol=tol, max_iterations=max_iterations
+            )
         check_positive(tol, "tol")
         A, b, dinv = self.A, self.b, self.dinv
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
         ranks = self._compile_ranks()
         net = self.cluster.network
+        node = self.cluster.node
         allreduce = net.allreduce_cost(self.n_ranks)
+
+        # Per-rank constants of the sweep-timing recurrence (exact legacy
+        # arithmetic: ``(cbase*jit)*slow + (ovbase*jit + puts)*slow + extra``).
+        n_ranks = self.n_ranks
+        thr = node.smt_throughput(1)
+        sigma_m = node.effective_jitter(1)
+        sigma_net = net.jitter_sigma
+        tpn, tpr = node.time_per_nnz, node.time_per_row
+        lat, tpv = net.latency, net.time_per_value
+        ovbase = node.iteration_overhead / thr
+        slow = [self._slowdown(rk.rank) for rk in ranks]
+        const_extra = [self.delay.constant_extra(rk.rank) for rk in ranks]
+        cbase = [
+            (rk.local.nnz * tpn + rk.rows.size * tpr) / thr for rk in ranks
+        ]
+        puts_const = [
+            len(rk.send_plan) * net.put_overhead for rk in ranks
+        ]
+        # Sync-mode messages always pay the inter-node latency (the legacy
+        # loop never passed ``intra_node``).
+        msg_bases = [
+            [lat + local_rows.size * tpv for _, _, local_rows in rk.send_plan]
+            for rk in ranks
+        ]
+        # A rank's per-sweep draw pattern on its private generator:
+        # [sigma_m, sigma_m] then sigma_net per message — each sigma present
+        # only when that jitter is active (no draw happens otherwise).
+        # Ranks whose delay model draws from the same generator
+        # (``constant_extra() is None``) cannot prefetch and fall back to
+        # scalar draws in the legacy order.
+        streams: list = []
+        for r, rk in enumerate(ranks):
+            if const_extra[r] is None:
+                streams.append(None)
+                continue
+            pattern = []
+            if sigma_m > 0:
+                pattern += [sigma_m, sigma_m]
+            if sigma_net > 0:
+                pattern += [sigma_net] * len(rk.send_plan)
+            streams.append(
+                PatternJitterStream(rk.rng, pattern) if pattern else ()
+            )
 
         b_norm = vector_norm(b, 1)
         # One SpMV per sweep in the Jacobi branch: the residual driving the
@@ -1234,11 +1722,73 @@ class DistributedJacobi:
         k = 0
         converged = res0 < tol
         while not converged and k < max_iterations:
-            compute = max(self._cycle_time(rk) for rk in ranks)
+            compute = 0.0
             comm = 0.0
-            for rk in ranks:
-                for _, slots_q, local_rows in rk.send_plan:
-                    comm = max(comm, net.message_time(local_rows.size, rk.rng))
+            # One pass per rank: cycle time then message times, exactly the
+            # draws the legacy two-loop version made on this rank's private
+            # generator (inter-rank interleaving is unobservable — the
+            # generators are independent).
+            for ri in range(n_ranks):
+                st = streams[ri]
+                if st is None:
+                    # Scalar fallback: the delay model shares the generator.
+                    rk = ranks[ri]
+                    rng = rk.rng
+                    t1 = cbase[ri]
+                    t2 = ovbase
+                    if sigma_m > 0:
+                        t1 *= float(rng.lognormal(0.0, sigma_m))
+                        t2 *= float(rng.lognormal(0.0, sigma_m))
+                    t1 *= slow[ri]
+                    t2 = (t2 + puts_const[ri]) * slow[ri] + self.delay.extra_time(
+                        ri, rk.iterations, rng
+                    )
+                    cyc = t1 + t2
+                    if cyc > compute:
+                        compute = cyc
+                    if sigma_net > 0:
+                        for mb in msg_bases[ri]:
+                            v = mb * float(rng.lognormal(0.0, sigma_net))
+                            if v > comm:
+                                comm = v
+                    else:
+                        for mb in msg_bases[ri]:
+                            if mb > comm:
+                                comm = mb
+                    continue
+                if type(st) is tuple:
+                    # No jitter at all: the sweep cost is a constant.
+                    cyc = cbase[ri] * slow[ri] + (
+                        (ovbase + puts_const[ri]) * slow[ri] + const_extra[ri]
+                    )
+                    if cyc > compute:
+                        compute = cyc
+                    for mb in msg_bases[ri]:
+                        if mb > comm:
+                            comm = mb
+                    continue
+                f = st.next_step()
+                if sigma_m > 0:
+                    t1 = (cbase[ri] * f[0]) * slow[ri]
+                    t2 = (ovbase * f[1] + puts_const[ri]) * slow[ri] + const_extra[ri]
+                    j = 2
+                else:
+                    t1 = cbase[ri] * slow[ri]
+                    t2 = (ovbase + puts_const[ri]) * slow[ri] + const_extra[ri]
+                    j = 0
+                cyc = t1 + t2
+                if cyc > compute:
+                    compute = cyc
+                if sigma_net > 0:
+                    for mb in msg_bases[ri]:
+                        v = mb * f[j]
+                        j += 1
+                        if v > comm:
+                            comm = v
+                else:
+                    for mb in msg_bases[ri]:
+                        if mb > comm:
+                            comm = mb
             t += compute + comm + allreduce
             if self.local_sweep == "jacobi":
                 # Exact global Jacobi sweep (fast vectorized path).

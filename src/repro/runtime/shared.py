@@ -48,7 +48,7 @@ from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.matrices.sparse import CSRMatrix
 from repro.perf.instrument import PerfCounters
 from repro.runtime.delays import CompositeDelay, DelayModel, NO_DELAY, StragglerDelay
-from repro.runtime.events import EventQueue
+from repro.runtime.engine import JitterStream, make_event_queue
 from repro.runtime.machine import KNL, MachineModel
 from repro.runtime.results import FaultTelemetry, SimulationResult
 from repro.util.errors import ShapeError, SimulationError, SingularMatrixError
@@ -215,6 +215,8 @@ class SharedMemoryJacobi:
         recompute_every: int = 64,
         instrument: bool = False,
         tracer=None,
+        legacy_engine: bool = False,
+        queue_backend: str = "auto",
     ) -> SimulationResult:
         """Asynchronous (racy) execution.
 
@@ -245,7 +247,29 @@ class SharedMemoryJacobi:
         crossing. Tracing never perturbs the simulated trajectory;
         ``tracer=None`` (default) or an all-null-sink tracer leaves the
         hot loop untouched.
+
+        The event loop runs on :mod:`repro.runtime.engine`: typed events
+        on a preallocated queue, relax kernels writing into reused
+        per-thread buffers, a precompiled column-scatter plan for the
+        incremental residual, chunked jitter streams, and batched
+        dispatch — events sharing a ``(time, kind)`` pop as one slice,
+        and coincident STARTs relax as a single vectorized gather +
+        ``bincount``. Trajectories are bit-identical to the pre-engine
+        implementation, which remains available for one release as
+        ``legacy_engine=True`` (the equivalence-test oracle).
+        ``queue_backend`` selects the engine queue ("auto", "heap", or
+        "calendar"; pop order is identical by construction).
         """
+        if legacy_engine:
+            from repro.runtime.legacy import shared_run_async
+
+            return shared_run_async(
+                self, x0=x0, tol=tol, max_iterations=max_iterations,
+                record_trace=record_trace, observe_every=observe_every,
+                run_until_all_reach=run_until_all_reach,
+                residual_mode=residual_mode, recompute_every=recompute_every,
+                instrument=instrument, tracer=tracer,
+            )
         check_positive(tol, "tol")
         if residual_mode not in ("incremental", "full"):
             raise ValueError(
@@ -275,10 +299,91 @@ class SharedMemoryJacobi:
                 omega=self.omega, residual_mode=residual_mode,
             )
 
+        # --- engine compilation: everything invariant across events ------
+        machine = self.machine
+        T = self.n_threads
+        throughput = machine.smt_throughput(T)
+        sigma = machine.effective_jitter(T)
+        ov_base = machine.iteration_overhead / throughput
+        compute_base = [
+            (
+                (th.nnz_hi - th.nnz_lo) * machine.time_per_nnz
+                + (th.hi - th.lo) * machine.time_per_row
+            )
+            / throughput
+            for th in threads
+        ]
+        slow = [self._slowdown(tid) for tid in range(T)]
+        # A constant injected delay unlocks a chunked jitter stream (the
+        # thread's RNG then serves jitter only); a stochastic model keeps
+        # that thread on scalar draws so delay and jitter draws interleave
+        # in exactly the legacy order.
+        const_extra = [self.delay.constant_extra(tid) for tid in range(T)]
+        delay_hung = type(self.delay).is_hung is not DelayModel.is_hung
+
+        # Per-thread relax kernels over preallocated buffers. The one
+        # remaining allocation per relaxation is the bincount output
+        # (np.bincount has no ``out=``; a sequential-order row sum cannot
+        # use ``reduceat``, whose pairwise summation rounds differently);
+        # every other intermediate is written in place, bit-identical to
+        # the allocating expressions it replaces.
+        cols_seg = [cols[th.nnz_lo : th.nnz_hi] for th in threads]
+        data_seg = [data[th.nnz_lo : th.nnz_hi] for th in threads]
+        b_seg = [b[th.lo : th.hi] for th in threads]
+        dinv_seg = [dinv[th.lo : th.hi] for th in threads]
+        x_seg = [x[th.lo : th.hi] for th in threads]
+        gather_buf = [np.empty(th.nnz_hi - th.nnz_lo) for th in threads]
+        r_buf = [np.empty(th.hi - th.lo) for th in threads]
+        pending_buf = [np.empty(th.hi - th.lo) for th in threads]
+        dx_buf = [np.empty(th.hi - th.lo) for th in threads]
+        scatter = (
+            [
+                A.column_scatter_plan(np.arange(th.lo, th.hi, dtype=np.int64))
+                for th in threads
+            ]
+            if incremental
+            else None
+        )
+        has_plan = bool(plan)
+        # Single-row blocks (one thread per row — the Figure 3/4 shape)
+        # relax in pure scalar arithmetic: the sequential ``s += a*x[c]``
+        # fold matches bincount's accumulation order bit for bit, and the
+        # per-call NumPy dispatch (~1 µs x 6 kernels) disappears.
+        one_row = [th.hi - th.lo == 1 for th in threads]
+        row_pairs = [
+            list(zip(cols_seg[i].tolist(), data_seg[i].tolist()))
+            if one_row[i]
+            else None
+            for i in range(T)
+        ]
+        b0 = [float(b_seg[i][0]) if one_row[i] else 0.0 for i in range(T)]
+        dinv0 = [float(dinv_seg[i][0]) if one_row[i] else 0.0 for i in range(T)]
+
+        def relax(tid: int) -> None:
+            """One block relaxation into the thread's pending buffer."""
+            if one_row[tid]:
+                s = 0.0
+                for c, a in row_pairs[tid]:
+                    s += a * x[c]
+                pending_buf[tid][0] = (
+                    x[threads[tid].lo] + dinv0[tid] * (b0[tid] - s)
+                )
+                return
+            g = gather_buf[tid]
+            rb = r_buf[tid]
+            x.take(cols_seg[tid], out=g)
+            np.multiply(data_seg[tid], g, out=g)
+            rsum = np.bincount(
+                threads[tid].rowid_local, weights=g, minlength=rb.size
+            )
+            np.subtract(b_seg[tid], rsum, out=rb)
+            np.multiply(dinv_seg[tid], rb, out=rb)
+            np.add(x_seg[tid], rb, out=pending_buf[tid])
+
         # Per-core run queues implementing iteration-granularity round-robin.
         core_queue = [deque() for _ in range(self.n_cores)]
         core_busy = [False] * self.n_cores
-        queue = EventQueue()
+        queue = make_event_queue(queue_backend, size_hint=2 * T)
 
         def request_run(th: _Thread, t: float) -> None:
             """Thread asks to run its next iteration at time t."""
@@ -287,12 +392,12 @@ class SharedMemoryJacobi:
                 core_queue[c].append(th.tid)
             else:
                 core_busy[c] = True
-                queue.push(t, (_START, th.tid))
+                queue.push(t, _START, th.tid)
 
         def release_core(core: int, t: float) -> None:
             """Core finished an iteration; start the next queued thread."""
             if core_queue[core]:
-                queue.push(t, (_START, core_queue[core].popleft()))
+                queue.push(t, _START, core_queue[core].popleft())
             else:
                 core_busy[core] = False
 
@@ -301,6 +406,14 @@ class SharedMemoryJacobi:
         order = np.argsort([th.rng.random() for th in threads])
         for rank, tid in enumerate(order):
             request_run(threads[tid], float(rank) * 1e-9)
+        # Jitter streams attach only after the stagger draws so the RNG
+        # call order matches the scalar implementation exactly.
+        streams = [
+            JitterStream(threads[tid].rng, sigma)
+            if sigma > 0 and const_extra[tid] is not None
+            else None
+            for tid in range(T)
+        ]
 
         b_norm = vector_norm(b, 1)
 
@@ -312,7 +425,6 @@ class SharedMemoryJacobi:
         # every commit; in full mode it is only used for the initial norm.
         r_vec = b - A.matvec(x)
         obs_since_recompute = 0
-        block_cols = [np.arange(th.lo, th.hi, dtype=np.int64) for th in threads]
 
         def observe_residual() -> float:
             """Current relative residual, per the selected mode."""
@@ -353,132 +465,208 @@ class SharedMemoryJacobi:
                 tm.restarts.append((tid, restart))
                 if trc is not None:
                     trc.fault(restart, tid, "restart")
-                queue.push(restart, (_REQUEST, tid))
+                queue.push(restart, _REQUEST, tid)
 
-        machine = self.machine
         while queue and not converged:
-            t, (kind, tid) = queue.pop()
-            th = threads[tid]
+            t, kind, agents, _objs = queue.pop_batch()
             if perf is not None:
-                perf.events += 1
+                perf.events += len(agents)
             if kind == _REQUEST:
-                # A delayed (or restarted) thread's wake-up: ask for the
-                # core again.
-                request_run(th, t)
+                # Delayed (or restarted) threads' wake-ups: ask for the
+                # core again, in pop (seq) order.
+                for tid in agents:
+                    request_run(threads[tid], t)
             elif kind == _START:
-                if self.delay.is_hung(tid, t) or th.stopped:
-                    release_core(th.core, t)
-                    continue
-                if plan and plan.is_down(tid, t):
-                    # Thread death: the chain ends here; a scripted restart
-                    # resumes it from the then-current shared iterate.
-                    release_core(th.core, t)
-                    crash_wake(tid, t)
-                    continue
-                # Read-to-write span: snapshot reads now, writes at COMMIT.
-                lo, hi = th.lo, th.hi
-                seg = data[th.nnz_lo : th.nnz_hi] * x[cols[th.nnz_lo : th.nnz_hi]]
-                r = b[lo:hi] - np.bincount(th.rowid_local, weights=seg, minlength=hi - lo)
-                th.pending = x[lo:hi] + dinv[lo:hi] * r
-                if trace_rows:
-                    th.pending_reads = [
-                        {int(j): int(version[j]) for j in nbrs}
-                        for nbrs in th.neighbors_per_row
-                    ]
-                compute = machine.compute_duration(
-                    th.nnz_hi - th.nnz_lo, hi - lo, self.n_threads, th.rng
-                ) * self._slowdown(tid)
-                queue.push(t + compute, (_COMMIT, tid))
-            elif kind == _COMMIT:
-                if plan and plan.is_down(tid, t):
-                    # Died inside the read-to-write span: the update is lost.
-                    release_core(th.core, t)
-                    crash_wake(tid, t)
-                    continue
-                lo, hi = th.lo, th.hi
-                if incremental:
-                    t0 = perf.tick() if perf is not None else 0.0
-                    dx = th.pending - x[lo:hi]
-                    x[lo:hi] = th.pending
-                    A.subtract_columns_update(r_vec, block_cols[tid], dx)
-                    if perf is not None:
-                        perf.tock_spmv(t0)
-                else:
-                    x[lo:hi] = th.pending
-                th.iterations += 1
-                relaxations += hi - lo
-                t_end = t
-                if trace_rows:
-                    if trc is not None and trc.trace_reads:
-                        # Staleness per row: how many commits behind the
-                        # freshest neighbor read was, measured pre-bump.
-                        stale = [
-                            max(
-                                (int(version[j]) - ver for j, ver in reads.items()),
-                                default=0,
-                            )
-                            for reads in th.pending_reads
-                        ]
-                        trc.relax(
-                            t, tid, range(lo, hi),
-                            reads=th.pending_reads, staleness=stale,
+                # Batched dispatch: eligibility checks are pure reads and
+                # x/version only change at COMMIT, so a multi-thread START
+                # batch relaxes as one vectorized gather + bincount; the
+                # per-thread bookkeeping (trace snapshots, RNG draws, the
+                # COMMIT push) then runs in pop order, so the RNG call
+                # order and seq tie-breaks match scalar dispatch exactly.
+                relaxed = None
+                if len(agents) > 1:
+                    elig = [
+                        tid
+                        for tid in agents
+                        if not (
+                            (delay_hung and self.delay.is_hung(tid, t))
+                            or threads[tid].stopped
+                            or (has_plan and plan.is_down(tid, t))
                         )
-                    version[lo:hi] += 1
-                    if record_trace:
-                        for i, reads in zip(range(lo, hi), th.pending_reads):
-                            trace.record(i, t, reads)
-                if trc is not None and not trc.trace_reads:
-                    trc.relax(t, tid, range(lo, hi))
-                commits_since_obs += 1
-                if commits_since_obs >= observe_every:
-                    commits_since_obs = 0
-                    t0 = perf.tick() if perf is not None else 0.0
-                    res = observe_residual()
-                    if perf is not None:
-                        perf.tock_residual(t0)
-                    times.append(t)
-                    residuals.append(res)
-                    counts.append(relaxations)
-                    if trc is not None:
-                        trc.observe(t, res, relaxations)
-                    if res < tol:
-                        converged = True
-                        if trc is not None:
-                            trc.convergence(t, res, tol)
-                        break
-                # Post-span per-iteration overhead (norms, flags) still
-                # occupies the core; the core frees at RELEASE.
-                overhead = machine.overhead_duration(self.n_threads, th.rng)
-                overhead *= self._slowdown(tid)
-                queue.push(t + overhead, (_RELEASE, tid))
-            else:  # _RELEASE
-                # Decide whether this thread keeps iterating.
-                if run_until_all_reach:
-                    # The hard cap keeps the run finite if some thread hangs
-                    # (min would then never reach the target).
-                    if (
-                        min(tt.iterations for tt in threads) >= max_iterations
-                        or th.iterations >= hard_cap
-                    ):
-                        th.stopped = True
-                elif th.iterations >= max_iterations:
-                    th.stopped = True
-                release_core(th.core, t)
-                if plan and plan.is_down(tid, t):
-                    # The overhead span has positive width, so a crash whose
-                    # onset falls in (commit, release] is first seen here:
-                    # the update was published, but the thread dies before
-                    # requesting the core again.
-                    crash_wake(tid, t)
-                elif not th.stopped:
-                    # Injected sleeps happen off-core, before re-queueing.
-                    extra = self.delay.extra_time(tid, th.iterations, th.rng)
-                    if extra > 0:
-                        if trc is not None:
-                            trc.delay(t, tid, extra)
-                        queue.push(t + extra, (_REQUEST, tid))
+                    ]
+                    if len(elig) > 1:
+                        seg = np.concatenate(
+                            [data_seg[i] for i in elig]
+                        ) * x[np.concatenate([cols_seg[i] for i in elig])]
+                        off = 0
+                        row_cat = []
+                        for i in elig:
+                            row_cat.append(threads[i].rowid_local + off)
+                            off += r_buf[i].size
+                        rsum = np.bincount(
+                            np.concatenate(row_cat), weights=seg, minlength=off
+                        )
+                        off = 0
+                        for i in elig:
+                            rb = r_buf[i]
+                            np.subtract(
+                                b_seg[i], rsum[off : off + rb.size], out=rb
+                            )
+                            np.multiply(dinv_seg[i], rb, out=rb)
+                            np.add(x_seg[i], rb, out=pending_buf[i])
+                            off += rb.size
+                        relaxed = set(elig)
+                for tid in agents:
+                    th = threads[tid]
+                    if (delay_hung and self.delay.is_hung(tid, t)) or th.stopped:
+                        release_core(th.core, t)
+                        continue
+                    if has_plan and plan.is_down(tid, t):
+                        # Thread death: the chain ends here; a scripted
+                        # restart resumes from the then-current iterate.
+                        release_core(th.core, t)
+                        crash_wake(tid, t)
+                        continue
+                    # Read-to-write span: snapshot reads now, write at COMMIT.
+                    if relaxed is None or tid not in relaxed:
+                        relax(tid)
+                    if trace_rows:
+                        th.pending_reads = [
+                            {int(j): int(version[j]) for j in nbrs}
+                            for nbrs in th.neighbors_per_row
+                        ]
+                    if sigma > 0:
+                        st = streams[tid]
+                        jit = (
+                            st.next()
+                            if st is not None
+                            else float(th.rng.lognormal(0.0, sigma))
+                        )
+                        compute = compute_base[tid] * jit * slow[tid]
                     else:
-                        request_run(th, t)
+                        compute = compute_base[tid] * slow[tid]
+                    queue.push(t + compute, _COMMIT, tid)
+            elif kind == _COMMIT:
+                for tid in agents:
+                    th = threads[tid]
+                    if has_plan and plan.is_down(tid, t):
+                        # Died inside the read-to-write span: update lost.
+                        release_core(th.core, t)
+                        crash_wake(tid, t)
+                        continue
+                    lo, hi = th.lo, th.hi
+                    pb = pending_buf[tid]
+                    if one_row[tid]:
+                        pv = pb[0]
+                        if incremental:
+                            t0 = perf.tick() if perf is not None else 0.0
+                            d0 = pv - x[lo]
+                            x[lo] = pv
+                            scatter[tid].apply1(r_vec, d0)
+                            if perf is not None:
+                                perf.tock_spmv(t0)
+                        else:
+                            x[lo] = pv
+                    elif incremental:
+                        t0 = perf.tick() if perf is not None else 0.0
+                        np.subtract(pb, x_seg[tid], out=dx_buf[tid])
+                        x_seg[tid][:] = pb
+                        scatter[tid].apply(r_vec, dx_buf[tid])
+                        if perf is not None:
+                            perf.tock_spmv(t0)
+                    else:
+                        x_seg[tid][:] = pb
+                    th.iterations += 1
+                    relaxations += hi - lo
+                    t_end = t
+                    if trace_rows:
+                        if trc is not None and trc.trace_reads:
+                            # Staleness per row: how many commits behind the
+                            # freshest neighbor read was, measured pre-bump.
+                            stale = [
+                                max(
+                                    (int(version[j]) - ver for j, ver in reads.items()),
+                                    default=0,
+                                )
+                                for reads in th.pending_reads
+                            ]
+                            trc.relax(
+                                t, tid, range(lo, hi),
+                                reads=th.pending_reads, staleness=stale,
+                            )
+                        version[lo:hi] += 1
+                        if record_trace:
+                            for i, reads in zip(range(lo, hi), th.pending_reads):
+                                trace.record(i, t, reads)
+                    if trc is not None and not trc.trace_reads:
+                        trc.relax(t, tid, range(lo, hi))
+                    commits_since_obs += 1
+                    if commits_since_obs >= observe_every:
+                        commits_since_obs = 0
+                        t0 = perf.tick() if perf is not None else 0.0
+                        res = observe_residual()
+                        if perf is not None:
+                            perf.tock_residual(t0)
+                        times.append(t)
+                        residuals.append(res)
+                        counts.append(relaxations)
+                        if trc is not None:
+                            trc.observe(t, res, relaxations)
+                        if res < tol:
+                            converged = True
+                            if trc is not None:
+                                trc.convergence(t, res, tol)
+                            break
+                    # Post-span per-iteration overhead (norms, flags) still
+                    # occupies the core; the core frees at RELEASE.
+                    if sigma > 0:
+                        st = streams[tid]
+                        jit = (
+                            st.next()
+                            if st is not None
+                            else float(th.rng.lognormal(0.0, sigma))
+                        )
+                        overhead = ov_base * jit * slow[tid]
+                    else:
+                        overhead = ov_base * slow[tid]
+                    queue.push(t + overhead, _RELEASE, tid)
+                if converged:
+                    break
+            else:  # _RELEASE
+                for tid in agents:
+                    th = threads[tid]
+                    # Decide whether this thread keeps iterating.
+                    if run_until_all_reach:
+                        # The hard cap keeps the run finite if some thread
+                        # hangs (min would then never reach the target).
+                        if (
+                            min(tt.iterations for tt in threads) >= max_iterations
+                            or th.iterations >= hard_cap
+                        ):
+                            th.stopped = True
+                    elif th.iterations >= max_iterations:
+                        th.stopped = True
+                    release_core(th.core, t)
+                    if has_plan and plan.is_down(tid, t):
+                        # The overhead span has positive width, so a crash
+                        # whose onset falls in (commit, release] is first
+                        # seen here: the update was published, but the
+                        # thread dies before requesting the core again.
+                        crash_wake(tid, t)
+                    elif not th.stopped:
+                        # Injected sleeps happen off-core, before re-queueing.
+                        ce = const_extra[tid]
+                        extra = (
+                            ce
+                            if ce is not None
+                            else self.delay.extra_time(tid, th.iterations, th.rng)
+                        )
+                        if extra > 0:
+                            if trc is not None:
+                                trc.delay(t, tid, extra)
+                            queue.push(t + extra, _REQUEST, tid)
+                        else:
+                            request_run(th, t)
 
         # Final observation — only if a commit landed since the last one
         # (the dirty flag); otherwise the recorded history is already

@@ -1,0 +1,269 @@
+"""Event-engine unit tests: queue backends, jitter streams, allocations.
+
+The engine's contract is *bit-identity*: both queue backends must pop in
+exactly the reference heapq order (time, then insertion seq), and the
+chunked jitter streams must consume a generator exactly like the scalar
+draws they replace. These tests pin that contract down with randomized
+interleavings and direct draw-sequence comparisons.
+"""
+
+import heapq
+import math
+
+import numpy as np
+import pytest
+
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.runtime.distributed import DistributedJacobi
+from repro.runtime.engine import (
+    CalendarEventQueue,
+    HeapEventQueue,
+    JitterStream,
+    NormalStream,
+    PatternJitterStream,
+    make_event_queue,
+)
+from repro.util.errors import SimulationError
+
+BACKENDS = [HeapEventQueue, CalendarEventQueue]
+
+
+class _ReferenceQueue:
+    """Plain heapq of (time, seq) keys — the ordering oracle."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self.now = 0.0
+
+    def push(self, time, kind, agent, obj=None):
+        heapq.heappush(self._heap, (time, self._seq, kind, agent, obj))
+        self._seq += 1
+
+    def pop(self):
+        time, _, kind, agent, obj = heapq.heappop(self._heap)
+        self.now = time
+        return time, kind, agent, obj
+
+    def __len__(self):
+        return len(self._heap)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestQueueMatchesReference:
+    def test_randomized_interleavings(self, backend):
+        """Random push/pop schedules pop byte-for-byte like the oracle.
+
+        Times are drawn from a coarse grid so equal timestamps (seq
+        tie-breaks) occur constantly, and payloads are identity-checked.
+        """
+        rng = np.random.default_rng(42)
+        for trial in range(12):
+            q, ref = backend(), _ReferenceQueue()
+            for step in range(400):
+                if len(ref) == 0 or rng.random() < 0.6:
+                    t = ref.now + float(rng.integers(0, 12)) * 0.125
+                    kind = int(rng.integers(0, 4))
+                    agent = int(rng.integers(0, 8))
+                    obj = (trial, step)  # unique identity per event
+                    q.push(t, kind, agent, obj)
+                    ref.push(t, kind, agent, obj)
+                else:
+                    got, want = q.pop(), ref.pop()
+                    assert got == want
+                    assert got[3] is want[3]
+            while len(ref):
+                assert q.pop() == ref.pop()
+            assert len(q) == 0 and not q
+
+    def test_fifo_on_equal_times(self, backend):
+        q = backend()
+        for i in range(50):
+            q.push(1.0, 0, i)
+        assert [q.pop()[2] for _ in range(50)] == list(range(50))
+
+    def test_rejects_nan_time(self, backend):
+        q = backend()
+        with pytest.raises(SimulationError, match="NaN"):
+            q.push(float("nan"), 0, 0)
+        assert len(q) == 0
+
+    def test_rejects_past_time(self, backend):
+        q = backend()
+        q.push(2.0, 0, 0)
+        assert q.pop()[0] == 2.0
+        with pytest.raises(SimulationError):
+            q.push(1.0, 0, 0)
+        q.push(2.0, 0, 0)  # rescheduling at now is allowed
+        assert q.now == 2.0
+
+    def test_pop_empty_raises(self, backend):
+        with pytest.raises(SimulationError):
+            backend().pop()
+        with pytest.raises(SimulationError):
+            backend().pop_batch()
+
+    def test_pending_payloads_visibility(self, backend):
+        q = backend()
+        events = [(0.5 * i, i % 3, i, ("payload", i)) for i in range(20)]
+        for t, kind, agent, obj in events:
+            q.push(t, kind, agent, obj)
+        q.pop()  # consume the earliest
+        pending = sorted(q.pending_payloads(), key=lambda e: e[1])
+        assert pending == [(k, a, o) for _, k, a, o in events[1:]]
+
+    def test_pop_batch_equals_sequential_pops(self, backend):
+        rng = np.random.default_rng(7)
+        qa, qb = backend(), backend()
+        for step in range(300):
+            t = float(rng.integers(0, 20)) * 0.25
+            kind, agent = int(rng.integers(0, 2)), int(rng.integers(0, 6))
+            qa.push(t, kind, agent, step)
+            qb.push(t, kind, agent, step)
+        singles = [qa.pop() for _ in range(300)]
+        batched = []
+        while qb:
+            t, kind, agents, objs = qb.pop_batch()
+            assert len(agents) == len(objs) >= 1
+            batched.extend((t, kind, a, o) for a, o in zip(agents, objs))
+        assert batched == singles
+
+    def test_peek_time(self, backend):
+        q = backend()
+        assert q.peek_time() == float("inf")
+        q.push(3.0, 0, 0)
+        q.push(1.5, 0, 1)
+        assert q.peek_time() == 1.5
+        q.pop()
+        assert q.peek_time() == 3.0
+
+
+class TestCalendarInternals:
+    def test_growth_past_capacity(self):
+        q = CalendarEventQueue(capacity=16, n_buckets=4)
+        ref = _ReferenceQueue()
+        rng = np.random.default_rng(3)
+        for i in range(500):  # forces several _grow()/_rebuild() cycles
+            t = float(rng.random()) * 1e-3
+            q.push(t, 0, i)
+            ref.push(t, 0, i)
+        assert [q.pop() for _ in range(500)] == [ref.pop() for _ in range(500)]
+
+    def test_sparse_far_future_jump(self):
+        """Events many empty days ahead are found via the min-jump."""
+        q = CalendarEventQueue(n_buckets=4, bucket_width=1e-6)
+        q.push(0.0, 0, 0)
+        q.push(5.0, 1, 1)  # ~5e6 days later
+        q.push(9.0, 2, 2)
+        assert q.pop() == (0.0, 0, 0, None)
+        assert q.pop() == (5.0, 1, 1, None)
+        assert q.pop() == (9.0, 2, 2, None)
+
+    def test_infinite_time_sorts_last(self):
+        q = CalendarEventQueue()
+        q.push(float("inf"), 9, 0)
+        q.push(1.0, 0, 1)
+        assert q.pop()[2] == 1
+        assert q.pop() == (float("inf"), 9, 0, None)
+
+
+class TestMakeEventQueue:
+    def test_backend_selection(self):
+        assert isinstance(make_event_queue("heap"), HeapEventQueue)
+        assert isinstance(make_event_queue("calendar"), CalendarEventQueue)
+        assert isinstance(make_event_queue("auto", size_hint=2), HeapEventQueue)
+        assert isinstance(
+            make_event_queue("auto", size_hint=1 << 20), CalendarEventQueue
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            make_event_queue("fifo")
+
+
+class TestStreamsBitIdentical:
+    """Chunked streams must reproduce the scalar draw sequence exactly."""
+
+    def test_jitter_stream(self):
+        a, b = np.random.default_rng(5), np.random.default_rng(5)
+        st = JitterStream(a, 0.3, chunk=7)  # force mid-sequence refills
+        assert [st.next() for _ in range(40)] == [
+            float(b.lognormal(0.0, 0.3)) for _ in range(40)
+        ]
+
+    def test_normal_stream(self):
+        a, b = np.random.default_rng(5), np.random.default_rng(5)
+        st = NormalStream(a, chunk=7)
+        assert [math.exp(0.2 * st.next()) for _ in range(40)] == [
+            float(b.lognormal(0.0, 0.2)) for _ in range(40)
+        ]
+
+    def test_pattern_stream_mixed_sigmas(self):
+        pattern = [0.1, 0.25, 0.25, 0.05]
+        a, b = np.random.default_rng(11), np.random.default_rng(11)
+        st = PatternJitterStream(a, pattern, steps=6)  # several refills
+        for _ in range(50):
+            got = st.next_step()
+            want = [float(b.lognormal(0.0, s)) for s in pattern]
+            assert got == want
+
+
+class TestNoPerRelaxationConcatenate:
+    """The relax hot path must not rebuild ``local_x`` per relaxation.
+
+    The legacy loop called ``np.concatenate((x[rows], ghosts))`` for every
+    relaxation *and* every residual report; the engine writes into
+    preallocated per-rank buffers instead. Counting ``np.concatenate``
+    calls across two run lengths pins this down: any per-iteration use
+    would scale with ``max_iterations``, setup-only use would not.
+    """
+
+    def _concat_count(self, monkeypatch, max_iterations, legacy):
+        A = fd_laplacian_2d(8, 8)
+        b = np.random.default_rng(0).standard_normal(A.shape[0])
+        solver = DistributedJacobi(A, b, n_ranks=4, seed=1)
+        real, calls = np.concatenate, [0]
+
+        def counting(*args, **kwargs):
+            calls[0] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(np, "concatenate", counting)
+        try:
+            solver.run_async(
+                tol=1e-300, max_iterations=max_iterations, legacy_engine=legacy,
+                termination="detect", report_every=4,
+            )
+        finally:
+            monkeypatch.setattr(np, "concatenate", real)
+        return calls[0]
+
+    def test_engine_concatenate_is_setup_only(self, monkeypatch):
+        short = self._concat_count(monkeypatch, 8, legacy=False)
+        long = self._concat_count(monkeypatch, 32, legacy=False)
+        assert long == short  # O(ranks) setup, independent of iterations
+
+    def test_legacy_scales_with_iterations(self, monkeypatch):
+        # The oracle still concatenates per relaxation — the contrast that
+        # makes the test above meaningful.
+        short = self._concat_count(monkeypatch, 8, legacy=True)
+        long = self._concat_count(monkeypatch, 32, legacy=True)
+        assert long > short + 48
+
+    def test_peak_memory_does_not_scale_with_iterations(self):
+        import tracemalloc
+
+        A = fd_laplacian_2d(8, 8)
+        b = np.random.default_rng(0).standard_normal(A.shape[0])
+
+        def peak(iters):
+            solver = DistributedJacobi(A, b, n_ranks=4, seed=1)
+            solver.run_async(tol=1e-300, max_iterations=8)  # warm imports/caches
+            tracemalloc.start()
+            solver.run_async(tol=1e-300, max_iterations=iters)
+            _, p = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return p
+
+        lo, hi = peak(8), peak(128)
+        assert hi < 2 * lo + 65536

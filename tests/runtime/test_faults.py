@@ -483,14 +483,22 @@ class TestSharedMemoryFaults:
 
 
 def _dedup_crashes(events):
-    """Drop events that collide (same agent crashing while already down)."""
+    """Drop events that collide (same agent crashing while already down).
+
+    A crash is kept only if its down-window overlaps *no* previously kept
+    window for that agent — FaultPlan rejects any pair where the earlier
+    crash restarts after the later one begins.
+    """
     out, down = [], {}
     for ev in events:
         if isinstance(ev, RankCrash):
-            lo, hi = down.get(ev.agent, (None, None))
-            if lo is not None and not (ev.restart_time <= lo or ev.at >= hi):
+            windows = down.setdefault(ev.agent, [])
+            if any(
+                not (ev.restart_time <= lo or ev.at >= hi)
+                for lo, hi in windows
+            ):
                 continue
-            down[ev.agent] = (ev.at, ev.restart_time)
+            windows.append((ev.at, ev.restart_time))
         out.append(ev)
     return out
 
