@@ -1,0 +1,67 @@
+"""Throughput of the chaos campaign engine (``benchmarks/results/chaos.json``).
+
+Runs the fixed smoke campaign (seed 0, 25 scenarios — the same one the CI
+``chaos-smoke`` job executes) against a fresh temporary cache twice:
+
+* **cold** — the full generate -> build -> simulate -> judge path for every
+  scenario, from which ``scenarios_per_second`` is derived;
+* **warm** — a pure cache replay of the identical campaign, giving the
+  ``cache_speedup`` ratio ``compare.py`` gates (both measurements come from
+  the same host in the same run, so the ratio is machine-independent).
+
+Both runs must produce identical verdicts: verdicts carry no wall-clock
+data, so a cached replay is byte-equal to a fresh evaluation.
+"""
+
+import tempfile
+import time
+
+from conftest import publish_json, run_once
+
+from repro.chaos import run_campaign
+from repro.perf.cache import ExperimentCache, code_version
+
+#: Mirrors the CI chaos-smoke invocation (python -m repro chaos --budget 25).
+BUDGET = 25
+SEED = 0
+
+
+def _wall(fn, reps=1):
+    """Best wall-clock of ``reps`` runs plus the last return value."""
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_campaign_throughput(benchmark):
+    """Cold campaign throughput and warm cache-replay speedup."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ExperimentCache(root=tmp)
+        campaign = lambda: run_campaign(BUDGET, seed=SEED, cache=cache)  # noqa: E731
+        t_cold, cold = _wall(campaign)
+        t_warm, warm = _wall(campaign, reps=5)
+        run_once(benchmark, campaign)
+    assert cold.ok, f"smoke campaign must be clean: {cold.failing_ids}"
+    assert cold.verdicts == warm.verdicts  # replay is byte-stable
+    assert cache.hits >= 6 * BUDGET  # five warm reps plus the timed run
+    publish_json(
+        "chaos",
+        {
+            "campaign": {
+                "budget": BUDGET,
+                "seed": SEED,
+                "cold_seconds": t_cold,
+                "scenarios_per_second": BUDGET / t_cold,
+                # Warm replay is a pure cache read; publish it in ms and
+                # gate only the cold/warm ratio, which both comes from one
+                # host and is large enough to survive timer noise.
+                "warm_millis": t_warm * 1e3,
+                "cache_speedup": t_cold / t_warm,
+            },
+            "meta": {"code_version": code_version()},
+        },
+    )

@@ -5,6 +5,7 @@ Usage::
     python -m repro list                 # show available experiments
     python -m repro table1 fig3 fig6     # run specific experiments
     python -m repro all                  # run everything (several minutes)
+    python -m repro chaos --budget 200   # adversarial property fuzzing
     python -m repro --no-cache fig3      # ignore the on-disk result cache
     python -m repro --profile fig3       # profile the run, dump profile.pstats
 
@@ -17,12 +18,20 @@ top-20 hot spots by cumulative time, and writes the full profile to
 implies ``--no-cache`` so the experiment actually runs. See
 docs/performance.md.
 
+``chaos`` runs the property-fuzzing campaign (:mod:`repro.chaos`): generate
+``--budget`` deterministic adversarial scenarios from ``--seed``, run each
+through the cached parallel runner, check Theorem-1 monotonicity, liveness,
+finiteness, telemetry and batch-identity, optionally ``--shrink`` failures
+to minimal corpus reproducers, and write a JSONL ``--report``. See
+docs/chaos.md.
+
 Each experiment prints the same rows/series the paper's table or figure
 reports (see EXPERIMENTS.md for the paper-vs-measured comparison).
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 
@@ -60,6 +69,35 @@ EXPERIMENTS = {
     "trace": trace,
 }
 
+#: ``list`` output groups experiments by what part of the repo they exercise.
+GROUPS = (
+    ("paper tables & figures", (
+        "table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+        "fig6", "fig7", "fig8", "fig9",
+    )),
+    ("parameter studies", ("ablations", "seeds")),
+    ("subsystem scenarios", ("faults", "trace")),
+)
+
+
+def _one_liner(mod, width: int = 70) -> str:
+    """First docstring line of an experiment module, truncated."""
+    doc = (mod.__doc__ or "").strip().splitlines()
+    line = doc[0].strip() if doc else ""
+    return line if len(line) <= width else line[: width - 1] + "…"
+
+
+def _print_listing() -> None:
+    print(__doc__)
+    print("available experiments:")
+    for title, names in GROUPS:
+        print(f"  {title}:")
+        for name in names:
+            print(f"    {name:<12}{_one_liner(EXPERIMENTS[name])}")
+    print("  tools:")
+    print(f"    {'chaos':<12}adversarial scenario fuzzing with property checks"
+          " (--budget N [--seed S] [--shrink])")
+
 
 def _run(names) -> None:
     for name in names:
@@ -67,6 +105,46 @@ def _run(names) -> None:
         print(f"=== {name} " + "=" * max(0, 66 - len(name)))
         print(mod.format_report(mod.run()))
         print()
+
+
+def _chaos_main(args) -> int:
+    """The ``chaos`` subcommand: run a campaign, report, set exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Adversarial scenario fuzzing with property checks.",
+    )
+    parser.add_argument("--budget", type=int, default=100,
+                        help="number of scenarios to generate (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="minimize failing scenarios and archive corpus "
+                             "reproducers")
+    parser.add_argument("--report", default="chaos_report.jsonl",
+                        help="JSONL campaign report path "
+                             "(default chaos_report.jsonl)")
+    opts = parser.parse_args(args)
+    if opts.budget < 0:
+        print("--budget must be nonnegative", file=sys.stderr)
+        return 2
+
+    from repro.chaos import run_campaign
+
+    summary = run_campaign(
+        opts.budget,
+        seed=opts.seed,
+        shrink=opts.shrink,
+        report_path=opts.report,
+        log=print,
+    )
+    if not summary.ok:
+        print(
+            f"chaos: FAILED — {summary.failed}/{summary.budget} scenario(s) "
+            f"violated properties: {summary.to_json()['summary']['by_property']}"
+        )
+        return 1
+    print(f"chaos: OK — {summary.passed}/{summary.budget} scenario(s) clean")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -79,9 +157,10 @@ def main(argv=None) -> int:
     if "--no-cache" in args:
         args = [a for a in args if a != "--no-cache"]
         os.environ["REPRO_NO_CACHE"] = "1"
+    if args and args[0] == "chaos":
+        return _chaos_main(args[1:])
     if not args or args == ["list"]:
-        print(__doc__)
-        print("available experiments:", ", ".join(EXPERIMENTS), sep="\n  ")
+        _print_listing()
         return 0
     names = list(EXPERIMENTS) if args == ["all"] else args
     unknown = [a for a in names if a not in EXPERIMENTS]

@@ -1,0 +1,56 @@
+"""Chaos campaign: scenario fuzzing with property checks and shrinking.
+
+The chaos subsystem composes everything the repo already knows how to
+simulate — :class:`~repro.faults.FaultPlan` events, the injected-delay
+models of :mod:`repro.runtime.delays`, the matrix families of
+:mod:`repro.matrices`, the schedule families of
+:mod:`repro.core.schedules`, both machine simulators and the batched model
+executor — into a deterministic generator of adversarial scenarios, runs
+every scenario through the cached parallel runner
+(:func:`repro.perf.runner.run_cells`), and checks each run against the
+properties the paper promises:
+
+* **theorem1** — the residual 1-norm never increases when the captured
+  interleaving is replayed through the propagation-matrix model (the
+  :mod:`repro.observability.replay` bridge for simulator runs, the direct
+  residual history for exact-information model runs);
+* **liveness** — the run terminates and every agent that could make
+  progress did (no silently stalled or livelocked agents);
+* **finiteness** — no NaN/inf ever reaches the iterate or the residual
+  history;
+* **telemetry** — :class:`~repro.runtime.results.FaultTelemetry` counters
+  agree with the structured trace-event stream, counter by counter;
+* **batch-identity** — the batched model executor stays bit-identical to
+  the sequential executor, trial by trial.
+
+When a scenario fails, the shrinker (:mod:`repro.chaos.shrink`) greedily
+minimizes it — dropping fault events, zeroing windows, shrinking the
+matrix and the agent count — to a minimal reproducer that is archived as a
+plain-JSON spec under ``tests/chaos/corpus/`` and replayed forever after
+by the corpus regression test.
+
+Entry point: ``python -m repro chaos --budget N [--seed S] [--shrink]``.
+See docs/chaos.md for the generator space, the property definitions and
+the corpus workflow.
+"""
+
+from repro.chaos.campaign import CampaignSummary, run_campaign
+from repro.chaos.generator import generate_spec, generate_specs
+from repro.chaos.harness import ChaosSpecError, build_scenario, run_scenario
+from repro.chaos.mutations import MUTATIONS, mutation_context
+from repro.chaos.shrink import archive_reproducer, load_reproducer, shrink_spec
+
+__all__ = [
+    "CampaignSummary",
+    "ChaosSpecError",
+    "MUTATIONS",
+    "archive_reproducer",
+    "build_scenario",
+    "generate_spec",
+    "generate_specs",
+    "load_reproducer",
+    "mutation_context",
+    "run_campaign",
+    "run_scenario",
+    "shrink_spec",
+]

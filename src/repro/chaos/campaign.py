@@ -1,0 +1,153 @@
+"""Campaign driver: generate, run, judge, shrink, archive, report.
+
+:func:`run_campaign` is what ``python -m repro chaos`` calls: it generates
+``budget`` scenario specs from a seed, fans them through the cached
+parallel runner (:func:`repro.perf.runner.run_cells` — re-running a
+campaign with the same seed is nearly free), tallies the verdicts, and —
+with ``shrink=True`` — minimizes each failing scenario and archives the
+reproducer in the corpus. The JSONL report has one line per scenario
+(spec + verdict, in campaign order) and a final ``summary`` line, so a CI
+artifact is greppable without any repro code.
+
+Verdicts carry no wall-clock data, so two campaigns with the same seed and
+budget produce byte-identical reports (minus the report's own path) —
+that determinism is itself asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.chaos.generator import generate_specs
+from repro.chaos.harness import run_scenario
+from repro.chaos.shrink import archive_reproducer, shrink_spec
+from repro.perf.runner import run_cells
+
+#: Default corpus location when run from a repo checkout.
+DEFAULT_CORPUS = Path("tests/chaos/corpus")
+
+
+@dataclass
+class CampaignSummary:
+    """Tallied outcome of one chaos campaign."""
+
+    seed: int
+    budget: int
+    passed: int = 0
+    failed: int = 0
+    by_property: dict = field(default_factory=dict)
+    failing_ids: list = field(default_factory=list)
+    shrunk: list = field(default_factory=list)
+    verdicts: list = field(default_factory=list)
+    specs: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every scenario passed every property."""
+        return self.failed == 0
+
+    def to_json(self) -> dict:
+        """The report's final summary line (plain data)."""
+        return {
+            "summary": {
+                "seed": self.seed,
+                "budget": self.budget,
+                "passed": self.passed,
+                "failed": self.failed,
+                "by_property": dict(sorted(self.by_property.items())),
+                "failing_ids": self.failing_ids,
+                "shrunk": [str(p) for p in self.shrunk],
+            }
+        }
+
+
+def _default_corpus_dir() -> Path:
+    return DEFAULT_CORPUS if DEFAULT_CORPUS.is_dir() else Path("chaos_corpus")
+
+
+def run_campaign(
+    budget: int,
+    seed: int = 0,
+    *,
+    shrink: bool = False,
+    report_path=None,
+    corpus_dir=None,
+    cache=None,
+    use_cache: bool = True,
+    max_workers: int | None = None,
+    mutation: str | None = None,
+    max_shrinks: int = 5,
+    log=None,
+) -> CampaignSummary:
+    """Run a chaos campaign and return its tallied summary.
+
+    Parameters
+    ----------
+    budget, seed
+        How many scenarios, and which deterministic stream of them.
+    shrink
+        Minimize up to ``max_shrinks`` failing scenarios and archive each
+        reproducer under ``corpus_dir`` (default ``tests/chaos/corpus``
+        when present, else ``./chaos_corpus``).
+    report_path
+        Where to write the JSONL report; ``None`` skips the file.
+    cache, use_cache, max_workers
+        Forwarded to :func:`repro.perf.runner.run_cells`.
+    mutation
+        Name from :data:`repro.chaos.mutations.MUTATIONS` injected into
+        every spec — used by tests to prove the campaign catches bugs.
+    log
+        Optional ``print``-like callable for progress lines.
+    """
+    say = log if log is not None else (lambda *_: None)
+    specs = generate_specs(seed, budget)
+    if mutation is not None:
+        for spec in specs:
+            spec["mutation"] = mutation
+    say(f"chaos: running {len(specs)} scenario(s), seed={seed}")
+    verdicts = run_cells(
+        run_scenario,
+        specs,
+        cache=cache,
+        use_cache=use_cache,
+        max_workers=max_workers,
+    )
+    summary = CampaignSummary(seed=int(seed), budget=int(budget))
+    summary.specs = specs
+    summary.verdicts = verdicts
+    for verdict in verdicts:
+        if verdict["ok"]:
+            summary.passed += 1
+        else:
+            summary.failed += 1
+            summary.failing_ids.append(verdict["id"])
+            for failure in verdict["failures"]:
+                prop = failure["property"]
+                summary.by_property[prop] = summary.by_property.get(prop, 0) + 1
+    say(f"chaos: {summary.passed} passed, {summary.failed} failed")
+
+    if shrink and summary.failed:
+        corpus = Path(corpus_dir) if corpus_dir is not None else _default_corpus_dir()
+        for spec, verdict in zip(specs, verdicts):
+            if verdict["ok"] or len(summary.shrunk) >= max_shrinks:
+                continue
+            say(f"chaos: shrinking {verdict['id']} ...")
+            result = shrink_spec(spec, verdict)
+            path = archive_reproducer(result["spec"], result["verdict"], corpus)
+            summary.shrunk.append(path)
+            say(
+                f"chaos: shrunk to {result['events']} fault event(s) in "
+                f"{result['runs']} runs -> {path}"
+            )
+
+    if report_path is not None:
+        lines = [
+            json.dumps({"spec": spec, "verdict": verdict}, sort_keys=True)
+            for spec, verdict in zip(specs, verdicts)
+        ]
+        lines.append(json.dumps(summary.to_json(), sort_keys=True))
+        Path(report_path).write_text("\n".join(lines) + "\n")
+        say(f"chaos: report -> {report_path}")
+    return summary

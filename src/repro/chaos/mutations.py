@@ -1,0 +1,70 @@
+"""Seeded bugs for validating that the campaign actually catches things.
+
+A *mutation* deliberately breaks one invariant the property harness
+checks, by patching an emission point for the duration of one scenario
+run. The mutation's name travels inside the scenario spec (key
+``"mutation"``), so :func:`repro.perf.runner.run_cells` caches mutated and
+clean verdicts under different keys, and an archived reproducer records
+exactly which bug it reproduces.
+
+The end-to-end test in ``tests/chaos/test_mutation.py`` runs a campaign
+under a mutation, asserts the harness flags it, shrinks a failing scenario
+to a minimal reproducer, and replays the archived spec — the same loop a
+real engine bug would travel.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.observability.tracer import Tracer
+
+
+@contextmanager
+def _patch(cls, name, replacement):
+    original = getattr(cls, name)
+    setattr(cls, name, replacement)
+    try:
+        yield
+    finally:
+        setattr(cls, name, original)
+
+
+def _silent_fault_trace():
+    """Swallow fault events: telemetry counts faults the trace never saw."""
+
+    def fault(self, time, agent, reason, **extra):
+        return None
+
+    return _patch(Tracer, "fault", fault)
+
+
+def _silent_observe_trace():
+    """Swallow observe events: the residual history outruns the trace."""
+
+    def observe(self, time, residual, relaxations):
+        return None
+
+    return _patch(Tracer, "observe", observe)
+
+
+#: Registry of available seeded bugs, by the name specs carry.
+MUTATIONS = {
+    "silent_fault_trace": _silent_fault_trace,
+    "silent_observe_trace": _silent_observe_trace,
+}
+
+
+@contextmanager
+def mutation_context(name: str | None):
+    """Apply the named mutation for the duration of the block.
+
+    ``None`` (the default for generated specs) is a no-op; an unknown name
+    raises ``KeyError`` loudly — a corpus entry naming a mutation that no
+    longer exists should fail, not silently pass.
+    """
+    if name is None:
+        yield
+        return
+    with MUTATIONS[name]():
+        yield

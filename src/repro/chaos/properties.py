@@ -1,0 +1,268 @@
+"""Property checks the chaos harness runs against every scenario.
+
+Each check returns a list of *violation* dicts ``{"property": name,
+"detail": human-readable string}`` — empty when the property holds. The
+names are stable identifiers (they key the shrinker's "does the candidate
+still fail the same way" test and the corpus filenames):
+
+``theorem1``
+    Theorem 1's residual non-increase. For simulator runs the captured
+    trace is replayed through the propagation-matrix model via
+    :func:`repro.observability.replay.replay_report` (the reconstructed
+    application order must be valid and its residual 1-norm monotone
+    non-increasing); for exact-information model runs the recorded
+    residual history is checked directly, up to the same float slack the
+    replay bridge uses.
+``liveness``
+    The run terminated with a finite clock and non-empty history, every
+    agent that was never scripted dead or hung made progress, and a
+    non-converged count-terminated run actually exhausted its iteration
+    budget (a rank that silently stalls below budget is a livelock, not a
+    legitimate finish).
+``finiteness``
+    No NaN or infinity in the final iterate or the residual history.
+``telemetry``
+    :class:`~repro.runtime.results.FaultTelemetry` counters agree with the
+    structured trace-event stream: every counted put/drop/corruption/
+    retry/restart/detection has its event and vice versa (see
+    :func:`check_telemetry` for the exact ledger).
+``batch_identity``
+    The batched model executor's per-trial histories and final iterates
+    are bit-identical to sequential :class:`~repro.core.model.AsyncJacobiModel`
+    runs of the same trials.
+``no_crash``
+    The executor raised no exception (recorded by the harness, not here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.observability import events as ev
+from repro.observability.replay import replay_report
+
+#: Float slack for the residual non-increase checks — matches the replay
+#: bridge's defaults (one recomputation's rounding noise).
+RTOL = 1e-9
+ATOL = 1e-13
+
+
+def _violation(prop: str, detail: str) -> dict:
+    return {"property": prop, "detail": detail}
+
+
+def check_theorem1_replay(events, A, b, omega: float) -> list:
+    """Replay a captured simulator trace and check residual non-increase."""
+    report = replay_report(events, A, b, omega=omega, rtol=RTOL, atol=ATOL)
+    out = []
+    if not report.valid_sequence:
+        out.append(
+            _violation(
+                "theorem1",
+                "reconstructed application order is not a valid schedule",
+            )
+        )
+    elif not report.monotone:
+        step, before, after = report.violations[0]
+        out.append(
+            _violation(
+                "theorem1",
+                f"residual rose at replayed step {step}: {before:.6e} -> "
+                f"{after:.6e} ({len(report.violations)} violating step(s))",
+            )
+        )
+    return out
+
+
+def check_theorem1_history(residual_norms) -> list:
+    """Direct non-increase check on an exact-information residual history."""
+    for k in range(1, len(residual_norms)):
+        before, after = residual_norms[k - 1], residual_norms[k]
+        if after > before * (1.0 + RTOL) + ATOL:
+            return [
+                _violation(
+                    "theorem1",
+                    f"residual rose at step {k}: {before:.6e} -> {after:.6e}",
+                )
+            ]
+    return []
+
+
+def check_finiteness(x, residual_norms) -> list:
+    """No NaN/inf in the final iterate or the residual history."""
+    out = []
+    if not np.all(np.isfinite(x)):
+        bad = int(np.flatnonzero(~np.isfinite(np.asarray(x)))[0])
+        out.append(_violation("finiteness", f"non-finite iterate entry at row {bad}"))
+    res = np.asarray(list(residual_norms), dtype=float)
+    if res.size and not np.all(np.isfinite(res)):
+        k = int(np.flatnonzero(~np.isfinite(res))[0])
+        out.append(_violation("finiteness", f"non-finite residual at observation {k}"))
+    return out
+
+
+def check_liveness(
+    result,
+    plan,
+    *,
+    exempt_agents=frozenset(),
+    termination: str = "count",
+    eager: bool = False,
+    eager_may_starve: bool = False,
+    max_iterations: int = 0,
+) -> list:
+    """Termination and progress invariants for a simulator run.
+
+    ``exempt_agents`` are agents a delay model may legitimately hang;
+    agents with scripted crashes are exempted automatically (a crash can
+    land before the first commit, and a permanent one stops the agent's
+    iteration count wherever it stood).
+
+    ``eager_may_starve`` marks scenarios where an eager rank can park
+    forever through no engine fault: its wake-up message was dropped,
+    severed by a partition, or never sent by a hung/dead sender that
+    failure detection cannot confirm dead. Budget exhaustion is only
+    demanded of eager runs on loss-free scenarios.
+    """
+    out = []
+    if not np.isfinite(result.total_time) or result.total_time < 0:
+        out.append(
+            _violation("liveness", f"non-finite end time {result.total_time!r}")
+        )
+    if len(result.residual_norms) == 0:
+        out.append(_violation("liveness", "empty residual history"))
+        return out
+    iters = np.asarray(result.iterations)
+    exempt = set(int(a) for a in exempt_agents) | set(plan.agents())
+    live = [a for a in range(iters.size) if a not in exempt]
+    stalled = [a for a in live if iters[a] == 0]
+    if stalled:
+        out.append(
+            _violation(
+                "liveness",
+                f"agent(s) {stalled} never relaxed despite no scripted "
+                "crash or hang",
+            )
+        )
+    if not result.converged and termination == "count" and live:
+        live_iters = iters[live]
+        if eager:
+            # Eager ranks may legitimately starve once their senders stop;
+            # on a loss-free scenario the run can still only wind down
+            # after someone spent the budget.
+            if not eager_may_starve and live_iters.max() < max_iterations:
+                out.append(
+                    _violation(
+                        "liveness",
+                        "non-converged eager run ended with every healthy "
+                        f"rank below budget (max {int(live_iters.max())} < "
+                        f"{max_iterations}) — livelocked/estalled ranks",
+                    )
+                )
+        elif live_iters.min() < max_iterations:
+            out.append(
+                _violation(
+                    "liveness",
+                    "non-converged run ended with healthy agent(s) below "
+                    f"the iteration budget (min {int(live_iters.min())} < "
+                    f"{max_iterations})",
+                )
+            )
+    return out
+
+
+def _count(events, kind: str, **match) -> int:
+    n = 0
+    for e in events:
+        if e.kind != kind:
+            continue
+        if all(e.data.get(k) == v for k, v in match.items()):
+            n += 1
+    return n
+
+
+def check_telemetry(
+    events,
+    telemetry,
+    *,
+    plan_has_crashes: bool,
+    duplicates_possible: bool = False,
+    history_len: int = 0,
+) -> list:
+    """FaultTelemetry counters must agree with the trace-event stream.
+
+    The ledger (for a run traced with a live tracer):
+
+    * ``send`` events = ``puts_sent + retries`` (every transmission —
+      first send or retransmit — is traced once);
+    * ``recv`` events = ``puts_delivered`` (an event is emitted exactly
+      when a put is applied);
+    * ``fault(put_corrupted)`` events = ``puts_corrupted``;
+    * ``fault(put_dropped)`` events = ``puts_dropped`` — except that a put
+      landing at a crashed rank is counted dropped but has no traceable
+      sender-side incident, so with scripted crashes the event count may
+      only fall short, never exceed;
+    * ``fault(restart)`` events = ``len(restarts)``;
+    * ``fault(retry_exhausted)`` events = ``retry_budget_exhausted``;
+    * ``detect`` events with status dead/alive/adopted =
+      ``len(failures_detected)`` / ``len(recoveries)`` / ``len(adoptions)``;
+    * conservation: every put is delivered, dropped, corrupted or
+      suppressed at most once, so (without duplicate injection)
+      ``delivered + dropped + corrupted + suppressed <= sent + retries``;
+    * ``observe`` events = residual observations after the initial one.
+    """
+    tm = telemetry
+    out = []
+
+    def expect(name, got, want, exact=True):
+        if (got != want) if exact else (got > want):
+            rel = "!=" if exact else ">"
+            out.append(
+                _violation(
+                    "telemetry", f"{name}: events {got} {rel} telemetry {want}"
+                )
+            )
+
+    expect("puts_sent+retries vs send", _count(events, ev.SEND), tm.puts_sent + tm.retries)
+    expect("puts_delivered vs recv", _count(events, ev.RECV), tm.puts_delivered)
+    expect(
+        "puts_corrupted vs fault(put_corrupted)",
+        _count(events, ev.FAULT, reason="put_corrupted"),
+        tm.puts_corrupted,
+    )
+    expect(
+        "puts_dropped vs fault(put_dropped)",
+        _count(events, ev.FAULT, reason="put_dropped"),
+        tm.puts_dropped,
+        exact=not plan_has_crashes,
+    )
+    expect("restarts vs fault(restart)", _count(events, ev.FAULT, reason="restart"),
+           len(tm.restarts))
+    expect(
+        "retry_budget_exhausted vs fault(retry_exhausted)",
+        _count(events, ev.FAULT, reason="retry_exhausted"),
+        tm.retry_budget_exhausted,
+    )
+    expect("failures_detected vs detect(dead)",
+           _count(events, ev.DETECT, status="dead"), len(tm.failures_detected))
+    expect("recoveries vs detect(alive)",
+           _count(events, ev.DETECT, status="alive"), len(tm.recoveries))
+    expect("adoptions vs detect(adopted)",
+           _count(events, ev.DETECT, status="adopted"), len(tm.adoptions))
+    if not duplicates_possible:
+        applied = (
+            tm.puts_delivered + tm.puts_dropped + tm.puts_corrupted
+            + tm.duplicates_suppressed
+        )
+        sent = tm.puts_sent + tm.retries
+        if applied > sent:
+            out.append(
+                _violation(
+                    "telemetry",
+                    f"conservation: {applied} puts accounted for at receivers "
+                    f"but only {sent} transmissions",
+                )
+            )
+    if history_len:
+        expect("observations vs observe", _count(events, ev.OBSERVE), history_len - 1)
+    return out

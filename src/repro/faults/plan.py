@@ -73,6 +73,13 @@ class Crash:
             return float("inf")
         return self.at + self.restart_after
 
+    def to_spec(self) -> dict:
+        """The :meth:`FaultPlan.from_spec` dict describing this event."""
+        spec = {"kind": "crash", "agent": self.agent, "at": self.at}
+        if self.restart_after is not None:
+            spec["restart_after"] = self.restart_after
+        return spec
+
 
 #: Aliases matching the two simulators' vocabularies.
 RankCrash = Crash
@@ -103,6 +110,15 @@ class PartitionWindow:
             return False
         return (src in self.group) != (dst in self.group)
 
+    def to_spec(self) -> dict:
+        """The :meth:`FaultPlan.from_spec` dict describing this event."""
+        return {
+            "kind": "partition",
+            "group": sorted(self.group),
+            "start": self.start,
+            "duration": self.duration,
+        }
+
 
 @dataclass(frozen=True)
 class DropBurst:
@@ -129,6 +145,18 @@ class DropBurst:
         if not self.start <= t < self.start + self.duration:
             return False
         return self.agents is None or src in self.agents
+
+    def to_spec(self) -> dict:
+        """The :meth:`FaultPlan.from_spec` dict describing this event."""
+        spec = {
+            "kind": "corrupt" if isinstance(self, CorruptBurst) else "drop",
+            "start": self.start,
+            "duration": self.duration,
+            "probability": self.probability,
+        }
+        if self.agents is not None:
+            spec["agents"] = sorted(self.agents)
+        return spec
 
 
 @dataclass(frozen=True)
@@ -250,6 +278,17 @@ class FaultPlan:
         return 1.0 - keep
 
     # -- construction helpers -------------------------------------------
+    #: Keys each DSL kind accepts (crash additionally takes exactly one of
+    #: the agent aliases). Anything else in an entry is an error, never
+    #: silently discarded — a typo like ``"restart_afer"`` must not turn a
+    #: transient crash into a permanent one.
+    _SPEC_KEYS = {
+        "crash": frozenset({"agent", "rank", "thread", "at", "restart_after"}),
+        "partition": frozenset({"group", "start", "duration"}),
+        "drop": frozenset({"start", "duration", "probability", "agents"}),
+        "corrupt": frozenset({"start", "duration", "probability", "agents"}),
+    }
+
     @classmethod
     def from_spec(cls, spec, seed=None) -> "FaultPlan":
         """Build a plan from the dict-based DSL (see the module docstring).
@@ -258,12 +297,28 @@ class FaultPlan:
         ``rank`` or ``thread``, ``at``, optional ``restart_after``),
         ``"partition"`` (``group``, ``start``, ``duration``), ``"drop"`` /
         ``"corrupt"`` (``start``, ``duration``, ``probability``, optional
-        ``agents``).
+        ``agents``). Unknown keys in an entry are rejected.
         """
         events = []
         for entry in spec:
+            if not isinstance(entry, dict):
+                raise FaultPlanError(
+                    f"fault spec entries must be dicts, got {entry!r}"
+                )
             entry = dict(entry)
             kind = entry.pop("kind", None)
+            allowed = cls._SPEC_KEYS.get(kind)
+            if allowed is None:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r}; expected crash, partition, "
+                    "drop or corrupt"
+                )
+            unknown = sorted(set(entry) - allowed)
+            if unknown:
+                raise FaultPlanError(
+                    f"unknown key(s) {unknown} in {kind!r} entry; allowed: "
+                    f"{sorted(allowed)}"
+                )
             try:
                 if kind == "crash":
                     keys = [k for k in ("agent", "rank", "thread") if k in entry]
@@ -280,16 +335,23 @@ class FaultPlan:
                     events.append(PartitionWindow(group=frozenset(entry.pop("group")), **entry))
                 elif kind == "drop":
                     events.append(DropBurst(**entry))
-                elif kind == "corrupt":
-                    events.append(CorruptBurst(**entry))
                 else:
-                    raise FaultPlanError(
-                        f"unknown fault kind {kind!r}; expected crash, partition, "
-                        "drop or corrupt"
-                    )
+                    events.append(CorruptBurst(**entry))
             except TypeError as exc:  # bad/missing dataclass fields
                 raise FaultPlanError(f"malformed {kind!r} entry: {exc}") from exc
         return cls(events, seed=seed)
+
+    def to_spec(self) -> list:
+        """The lossless inverse of :meth:`from_spec`: one dict per event.
+
+        The returned list is plain JSON data (event order preserved), so a
+        plan — a shrunk chaos reproducer, say — can be archived to disk and
+        reloaded without importing the event classes:
+        ``FaultPlan.from_spec(plan.to_spec(), seed=plan.seed)`` rebuilds an
+        equivalent plan (``seed`` is carried by the plan object, not the
+        event list).
+        """
+        return [ev.to_spec() for ev in self.events]
 
     def describe(self) -> str:
         """Multi-line human-readable digest of the scripted scenario."""

@@ -1398,7 +1398,16 @@ class DistributedJacobi:
                     transmit(ch, seq, rec, t)
                     continue
                 if kind == _HEARTBEAT:
-                    if hb_stopped or rk.stopped or down(rid, t):
+                    # A delay-model hang silences the rank's heartbeat chain
+                    # too — a hung process cannot beat, which is exactly how
+                    # the detector learns it is gone. Plan crashes revive the
+                    # chain at _RESTART; delay hangs are permanent.
+                    if (
+                        hb_stopped
+                        or rk.stopped
+                        or down(rid, t)
+                        or (may_hang and self.delay.is_hung(rid, t))
+                    ):
                         hb_chain_alive[rid] = False
                         continue
                     tm.heartbeats_sent += 1
@@ -1439,6 +1448,7 @@ class DistributedJacobi:
                         other.stopped
                         or plan.down_forever(other.rank, t)
                         or idle[other.rank]
+                        or (may_hang and self.delay.is_hung(other.rank, t))
                         for other in ranks
                     )
                     if quiescent and any(idle):

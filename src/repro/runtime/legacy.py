@@ -878,7 +878,16 @@ def distributed_run_async(
             transmit(ch, seq, rec, t)
             continue
         if kind == _HEARTBEAT:
-            if hb_stopped or rk.stopped or down(rid, t):
+            # A delay-model hang silences the heartbeat chain too — a hung
+            # process cannot beat, which is how the detector learns it is
+            # gone. Plan crashes revive the chain at _RESTART; delay hangs
+            # are permanent.
+            if (
+                hb_stopped
+                or rk.stopped
+                or down(rid, t)
+                or sim.delay.is_hung(rid, t)
+            ):
                 hb_chain_alive[rid] = False
                 continue
             tm.heartbeats_sent += 1
@@ -921,6 +930,7 @@ def distributed_run_async(
                 other.stopped
                 or plan.down_forever(other.rank, t)
                 or idle[other.rank]
+                or sim.delay.is_hung(other.rank, t)
                 for other in ranks
             )
             if quiescent and any(idle):

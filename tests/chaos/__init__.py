@@ -1,0 +1,1 @@
+"""The chaos campaign: generator, harness, shrinker, mutations, corpus."""

@@ -1,0 +1,157 @@
+"""The property harness: builders, verdicts, and spec-error taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosSpecError, build_scenario, generate_spec, run_scenario
+from repro.chaos.harness import agent_labels, build_delay, build_schedule
+from repro.chaos.properties import (
+    check_finiteness,
+    check_liveness,
+    check_theorem1_history,
+)
+from repro.runtime.delays import NO_DELAY, HangDelay
+
+
+def _spec_for(executor, budget=40, seed=0):
+    for i in range(budget):
+        spec = generate_spec(seed, i)
+        if spec["executor"] == executor:
+            return spec
+    raise AssertionError(f"no {executor} scenario in the first {budget}")
+
+
+class TestBuilders:
+    def test_unknown_executor(self):
+        spec = generate_spec(0, 0) | {"executor": "quantum"}
+        with pytest.raises(ChaosSpecError, match="unknown executor"):
+            build_scenario(spec)
+
+    def test_unknown_matrix_family(self):
+        spec = generate_spec(0, 0)
+        spec["matrix"] = {"family": "hilbert", "args": {}}
+        with pytest.raises(ChaosSpecError, match="matrix family"):
+            build_scenario(spec)
+
+    def test_agents_out_of_range(self):
+        spec = generate_spec(0, 0)
+        spec["agents"] = 10_000
+        with pytest.raises(ChaosSpecError, match="out of range"):
+            build_scenario(spec)
+
+    def test_plan_crash_beyond_agents(self):
+        spec = _spec_for("distributed")
+        spec["plan"]["events"] = [{"kind": "crash", "agent": 99, "at": 0.0}]
+        with pytest.raises(ChaosSpecError, match="crashes agent 99"):
+            build_scenario(spec)
+
+    def test_shared_rejects_message_faults(self):
+        spec = _spec_for("shared")
+        spec["plan"]["events"] = [
+            {"kind": "drop", "start": 0.0, "duration": 1.0, "probability": 0.5}
+        ]
+        with pytest.raises(ChaosSpecError, match="only crash"):
+            build_scenario(spec)
+
+    def test_bad_fault_plan_spec(self):
+        spec = generate_spec(0, 0)
+        spec["plan"]["events"] = [{"kind": "crash", "agent": 0, "att": 0.0}]
+        with pytest.raises(ChaosSpecError, match="fault plan"):
+            build_scenario(spec)
+
+    def test_delay_kinds(self):
+        assert build_delay({"kind": "none"}) is NO_DELAY
+        assert isinstance(
+            build_delay({"kind": "hang", "hang_times": [[0, 1e-5]]}), HangDelay
+        )
+        with pytest.raises(ChaosSpecError, match="unknown delay"):
+            build_delay({"kind": "psychic"})
+
+    def test_agent_labels_contiguous(self):
+        labels = agent_labels(10, 3)
+        assert labels.tolist() == sorted(labels.tolist())
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_fresh_schedules_replay_identically(self):
+        spec = _spec_for("model")
+        s1, s2 = build_schedule(spec), build_schedule(spec)
+        import itertools
+
+        rows1 = [st.rows.tolist() for st in itertools.islice(s1.steps(), 10)]
+        rows2 = [st.rows.tolist() for st in itertools.islice(s2.steps(), 10)]
+        assert rows1 == rows2
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize("executor", ["shared", "distributed", "model"])
+    def test_verdict_shape_and_determinism(self, executor):
+        spec = _spec_for(executor)
+        v1 = run_scenario(spec)
+        v2 = run_scenario(spec)
+        assert v1 == v2  # bit-stable verdicts, no wall-clock inside
+        assert v1["executor"] == executor
+        assert v1["ok"] and v1["failures"] == []
+        assert set(v1["checks"].values()) == {"pass"}
+        assert "theorem1" in v1["checks"] and "finiteness" in v1["checks"]
+
+    def test_engine_exception_becomes_no_crash_failure(self, monkeypatch):
+        from repro.runtime import shared as shared_mod
+
+        def boom(self, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(shared_mod.SharedMemoryJacobi, "run_async", boom)
+        verdict = run_scenario(_spec_for("shared"))
+        assert not verdict["ok"]
+        assert verdict["failures"][0]["property"] == "no_crash"
+        assert "engine exploded" in verdict["failures"][0]["detail"]
+
+
+class TestPropertyChecks:
+    def test_theorem1_history_flags_rise(self):
+        assert check_theorem1_history([1.0, 0.5, 0.6])
+        assert not check_theorem1_history([1.0, 0.5, 0.5, 0.1])
+
+    def test_finiteness_flags_nan_and_inf(self):
+        assert check_finiteness(np.array([1.0, np.nan]), [1.0])
+        assert check_finiteness(np.array([1.0]), [1.0, np.inf])
+        assert not check_finiteness(np.array([1.0]), [1.0, 0.5])
+
+    def test_liveness_flags_stalled_agent(self):
+        from repro.faults import FaultPlan
+        from repro.runtime.results import SimulationResult
+
+        result = SimulationResult(
+            x=np.zeros(4),
+            converged=False,
+            residual_norms=[1.0, 0.5],
+            iterations=np.array([10, 0, 10, 10]),
+            total_time=1.0,
+        )
+        out = check_liveness(result, FaultPlan(), max_iterations=10)
+        assert any("never relaxed" in v["detail"] for v in out)
+        # The same profile is fine when agent 1 is scripted dead or hung.
+        assert not check_liveness(
+            result, FaultPlan(), exempt_agents={1}, max_iterations=10
+        )
+
+    def test_liveness_eager_starvation_gate(self):
+        from repro.faults import FaultPlan
+        from repro.runtime.results import SimulationResult
+
+        result = SimulationResult(
+            x=np.zeros(2),
+            converged=False,
+            residual_norms=[1.0, 0.9],
+            iterations=np.array([3, 3]),
+            total_time=1.0,
+        )
+        strict = check_liveness(result, FaultPlan(), eager=True, max_iterations=50)
+        assert any(v["property"] == "liveness" for v in strict)
+        assert not check_liveness(
+            result,
+            FaultPlan(),
+            eager=True,
+            eager_may_starve=True,
+            max_iterations=50,
+        )

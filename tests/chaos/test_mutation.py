@@ -1,0 +1,93 @@
+"""End-to-end proof the campaign catches seeded bugs and minimizes them.
+
+This is the acceptance loop for the whole chaos subsystem: break one
+invariant on purpose (a mutation from :mod:`repro.chaos.mutations`), run a
+real campaign, watch the property harness flag it, shrink a failure to a
+minimal reproducer, archive it, and replay the archive.
+"""
+
+from repro.chaos import (
+    MUTATIONS,
+    archive_reproducer,
+    generate_spec,
+    load_reproducer,
+    mutation_context,
+    run_campaign,
+    run_scenario,
+    shrink_spec,
+)
+from repro.chaos.shrink import spec_events
+
+
+class TestMutationMachinery:
+    def test_registry_names(self):
+        assert set(MUTATIONS) == {"silent_fault_trace", "silent_observe_trace"}
+
+    def test_context_restores_tracer(self):
+        from repro.observability.tracer import Tracer
+
+        original = Tracer.fault
+        with mutation_context("silent_fault_trace"):
+            assert Tracer.fault is not original
+        assert Tracer.fault is original
+
+    def test_unknown_mutation_is_loud(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            with mutation_context("nonexistent_bug"):
+                pass
+
+
+class TestSeededBugIsCaughtAndShrunk:
+    def test_silent_fault_trace_end_to_end(self, tmp_path):
+        # 1. The seeded bug: fault incidents vanish from the trace stream.
+        campaign = run_campaign(
+            12, seed=0, use_cache=False, max_workers=0,
+            mutation="silent_fault_trace",
+        )
+        assert campaign.failed > 0
+        assert "telemetry" in campaign.by_property
+
+        # 2. Shrink the first failure to a minimal reproducer.
+        failing = next(
+            (s, v)
+            for s, v in zip(campaign.specs, campaign.verdicts)
+            if not v["ok"]
+        )
+        result = shrink_spec(*failing)
+        assert result["events"] <= 3  # the acceptance bound
+        assert not result["verdict"]["ok"]
+
+        # 3. Archive it and replay the archive cold.
+        path = archive_reproducer(result["spec"], result["verdict"], tmp_path)
+        entry = load_reproducer(path)
+        replay = run_scenario(entry["scenario"])
+        assert not replay["ok"]
+        assert {f["property"] for f in replay["failures"]} & set(entry["properties"])
+
+        # 4. The same scenario without the bug is clean: the reproducer
+        #    pins the mutation, not some unrelated engine problem.
+        clean = dict(entry["scenario"])
+        clean.pop("mutation")
+        assert run_scenario(clean)["ok"]
+
+    def test_silent_observe_trace_is_caught(self):
+        # The observe invariant breaks on any traced simulator scenario,
+        # even with zero fault events.
+        spec = generate_spec(0, 0)  # shared-memory scenario
+        assert spec["executor"] == "shared"
+        spec["mutation"] = "silent_observe_trace"
+        verdict = run_scenario(spec)
+        assert not verdict["ok"]
+        assert any(f["property"] == "telemetry" for f in verdict["failures"])
+        assert any("observe" in f["detail"] for f in verdict["failures"])
+
+    def test_shrunk_reproducer_needs_no_events_for_observe_bug(self):
+        spec = generate_spec(0, 0)
+        spec["mutation"] = "silent_observe_trace"
+        verdict = run_scenario(spec)
+        result = shrink_spec(spec, verdict)
+        # The observe bug is unconditional, so shrinking deletes the
+        # entire fault plan.
+        assert len(spec_events(result["spec"])) == 0

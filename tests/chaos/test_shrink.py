@@ -1,0 +1,98 @@
+"""The greedy shrinker and the corpus archive round-trip."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    archive_reproducer,
+    generate_spec,
+    load_reproducer,
+    run_scenario,
+    shrink_spec,
+)
+from repro.chaos.shrink import _config_candidates, _event_candidates, spec_events
+
+
+def _failing_spec():
+    """A cheap distributed scenario that fails under silent_fault_trace."""
+    spec = generate_spec(0, 2)  # distributed, has a firing drop burst
+    spec["mutation"] = "silent_fault_trace"
+    return spec
+
+
+class TestCandidates:
+    def test_event_deletion_candidates(self):
+        spec = generate_spec(0, 2)
+        n_events = len(spec_events(spec))
+        assert n_events > 0
+        deletions = [
+            c for c in _event_candidates(spec) if len(spec_events(c)) < n_events
+        ]
+        assert len(deletions) == n_events
+
+    def test_candidates_do_not_mutate_input(self):
+        spec = generate_spec(0, 2)
+        frozen = json.dumps(spec, sort_keys=True)
+        _event_candidates(spec)
+        _config_candidates(spec)
+        assert json.dumps(spec, sort_keys=True) == frozen
+
+    def test_config_candidates_shrink_knobs(self):
+        spec = generate_spec(0, 2)
+        cands = _config_candidates(spec)
+        assert any(c["max_iterations"] < spec["max_iterations"] for c in cands)
+
+
+class TestShrink:
+    def test_shrinks_to_few_events_and_preserves_failure(self):
+        spec = _failing_spec()
+        verdict = run_scenario(spec)
+        assert not verdict["ok"]
+        result = shrink_spec(spec, verdict)
+        assert result["events"] <= 3
+        assert result["events"] <= len(spec_events(spec))
+        assert not result["verdict"]["ok"]
+        # Same failure mode survived the shrink.
+        orig = {f["property"] for f in verdict["failures"]}
+        kept = {f["property"] for f in result["verdict"]["failures"]}
+        assert orig & kept
+        # And the minimized spec still reproduces from scratch.
+        assert not run_scenario(result["spec"])["ok"]
+
+    def test_requires_failing_verdict(self):
+        spec = generate_spec(0, 0)
+        with pytest.raises(ValueError, match="failing verdict"):
+            shrink_spec(spec, run_scenario(spec))
+
+
+class TestCorpusIO:
+    def test_archive_and_load_roundtrip(self, tmp_path):
+        spec = _failing_spec()
+        verdict = run_scenario(spec)
+        path = archive_reproducer(spec, verdict, tmp_path)
+        assert path.parent == tmp_path
+        entry = load_reproducer(path)
+        assert entry["scenario"] == spec
+        assert entry["mutation"] == "silent_fault_trace"
+        assert entry["properties"] == sorted({f["property"] for f in verdict["failures"]})
+
+    def test_archive_is_stable_json(self, tmp_path):
+        spec = _failing_spec()
+        verdict = run_scenario(spec)
+        p1 = archive_reproducer(spec, verdict, tmp_path)
+        text = p1.read_text()
+        p2 = archive_reproducer(spec, verdict, tmp_path)
+        assert p1 == p2 and p2.read_text() == text
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_reproducer(path)
+
+    def test_load_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1, "properties": []}))
+        with pytest.raises(ValueError, match="missing"):
+            load_reproducer(path)

@@ -129,7 +129,7 @@ class TestFaultPlan:
             FaultPlan.from_spec([{"kind": "meteor", "at": 0.0}])
         with pytest.raises(FaultPlanError, match="agent"):
             FaultPlan.from_spec([{"kind": "crash", "at": 0.0}])
-        with pytest.raises(FaultPlanError, match="malformed"):
+        with pytest.raises(FaultPlanError, match="unknown key"):
             FaultPlan.from_spec([{"kind": "crash", "agent": 0, "when": 0.0}])
 
     def test_from_spec_rejects_conflicting_agent_keys(self):
@@ -612,3 +612,212 @@ class TestTheorem1UnderFaults:
             assert tm.puts_delivered <= tm.puts_sent + tm.duplicates_suppressed
 
         check()
+
+
+class TestSpecRoundtrip:
+    """``FaultPlan.to_spec`` is the lossless inverse of ``from_spec``."""
+
+    def _plan(self):
+        return FaultPlan(
+            [
+                RankCrash(agent=1, at=2.0, restart_after=1.5),
+                RankCrash(agent=0, at=0.0),
+                PartitionWindow(group=frozenset({0, 2}), start=1.0, duration=3.0),
+                DropBurst(start=0.5, duration=2.0, probability=0.3),
+                CorruptBurst(
+                    start=0.0, duration=1.0, probability=0.8, agents=frozenset({2})
+                ),
+            ],
+            seed=99,
+        )
+
+    def test_roundtrip_rebuilds_equivalent_plan(self):
+        plan = self._plan()
+        spec = plan.to_spec()
+        rebuilt = FaultPlan.from_spec(spec, seed=plan.seed)
+        assert rebuilt.to_spec() == spec
+        assert rebuilt.seed == plan.seed
+        for t in (0.0, 0.5, 1.9, 2.0, 3.4, 3.5, 10.0):
+            for agent in range(3):
+                assert rebuilt.is_down(agent, t) == plan.is_down(agent, t)
+                assert rebuilt.drop_probability(agent, t) == plan.drop_probability(
+                    agent, t
+                )
+                assert rebuilt.corrupt_probability(
+                    agent, t
+                ) == plan.corrupt_probability(agent, t)
+            for src in range(3):
+                for dst in range(3):
+                    assert rebuilt.blocks_message(src, dst, t) == plan.blocks_message(
+                        src, dst, t
+                    )
+
+    def test_to_spec_is_plain_json(self):
+        import json
+
+        spec = self._plan().to_spec()
+        assert spec == json.loads(json.dumps(spec))
+
+    def test_optional_fields_omitted(self):
+        spec = FaultPlan([RankCrash(agent=0, at=1.0)]).to_spec()
+        assert spec == [{"kind": "crash", "agent": 0, "at": 1.0}]
+        spec = FaultPlan([DropBurst(start=0.0, duration=1.0, probability=0.5)]).to_spec()
+        assert "agents" not in spec[0]
+
+    def test_property_roundtrip(self):
+        from hypothesis import given, settings, strategies as st
+
+        events_strategy = st.lists(
+            st.one_of(
+                st.builds(
+                    lambda a, at, ra: RankCrash(agent=a, at=at, restart_after=ra),
+                    st.integers(0, 5),
+                    st.floats(0, 100, allow_nan=False),
+                    st.one_of(st.none(), st.floats(0.25, 100)),
+                ),
+                st.builds(
+                    lambda g, s, d: PartitionWindow(
+                        group=frozenset(g), start=s, duration=d
+                    ),
+                    st.sets(st.integers(0, 5), min_size=1, max_size=3),
+                    st.floats(0, 100),
+                    st.floats(0, 100),
+                ),
+                st.builds(
+                    lambda s, d, p, a: DropBurst(
+                        start=s, duration=d, probability=p, agents=a
+                    ),
+                    st.floats(0, 100),
+                    st.floats(0, 100),
+                    st.floats(0, 1),
+                    st.one_of(
+                        st.none(), st.sets(st.integers(0, 5), min_size=1, max_size=3)
+                    ),
+                ),
+                st.builds(
+                    lambda s, d, p: CorruptBurst(start=s, duration=d, probability=p),
+                    st.floats(0, 100),
+                    st.floats(0, 100),
+                    st.floats(0, 1),
+                ),
+            ),
+            max_size=6,
+        )
+
+        @settings(max_examples=50, deadline=None)
+        @given(events_strategy, st.integers(0, 2**31 - 1))
+        def check(events, seed):
+            plan = FaultPlan(_dedup_crashes(events), seed=seed)
+            spec = plan.to_spec()
+            rebuilt = FaultPlan.from_spec(spec, seed=plan.seed)
+            # Spec-level fixpoint: one round of to/from is lossless.
+            assert rebuilt.to_spec() == spec
+            assert rebuilt.seed == plan.seed
+            assert len(rebuilt.events) == len(plan.events)
+
+        check()
+
+
+class TestFromSpecValidation:
+    """Unknown keys, kinds and shapes are loud errors, never ignored."""
+
+    def test_unknown_key_rejected(self):
+        # The motivating typo: 'restart_afer' must not yield a permanent crash.
+        with pytest.raises(FaultPlanError, match="restart_afer"):
+            FaultPlan.from_spec(
+                [{"kind": "crash", "agent": 0, "at": 1.0, "restart_afer": 2.0}]
+            )
+
+    def test_unknown_key_message_names_allowed_keys(self):
+        with pytest.raises(FaultPlanError, match="restart_after"):
+            FaultPlan.from_spec(
+                [{"kind": "crash", "agent": 0, "at": 1.0, "restart_afer": 2.0}]
+            )
+
+    def test_unknown_key_in_burst_rejected(self):
+        with pytest.raises(FaultPlanError, match="probabilty"):
+            FaultPlan.from_spec(
+                [{"kind": "drop", "start": 0.0, "duration": 1.0, "probabilty": 0.5}]
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.from_spec([{"kind": "meteor", "at": 0.0}])
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.from_spec([{"agent": 0, "at": 0.0}])
+
+    def test_non_dict_entry_rejected(self):
+        with pytest.raises(FaultPlanError, match="must be dicts"):
+            FaultPlan.from_spec(["crash"])
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="malformed 'crash'"):
+            FaultPlan.from_spec([{"kind": "crash", "agent": 0}])
+
+    def test_conflicting_agent_aliases_rejected(self):
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultPlan.from_spec(
+                [{"kind": "crash", "agent": 0, "rank": 1, "at": 0.0}]
+            )
+
+
+class TestFaultPlanEdgeCases:
+    """Shapes the chaos generator produces on purpose."""
+
+    def test_overlapping_partitions_same_group(self):
+        plan = FaultPlan(
+            [
+                PartitionWindow(group=frozenset({0, 1}), start=1.0, duration=4.0),
+                PartitionWindow(group=frozenset({0, 1}), start=3.0, duration=4.0),
+            ]
+        )
+        # Severed throughout the union of the windows, including the overlap.
+        for t in (1.0, 3.5, 5.5, 6.9):
+            assert plan.blocks_message(0, 2, t)
+        assert not plan.blocks_message(0, 2, 0.9)
+        assert not plan.blocks_message(0, 2, 7.0)
+        # Intra-group traffic is never severed.
+        assert not plan.blocks_message(0, 1, 3.5)
+
+    def test_zero_duration_bursts_are_inert(self):
+        plan = FaultPlan(
+            [
+                DropBurst(start=2.0, duration=0.0, probability=1.0),
+                CorruptBurst(start=2.0, duration=0.0, probability=1.0),
+            ]
+        )
+        for t in (1.9, 2.0, 2.1):
+            assert plan.drop_probability(0, t) == 0.0
+            assert plan.corrupt_probability(0, t) == 0.0
+
+    def test_crash_at_t_zero(self, system):
+        A, b, _ = system
+        plan = FaultPlan([ThreadDeath(agent=1, at=0.0)])
+        assert plan.is_down(1, 0.0)
+        sim = SharedMemoryJacobi(A, b, n_threads=4, seed=0, fault_plan=plan)
+        res = sim.run_async(tol=1e-6, max_iterations=300)
+        assert np.isfinite(res.total_time)
+        assert res.iterations[1] == 0  # dead from the first instant
+
+    def test_restart_inside_partition_window(self, system):
+        A, b, _ = system
+        plan = FaultPlan(
+            [
+                RankCrash(agent=1, at=5e-6, restart_after=5e-6),
+                PartitionWindow(group=frozenset({1}), start=8e-6, duration=2e-5),
+            ]
+        )
+        # The restart lands at t=1e-5, strictly inside the partition window.
+        assert plan.partitions[0].severs(1, 0, plan.crashes[1][0].restart_time)
+        assert not plan.is_down(1, 1.1e-5)
+        sim = DistributedJacobi(
+            A, b, n_ranks=4, seed=0, fault_plan=plan, recovery="freeze"
+        )
+        res = sim.run_async(tol=1e-8, max_iterations=60)
+        assert np.isfinite(res.total_time)
+        assert np.all(np.isfinite(res.x))
+        # The rank came back and iterated after its restart.
+        assert res.iterations[1] > 0
+        assert len(res.telemetry.restarts) == 1

@@ -51,3 +51,48 @@ class TestCLI:
     def test_no_cache_flag_documented(self, capsys):
         assert main([]) == 0
         assert "--no-cache" in capsys.readouterr().out
+
+
+class TestListGrouping:
+    def test_list_groups_by_subsystem(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper tables & figures" in out
+        assert "parameter studies" in out
+        assert "subsystem scenarios" in out
+
+    def test_list_shows_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # One-line docstring summaries ride along with the names.
+        assert "Table I" in out
+        assert "Ablation" in out
+
+    def test_list_mentions_chaos_tool(self, capsys):
+        assert main(["list"]) == 0
+        assert "chaos" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_small_budget(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["chaos", "--budget", "3", "--seed", "0",
+                     "--report", str(tmp_path / "r.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "3/3" in out
+        report = (tmp_path / "r.jsonl").read_text().strip().splitlines()
+        assert len(report) == 4  # one line per scenario + summary
+        import json
+
+        assert "summary" in json.loads(report[-1])
+
+    def test_chaos_rejects_negative_budget(self, capsys):
+        assert main(["chaos", "--budget", "-1"]) == 2
+
+    def test_chaos_help_does_not_run(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--help"])
+        assert exc.value.code == 0
+        assert "--shrink" in capsys.readouterr().out
