@@ -12,7 +12,15 @@ archives the speedups in ``benchmarks/results/engine.json``:
   magnitudes spanning the saw-tooth regime), fixed budget per delay;
 * ``fig8`` — the Figure 8 distributed scaling grid (2-D FD Laplacian,
   4..256 ranks, synchronous and asynchronous to a 10x residual
-  reduction).
+  reduction); the new arm runs the block-event relax backend
+  (``relax_backend="block"``) and both arms report events-per-second so
+  delivery-bound regressions show up directly, not just in the ratio;
+* ``scaling`` — the size-scaling curve (n = 10^4 -> 10^6 stencil rows,
+  fixed rank count and iteration budget) comparing batched delivery +
+  block relaxes against per-put delivery events; the batching speedup
+  is the machine-independent gated metric. The 10^6 point is full-size
+  locally and smoke-sized (tiny budget, ungated) under
+  ``REPRO_BENCH_SMOKE=1``, which the CI benchmarks job sets.
 
 Both arms compute *bit-identical trajectories* (asserted here on every
 rep), so the ratio isolates pure engine overhead: queue, dispatch, RNG
@@ -22,6 +30,7 @@ times are machine-dependent, only the ratios are gated by
 ``benchmarks/compare.py``.
 """
 
+import os
 import time
 
 import numpy as np
@@ -43,9 +52,16 @@ FIG8_REDUCTION = 10.0
 SHARED_BUDGET = 250  # fixed iteration budget: identical work per arm
 TOL_NEVER = 1e-30
 
+#: CI sets this to shrink the 10^6 scaling point to a smoke run.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SCALING_GRIDS = ((100, 100), (316, 316), (1000, 1000))  # 1e4 -> 1e6 rows
+SCALING_RANKS = 256  # delivery-heavy: ~2 puts per commit, 6144 commits
+SCALING_BUDGET = 24  # iterations per rank: identical event count per size
+SCALING_REPS = 3
 
-def _interleaved_best(runs):
-    """Best-of-REPS for each (name, fn) with round-robin interleaving.
+
+def _interleaved_best(runs, reps=REPS):
+    """Best-of-``reps`` for each (name, fn) with round-robin interleaving.
 
     Every ``fn`` returns its result object; per-rep results are checked
     bitwise against the first rep so the two arms provably did the same
@@ -55,7 +71,7 @@ def _interleaved_best(runs):
     reference = {}
     for name, fn in runs:
         fn()  # warm-up: imports, allocator, lazy compile steps
-    for _ in range(REPS):
+    for _ in range(reps):
         for name, fn in runs:
             start = time.perf_counter()
             result = fn()
@@ -110,7 +126,13 @@ def _bench_shared(delays_us):
 
 
 def _bench_fig8():
-    """The fig8 grid: sync + async to a 10x reduction, all rank counts."""
+    """The fig8 grid: sync + async to a 10x reduction, all rank counts.
+
+    The new arm runs batched delivery with the block-event relax backend
+    (whole-rank relaxes); trajectories stay bitwise the legacy oracle's.
+    Returns the best times plus the composite's block-commit event count
+    (identical in both arms), for events-per-second reporting.
+    """
     A = fd_laplacian_2d(*FIG8_GRID)
     b = np.random.default_rng(0).standard_normal(A.shape[0])
     configs = []
@@ -120,31 +142,94 @@ def _bench_fig8():
         tol = probe.residual_norms[0] / FIG8_REDUCTION
         configs.append((sim, n_ranks, tol))
 
-    def run(legacy):
+    events = 0
+
+    def run(legacy, count=False):
         def fn():
+            nonlocal events
             last = None
             for sim, n_ranks, tol in configs:
-                sim.run_sync(
+                extra = {} if legacy else {"relax_backend": "block"}
+                rs = sim.run_sync(
                     tol=tol, max_iterations=5000, legacy_engine=legacy
                 )
                 last = sim.run_async(
                     tol=tol, max_iterations=5000, observe_every=n_ranks,
-                    legacy_engine=legacy,
+                    legacy_engine=legacy, **extra,
                 )
+                if count:
+                    events += int(np.sum(rs.iterations))
+                    events += int(np.sum(last.iterations))
             return last
 
         return fn
 
+    run(False, count=True)()  # one counted pass, outside the timing loop
     best, ref = _interleaved_best([("new", run(False)), ("legacy", run(True))])
     _assert_arms_match(ref, "new", "legacy")
-    return best
+    return best, events
+
+
+def _bench_scaling():
+    """The size-scaling curve: batched+block vs per-put delivery events.
+
+    Fixed rank count and iteration budget, so every size and both arms
+    process the same number of block-commit events; the curve isolates
+    how delivery cost scales with problem size. Under ``SMOKE`` the
+    10^6-row point shrinks to a tiny budget and publishes no gated
+    metrics (compare.py then skips it as absent from the results).
+    """
+    out = {}
+    for grid in SCALING_GRIDS:
+        n = grid[0] * grid[1]
+        smoke_point = SMOKE and n >= 10**6
+        budget = 2 if smoke_point else SCALING_BUDGET
+        A = fd_laplacian_2d(*grid)
+        b = np.random.default_rng(0).standard_normal(n)
+        sim = DistributedJacobi(
+            A, b, n_ranks=SCALING_RANKS, partition="contiguous", seed=1
+        )
+
+        def run(extra):
+            def fn():
+                return sim.run_async(
+                    tol=TOL_NEVER, max_iterations=budget,
+                    observe_every=SCALING_RANKS, **extra,
+                )
+
+            return fn
+
+        best, ref = _interleaved_best(
+            [
+                ("block", run({"relax_backend": "block"})),
+                ("event", run({"delivery": "event"})),
+            ],
+            reps=1 if smoke_point else SCALING_REPS,
+        )
+        _assert_arms_match(ref, "block", "event")
+        events = SCALING_RANKS * budget
+        if smoke_point:
+            # Info only — names avoid the _seconds/speedup gating suffixes.
+            out[f"n{n}"] = {
+                "smoke_only": True,
+                "block_wall": best["block"],
+                "event_wall": best["event"],
+            }
+        else:
+            out[f"n{n}"] = {
+                "block_seconds": best["block"],
+                "event_seconds": best["event"],
+                "block_events_per_second": events / best["block"],
+                "event_events_per_second": events / best["event"],
+                "batching_speedup": best["event"] / best["block"],
+            }
+    return out
 
 
 def test_engine_speedups(benchmark):
     workloads = {
         "fig3_simulator": lambda: _bench_shared((250,)),
         "fig4": lambda: _bench_shared((0, 1000, 10000)),
-        "fig8": _bench_fig8,
     }
     payload, rows = {}, []
     for name, bench in workloads.items():
@@ -163,6 +248,25 @@ def test_engine_speedups(benchmark):
         # compare.py's 20% gate carries the real regression check.
         assert speedup > 1.2, f"{name}: engine slower than legacy oracle"
 
+    best, events = _bench_fig8()
+    speedup = best["legacy"] / best["new"]
+    payload["fig8"] = {
+        "new_seconds": best["new"],
+        "legacy_seconds": best["legacy"],
+        "speedup": speedup,
+        # Absolute event rates make delivery-bound regressions visible
+        # directly; the names dodge the _seconds timing gate on purpose
+        # (rates are machine-dependent, the speedup carries the gate).
+        "new_events_per_second": events / best["new"],
+        "legacy_events_per_second": events / best["legacy"],
+    }
+    rows.append(
+        f"{'fig8':>16} {best['new']:>10.4f} {best['legacy']:>10.4f} "
+        f"{speedup:>8.2f}x   ({events / best['new']:,.0f} vs "
+        f"{events / best['legacy']:,.0f} events/s)"
+    )
+    assert speedup > 1.2, "fig8: engine slower than legacy oracle"
+
     def measured():  # archive the headline number under pytest-benchmark
         return payload["fig8"]["new_seconds"]
 
@@ -179,3 +283,47 @@ def test_engine_speedups(benchmark):
     )
     publish("engine", report)
     publish_json("engine", payload)
+
+
+def test_engine_scaling(benchmark):
+    payload = _bench_scaling()
+    rows = []
+    for key, entry in payload.items():
+        if entry.get("smoke_only"):
+            rows.append(
+                f"{key:>10} {entry['block_wall']:>10.4f} "
+                f"{entry['event_wall']:>10.4f}    (smoke budget, ungated)"
+            )
+            continue
+        rows.append(
+            f"{key:>10} {entry['block_seconds']:>10.4f} "
+            f"{entry['event_seconds']:>10.4f} "
+            f"{entry['batching_speedup']:>8.2f}x "
+            f"{entry['block_events_per_second']:>12,.0f} ev/s"
+        )
+        # Batched delivery + block relaxes must never lose badly to
+        # per-put events; the committed baseline gates the real curve.
+        assert entry["batching_speedup"] > 0.8, (
+            f"{key}: batched delivery slower than per-put events"
+        )
+
+    gated = [k for k, e in payload.items() if not e.get("smoke_only")]
+
+    def measured():  # largest gated size's block time
+        return payload[gated[-1]]["block_seconds"]
+
+    benchmark.pedantic(measured, rounds=1, iterations=1)
+
+    report = "\n".join(
+        [
+            "Delivery scaling: batched+block vs per-put events "
+            f"({SCALING_RANKS} ranks, {SCALING_BUDGET} iterations/rank, "
+            f"best of {SCALING_REPS}, interleaved):",
+            "",
+            f"{'size':>10} {'block (s)':>10} {'event (s)':>10} "
+            f"{'speedup':>9} {'throughput':>17}",
+            *rows,
+        ]
+    )
+    publish("engine_scaling", report)
+    publish_json("engine_scaling", payload)

@@ -102,17 +102,27 @@ def main(argv=None) -> int:
         return 0
     baseline = flatten(json.loads(args.baseline.read_text()))
     current = load_current(args.results_dir)
-    checked = [
+    eligible = [
         n
         for n in baseline
-        if metric_direction(n) and n in current
+        if metric_direction(n)
         and (not args.ratios_only or metric_direction(n) == "up")
     ]
+    checked = [n for n in eligible if n in current]
+    missing = [n for n in eligible if n not in current]
     regressions = list(
         compare(baseline, current, args.threshold, args.ratios_only)
     )
     for name, base, now, change in regressions:
         print(f"REGRESSION {name}: baseline {base:.6g} -> current {now:.6g} ({change:+.1%})")
+    if missing:
+        # Expected under REPRO_BENCH_SMOKE (e.g. the 10^6 scaling point
+        # publishes no gated metrics); listed so full runs that silently
+        # dropped a series are visible rather than vacuously green.
+        print(
+            f"skipped {len(missing)} baseline metric(s) absent from current "
+            f"results: {', '.join(missing)}"
+        )
     print(
         f"compared {len(checked)} metric(s) against {args.baseline.name}: "
         f"{len(regressions)} regression(s) beyond {args.threshold:.0%}"

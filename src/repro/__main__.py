@@ -15,7 +15,9 @@ Usage::
 ``--profile`` wraps the selected experiments in :mod:`cProfile`, prints the
 top-20 hot spots by cumulative time, and writes the full profile to
 ``profile.pstats`` (inspect with ``python -m pstats profile.pstats``). It
-implies ``--no-cache`` so the experiment actually runs. See
+implies ``--no-cache`` so the experiment actually runs, and closes with a
+delivery digest — message-coalescing counters (puts coalesced, flush batch
+sizes, ledger scatter widths) from one instrumented async run. See
 docs/performance.md.
 
 ``chaos`` runs the property-fuzzing campaign (:mod:`repro.chaos`): generate
@@ -47,6 +49,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    scale,
     seeds,
     table1,
     trace,
@@ -65,6 +68,7 @@ EXPERIMENTS = {
     "fig9": fig9,
     "ablations": ablations,
     "seeds": seeds,
+    "scale": scale,
     "faults": faults,
     "trace": trace,
 }
@@ -75,7 +79,7 @@ GROUPS = (
         "table1", "fig1", "fig2", "fig3", "fig4", "fig5",
         "fig6", "fig7", "fig8", "fig9",
     )),
-    ("parameter studies", ("ablations", "seeds")),
+    ("parameter studies", ("ablations", "seeds", "scale")),
     ("subsystem scenarios", ("faults", "trace")),
 )
 
@@ -97,6 +101,29 @@ def _print_listing() -> None:
     print("  tools:")
     print(f"    {'chaos':<12}adversarial scenario fuzzing with property checks"
           " (--budget N [--seed S] [--shrink])")
+
+
+def _delivery_digest() -> None:
+    """Print message-coalescing counters from one instrumented async run.
+
+    The profiled experiments run uninstrumented so the profile measures the
+    real hot paths (instrumentation forces the general event loop); this
+    short representative run re-measures delivery batching separately with
+    ``instrument=True`` and reports the
+    :class:`~repro.perf.instrument.PerfCounters` delivery counters.
+    """
+    from repro.matrices.laplacian import fd_laplacian_2d
+    from repro.runtime.distributed import DistributedJacobi
+    from repro.util.rng import as_rng
+
+    A = fd_laplacian_2d(63, 63)
+    b = as_rng(1).uniform(-1, 1, A.shape[0])
+    sim = DistributedJacobi(A, b, n_ranks=16, partition="contiguous", seed=1)
+    result = sim.run_async(tol=1e-6, max_iterations=4000, instrument=True)
+    perf = result.perf
+    print("delivery digest (63x63 stencil, 16 ranks, batched delivery):")
+    print("  " + (perf.delivery_summary() or "no batched flushes recorded"))
+    print("  kernels: " + perf.summary())
 
 
 def _run(names) -> None:
@@ -182,6 +209,7 @@ def main(argv=None) -> int:
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.sort_stats("cumulative").print_stats(20)
             print("full profile written to profile.pstats")
+            _delivery_digest()
         return 0
     _run(names)
     return 0

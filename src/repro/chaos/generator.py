@@ -252,6 +252,13 @@ def generate_spec(seed: int, index: int) -> dict:
         has_message_faults = any(
             ev["kind"] != "crash" for ev in spec["plan"]["events"]
         )
+        delivery = str(rng.choice(["auto", "batched", "event"]))
+        # Block relaxes require batched delivery, so the backend is drawn
+        # from the legal set for the delivery mode just chosen — the
+        # constraint holds by construction, not by rejection.
+        backends = (
+            ["auto", "event", "block"] if delivery != "event" else ["auto", "event"]
+        )
         spec["distributed"] = {
             "eager": bool(rng.random() < 0.25),
             "termination": str(rng.choice(["count", "detect"], p=[0.7, 0.3])),
@@ -261,6 +268,8 @@ def generate_spec(seed: int, index: int) -> dict:
             "duplicate_probability": float(rng.choice([0.0, 0.0, 0.0, 0.05])),
             "queue_backend": str(rng.choice(["auto", "heap", "calendar"])),
             "partition_method": str(rng.choice(["bfs", "contiguous"])),
+            "delivery": delivery,
+            "relax_backend": str(rng.choice(backends)),
         }
     return spec
 

@@ -308,6 +308,8 @@ def _run_distributed(spec: dict, built: dict) -> tuple:
         termination=d.get("termination", "count"),
         tracer=tracer,
         queue_backend=d.get("queue_backend", "auto"),
+        delivery=d.get("delivery", "auto"),
+        relax_backend=d.get("relax_backend", "auto"),
     )
     events = tracer.events()
     failures = []

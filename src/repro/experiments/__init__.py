@@ -17,6 +17,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    scale,
     seeds,
     table1,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "scale",
     "seeds",
     "table1",
 ]

@@ -32,6 +32,16 @@ class PerfCounters:
     residual_evals: int = 0
     full_recomputes: int = 0
     events: int = 0
+    #: Delivery-batching (message coalescing) counters, populated by the
+    #: distributed executor when ``delivery="batch"`` is active: arrivals
+    #: superseded before their flush, flush passes that applied at least
+    #: one edge, edges scattered across all flushes, the widest single
+    #: flush, and version-ledger entries scattered into ``ghost_ver``.
+    puts_coalesced: int = 0
+    delivery_flushes: int = 0
+    delivery_edges_flushed: int = 0
+    delivery_batch_max: int = 0
+    ledger_scatter_width: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -62,6 +72,13 @@ class PerfCounters:
         self.residual_evals += other.residual_evals
         self.full_recomputes += other.full_recomputes
         self.events += other.events
+        self.puts_coalesced += other.puts_coalesced
+        self.delivery_flushes += other.delivery_flushes
+        self.delivery_edges_flushed += other.delivery_edges_flushed
+        self.delivery_batch_max = max(
+            self.delivery_batch_max, other.delivery_batch_max
+        )
+        self.ledger_scatter_width += other.ledger_scatter_width
         return self
 
     def as_dict(self) -> dict:
@@ -75,11 +92,37 @@ class PerfCounters:
             "residual_evals": self.residual_evals,
             "full_recomputes": self.full_recomputes,
             "events": self.events,
+            "puts_coalesced": self.puts_coalesced,
+            "delivery_flushes": self.delivery_flushes,
+            "delivery_edges_flushed": self.delivery_edges_flushed,
+            "delivery_batch_max": self.delivery_batch_max,
+            "ledger_scatter_width": self.ledger_scatter_width,
             **self.extra,
         }
 
+    def delivery_summary(self) -> str:
+        """One-line digest of the delivery-batching counters.
+
+        Empty string when no batched flush ever ran (eager delivery, or a
+        run with no message traffic), so callers can print it conditionally.
+        """
+        if not self.delivery_flushes:
+            return ""
+        mean = self.delivery_edges_flushed / self.delivery_flushes
+        return (
+            f"delivery: {self.puts_coalesced} puts coalesced, "
+            f"{self.delivery_edges_flushed} edges over "
+            f"{self.delivery_flushes} flushes "
+            f"(mean batch {mean:.2f}, max {self.delivery_batch_max}), "
+            f"ledger width {self.ledger_scatter_width}"
+        )
+
     def summary(self) -> str:
-        """One-line digest of where the time went."""
+        """One-line digest of where the time went.
+
+        Kernel attribution only; pair with :meth:`delivery_summary` for the
+        message-coalescing counters.
+        """
         return (
             f"total {self.total_seconds:.3e}s: "
             f"spmv {self.spmv_seconds:.3e}s/{self.spmv_calls} calls, "

@@ -86,6 +86,13 @@ from repro.util.validation import check_positive, check_probability, check_vecto
 _HB_KINDS = frozenset({_HEARTBEAT, _HB_ARRIVE, _HB_CHECK})
 
 
+class _TurboBail(Exception):
+    """Raised when the turbo block engine meets an exact time tie it
+    cannot order without seq stamps; the run restarts on the two-event
+    engine, which resolves such ties bitwise. Measure-zero under any
+    nonzero jitter."""
+
+
 @dataclass
 class _Rank:
     """Per-rank compiled state.
@@ -190,6 +197,21 @@ class DistributedJacobi:
         reaches the neighbor only via a later iteration's put).
     """
 
+    # Below this rank count the block backend's precomputed-timeline
+    # engine loses to the plain stacked heap loop: its per-run setup
+    # (edge maps, width groups, stacked caches) is O(ranks + nnz) but
+    # batches are capped at ``observe_every`` members, so small fleets
+    # never amortize it. Both paths are bitwise-identical, so the
+    # threshold is purely a performance knob.
+    _TURBO_MIN_RANKS = 96
+
+    # Above this many stored nonzeros per rank (on average) the block
+    # backend relaxes rank-at-a-time instead of batch-stacking: big
+    # blocks amortize NumPy call overhead on their own, and the stacked
+    # path's per-batch concatenation of every member's local matrix
+    # turns into the dominant cost at paper scale.
+    _STACK_MAX_NNZ_PER_RANK = 1024
+
     def __init__(
         self,
         A: CSRMatrix,
@@ -290,18 +312,47 @@ class DistributedJacobi:
                     f"label array defines {int(labels.max()) + 1} parts, expected {n_ranks}"
                 )
         self.decomposition = DomainDecomposition(A, labels)
+        self._rank_templates = None  # structural compile, built on first use
+        self._splans_cache = None  # observer CSC scatter plans, ditto
 
     # ------------------------------------------------------------------
     def _compile_ranks(self) -> list:
-        """Build per-rank compacted matrices and communication plans."""
-        dd = self.decomposition
+        """Build per-rank compacted matrices and communication plans.
+
+        The structural compile (column compaction, send plans) depends only
+        on the decomposition, so it runs once per solver and is cached;
+        every call hands out fresh :class:`_Rank` instances — fresh RNG
+        streams, zeroed ghost layers and counters — sharing the immutable
+        arrays. The send-plan ``slots`` arrays are therefore per-edge
+        singletons for the solver's lifetime, which the batched delivery
+        path relies on to key its mailboxes.
+        """
+        tmpl = self._rank_templates
+        if tmpl is None:
+            tmpl = self._rank_templates = self._compile_rank_templates()
         rngs = spawn_rngs(self.seed, self.n_ranks)
+        return [
+            _Rank(
+                rank=r,
+                rows=rows,
+                local=local,
+                ghost_cols=gcols,
+                ghosts=np.zeros(gcols.size),
+                send_plan=send_plan,
+                rng=rngs[r],
+            )
+            for r, rows, local, gcols, send_plan in tmpl
+        ]
+
+    def _compile_rank_templates(self) -> list:
+        """The structural half of :meth:`_compile_ranks` (run-invariant)."""
+        dd = self.decomposition
         # Global -> local index lookup.
         local_index = np.empty(self.n, dtype=np.int64)
         for sub in dd:
             local_index[sub.rows] = np.arange(sub.size)
 
-        ranks = []
+        tmpl = []
         ghost_cols_of = []  # per rank: sorted global ghost columns
         # Scratch for the column remap, shared across ranks: every column a
         # rank's rows reference is in its rows or ghost layer, so each pass
@@ -327,17 +378,7 @@ class DistributedJacobi:
                 (sub.size, sub.size + gcols.size),
                 row_of_nnz=sliced._row_of_nnz,
             )
-            ranks.append(
-                _Rank(
-                    rank=sub.rank,
-                    rows=sub.rows,
-                    local=local,
-                    ghost_cols=gcols,
-                    ghosts=np.zeros(gcols.size),
-                    send_plan=[],
-                    rng=rngs[sub.rank],
-                )
-            )
+            tmpl.append([sub.rank, sub.rows, local, gcols, []])
         # Send plans: rank p sends, to each neighbor q, the values of p's
         # rows that q keeps in its ghost layer. Ghost columns are strictly
         # increasing (np.unique per owner, disjoint across owners), so the
@@ -347,8 +388,8 @@ class DistributedJacobi:
             for q, cols in sub.send_to.items():
                 slots_q = np.searchsorted(ghost_cols_of[q], cols)
                 local_rows = local_index[cols]
-                ranks[p].send_plan.append((q, slots_q, local_rows))
-        return ranks
+                tmpl[p][4].append((q, slots_q, local_rows))
+        return tmpl
 
     def _slowdown(self, rank: int) -> float:
         if isinstance(self.delay, (StragglerDelay, CompositeDelay)):
@@ -415,6 +456,8 @@ class DistributedJacobi:
         tracer=None,
         legacy_engine: bool = False,
         queue_backend: str = "auto",
+        delivery: str = "auto",
+        relax_backend: str = "auto",
     ) -> SimulationResult:
         """Asynchronous (RMA put) execution.
 
@@ -454,6 +497,43 @@ class DistributedJacobi:
         ``queue_backend`` selects the event-queue implementation
         (``"auto"``, ``"heap"`` or ``"calendar"``).
 
+        ``delivery`` selects how one-sided puts land (see
+        docs/performance.md, "Batched message delivery"):
+
+        * ``"auto"``/``"batched"`` — same-edge puts are coalesced: each
+          directed edge keeps an in-flight mailbox of ``(arrival, stamp,
+          values)`` records and the receiver's next read flushes every
+          record that arrival-precedes it with **one** ghost scatter per
+          edge (the newest record wins — a put overwrites the edge's
+          whole fixed slot set, so intermediate records are unobservable
+          by construction). ``stamp`` is the event sequence number the
+          per-message heap push would have consumed, so the lexicographic
+          cut ``(arrival, stamp) < (t, seq)`` replicates heap pop order
+          bit-for-bit, including exact-time ties: trajectories, telemetry
+          and traces are bit-identical to ``delivery="event"`` and to the
+          legacy oracle. Outside the plain fast path the heap still
+          carries one event per put (protocol rolls, acks and traces keep
+          their order); only the ghost/ghost-version scatter is deferred
+          to the next read, with pending records discarded wherever a
+          restart or adoption re-syncs the ghost layer.
+        * ``"event"`` — the pre-batching behaviour: every put is its own
+          heap event and its own ghost scatter.
+
+        ``relax_backend`` selects the relax event granularity:
+
+        * ``"auto"``/``"event"`` — one START (read + relax) and one
+          COMMIT (publish + puts) event per block iteration.
+        * ``"block"`` — opt-in single *block event* per iteration: the
+          whole read-relax-commit span of a rank's row block is one heap
+          event carrying its virtual read cursor, halving residual heap
+          traffic on top of batched delivery (which it requires — puts
+          must not be heap events). Pure NumPy, bit-identical: the
+          mailbox cut uses the virtual cursor and same-instant commits
+          are applied in virtual-cursor order, reproducing the two-event
+          engine's interleaving. Applies to the plain fast path (no
+          faults, no tracing, no reliable puts, no eager/detect/heartbeat
+          machinery, heap backend); elsewhere the flag is inert.
+
         Parameters beyond the common ones
         ---------------------------------
         eager
@@ -487,6 +567,20 @@ class DistributedJacobi:
             declared and no STOP is broadcast — if it never restarts, the
             survivors simply run to ``max_iterations``.
         """
+        if delivery not in ("auto", "batched", "event"):
+            raise ValueError(
+                f"delivery must be 'auto', 'batched' or 'event', got {delivery!r}"
+            )
+        if relax_backend not in ("auto", "event", "block"):
+            raise ValueError(
+                f"relax_backend must be 'auto', 'event' or 'block', "
+                f"got {relax_backend!r}"
+            )
+        if relax_backend == "block" and delivery == "event":
+            raise ValueError(
+                "relax_backend='block' requires batched delivery "
+                "(delivery='auto' or 'batched')"
+            )
         if legacy_engine:
             from repro.runtime.legacy import distributed_run_async
 
@@ -507,6 +601,7 @@ class DistributedJacobi:
                 f"residual_mode must be 'incremental' or 'full', got {residual_mode!r}"
             )
         incremental = residual_mode == "incremental"
+        batch_delivery = delivery != "event"
         perf = PerfCounters() if instrument else None
         run_start = _time.perf_counter() if instrument else 0.0
         A, b, dinv = self.A, self.b, self.dinv
@@ -567,11 +662,19 @@ class DistributedJacobi:
         # ``np.concatenate`` and the ``dinv[rows]``/``b[rows]`` gathers of
         # the legacy loop are gone.
         nrows_loc = [rk.rows.size for rk in ranks]
+        # All ranks' ``local_x`` scratch carved from one parent buffer:
+        # per-rank views behave exactly like separate arrays, and the
+        # block-event backend can then gather *across* ranks in one take.
+        lb_off = np.zeros(n_ranks + 1, dtype=np.int64)
+        for rk in ranks:
+            lb_off[rk.rank + 1] = rk.rows.size + rk.ghost_cols.size
+        np.cumsum(lb_off, out=lb_off)
+        loc_parent = np.zeros(int(lb_off[-1]))
         loc_buf, own_view, gath_buf, pend_buf = [], [], [], []
         dx_buf, old_buf, b_loc, dinv_loc, rowid_loc = [], [], [], [], []
         for rk in ranks:
             m = rk.rows.size
-            lb = np.zeros(m + rk.ghost_cols.size)
+            lb = loc_parent[int(lb_off[rk.rank]) : int(lb_off[rk.rank + 1])]
             rk.ghosts = lb[m:]
             loc_buf.append(lb)
             own_view.append(lb[:m])
@@ -583,9 +686,13 @@ class DistributedJacobi:
             dinv_loc.append(dinv[rk.rows])
             rowid_loc.append(rk.local._row_of_nnz)
             rk.pending = pend_buf[-1]
-        splans = (
-            [A.column_scatter_plan(rk.rows) for rk in ranks] if incremental else None
-        )
+        splans = None
+        if incremental:
+            splans = self._splans_cache
+            if splans is None:
+                splans = self._splans_cache = [
+                    A.column_scatter_plan(rk.rows) for rk in ranks
+                ]
         gauss_seidel = self.local_sweep != "jacobi"
 
         def relax(rk: _Rank) -> None:
@@ -847,6 +954,45 @@ class DistributedJacobi:
         next_seq: dict = {}  # channel -> next sequence number
         applied_seq: dict = {}  # channel -> newest applied sequence number
         outstanding: dict = {}  # channel -> {seq: [slots, values, attempts, rto]}
+
+        # Deferred ghost scatters (batched delivery, general loop): each
+        # arriving put is recorded per directed edge (the ``slots`` arrays
+        # are per-edge singletons, so ``id(slots)`` keys them) and the lot
+        # is applied in one pass right before the receiver's next read.
+        # Protocol work — acks, dedup, traces, telemetry, eager wake-ups —
+        # stays at arrival time, so only the memory traffic moves.
+        # Newest-record-wins matches the eager scatter order because each
+        # put on an edge covers the edge's full slot set and distinct
+        # edges touch disjoint ghost slots.
+        pend_scatter = [dict() for _ in range(n_ranks)] if batch_delivery else None
+        coalesced_puts = 0  # arrivals superseded before the next flush
+        flush_batches = 0  # flushes that applied at least one edge
+        flushed_edges = 0  # edges scattered across all flushes
+        ledger_width = 0  # version entries scattered into ghost_ver
+        batch_max = 0  # widest single flush, in edges
+
+        def flush_ghosts(block: _Rank) -> None:
+            """Apply the block's pending ghost scatters in one pass."""
+            nonlocal flush_batches, flushed_edges, ledger_width, batch_max
+            ps = pend_scatter[block.rank]
+            if not ps:
+                return
+            gh = block.ghosts
+            gv = block.ghost_ver
+            n_edges = 0
+            for slots, values, vers in ps.values():
+                gh[slots] = values
+                if vers is not None:
+                    # maximum.at keeps the newest version even if a stale
+                    # retransmit were ever recorded behind a fresher one.
+                    np.maximum.at(gv, slots, vers)
+                    ledger_width += vers.size
+                n_edges += 1
+            ps.clear()
+            flush_batches += 1
+            flushed_edges += n_edges
+            if n_edges > batch_max:
+                batch_max = n_edges
 
         def rto(n_values: int) -> float:
             """Base retransmission timeout: a generous round-trip multiple."""
@@ -1150,13 +1296,45 @@ class DistributedJacobi:
             # calendar-backed runs take the general loop below instead
             # (identical results — both backends share one pop order).
             fast = type(queue) is HeapEventQueue
+        block_mode = False
+        conv_cursor = None
         if fast:
             heap = queue._heap
             hpush = heapq.heappush
             hpop = heapq.heappop
             seq = queue._seq
-        while fast and heap and not converged:
-            t, _, kind, rid, payload = hpop(heap)
+            block_mode = batch_delivery and relax_backend == "block"
+            if batch_delivery:
+                # Mailbox delivery: puts skip the heap entirely. Each
+                # directed edge keeps an in-flight list of ``(arrival,
+                # stamp, values)`` records, where ``stamp`` is the seq a
+                # per-message heap push would have consumed (the counter
+                # advances identically, so every other event keeps its
+                # exact seq). Flushing the records with ``(arrival,
+                # stamp) < (t, seq)`` at the receiver's next read
+                # replicates heap pop order bit-for-bit, ties included;
+                # only the newest flushed record is scattered — a put
+                # overwrites the edge's whole fixed slot set, so the
+                # older ones were never observable between reads.
+                fire = []  # per rank: (box, mb, lo, hi) per put entry
+                in_boxes = [[] for _ in range(n_ranks)]
+                cat_rows = []
+                for frk in ranks:
+                    plan_r = put_plan[frk.rank]
+                    entries_r, off = [], 0
+                    for q, slots_q, local_rows, mb in plan_r:
+                        box: list = []
+                        entries_r.append((box, mb, off, off + local_rows.size))
+                        in_boxes[q].append((box, slots_q))
+                        off += local_rows.size
+                    fire.append(entries_r)
+                    cat_rows.append(
+                        np.concatenate([e[2] for e in plan_r])
+                        if plan_r
+                        else np.empty(0, dtype=np.int64)
+                    )
+        while fast and not block_mode and heap and not converged:
+            t, s, kind, rid, payload = hpop(heap)
             if kind == _MESSAGE:
                 slots, values = payload
                 ghosts_of[rid][slots] = values
@@ -1166,6 +1344,27 @@ class DistributedJacobi:
             if kind == _START:
                 if rk.stopped:
                     continue
+                if batch_delivery:
+                    for box, slots in in_boxes[rid]:
+                        if not box:
+                            continue
+                        best = None
+                        rest = None
+                        for e in box:
+                            if e[0] < t or (e[0] == t and e[1] < s):
+                                delivered += 1
+                                if best is None or e > best:
+                                    best = e
+                            elif rest is None:
+                                rest = [e]
+                            else:
+                                rest.append(e)
+                        if best is not None:
+                            ghosts_of[rid][slots] = best[2]
+                            if rest is None:
+                                box.clear()
+                            else:
+                                box[:] = rest
                 relax(rk)
                 st = fstreams[rid]
                 if st is None:
@@ -1211,49 +1410,83 @@ class DistributedJacobi:
             rk.iterations += 1
             relaxations += nrows_loc[rid]
             t_end = t
-            # Inlined plan-free fire_puts + overhead scheduling.
-            entries = put_plan[rid]
+            # Inlined plan-free fire_puts + overhead scheduling. Batched
+            # delivery stacks the whole commit's boundary payload into one
+            # gather (``vals``); per-edge mailbox records hold zero-copy
+            # views into it.
             pending = pb
             f = fbuf[rid]
-            if f is not None:
-                if sigma_net > 0:
-                    j = net_j0
-                    for q, slots_q, local_rows, mb in entries:
-                        hpush(
-                            heap,
-                            (t + mb * f[j], seq, _MESSAGE, q,
-                             (slots_q, pending.take(local_rows))),
-                        )
-                        seq += 1
-                        j += 1
-                else:
-                    for q, slots_q, local_rows, mb in entries:
-                        hpush(
-                            heap,
-                            (t + mb, seq, _MESSAGE, q,
-                             (slots_q, pending.take(local_rows))),
-                        )
-                        seq += 1
+            if batch_delivery:
+                fent = fire[rid]
+                n_puts = len(fent)
+                if fent:
+                    vals = pending.take(cat_rows[rid])
+                    if f is not None:
+                        if sigma_net > 0:
+                            j = net_j0
+                            for box, mb, lo, hi in fent:
+                                box.append((t + mb * f[j], seq, vals[lo:hi]))
+                                seq += 1
+                                j += 1
+                        else:
+                            for box, mb, lo, hi in fent:
+                                box.append((t + mb, seq, vals[lo:hi]))
+                                seq += 1
+                    else:
+                        rng = rk.rng if fstreams[rid] is None else None
+                        if rng is not None and sigma_net > 0:
+                            for box, mb, lo, hi in fent:
+                                box.append(
+                                    (t + mb * float(rng.lognormal(0.0, sigma_net)),
+                                     seq, vals[lo:hi])
+                                )
+                                seq += 1
+                        else:
+                            for box, mb, lo, hi in fent:
+                                box.append((t + mb, seq, vals[lo:hi]))
+                                seq += 1
             else:
-                rng = rk.rng if fstreams[rid] is None else None
-                if rng is not None and sigma_net > 0:
-                    for q, slots_q, local_rows, mb in entries:
-                        hpush(
-                            heap,
-                            (t + mb * float(rng.lognormal(0.0, sigma_net)),
-                             seq, _MESSAGE, q,
-                             (slots_q, pending.take(local_rows))),
-                        )
-                        seq += 1
+                entries = put_plan[rid]
+                n_puts = len(entries)
+                if f is not None:
+                    if sigma_net > 0:
+                        j = net_j0
+                        for q, slots_q, local_rows, mb in entries:
+                            hpush(
+                                heap,
+                                (t + mb * f[j], seq, _MESSAGE, q,
+                                 (slots_q, pending.take(local_rows))),
+                            )
+                            seq += 1
+                            j += 1
+                    else:
+                        for q, slots_q, local_rows, mb in entries:
+                            hpush(
+                                heap,
+                                (t + mb, seq, _MESSAGE, q,
+                                 (slots_q, pending.take(local_rows))),
+                            )
+                            seq += 1
                 else:
-                    for q, slots_q, local_rows, mb in entries:
-                        hpush(
-                            heap,
-                            (t + mb, seq, _MESSAGE, q,
-                             (slots_q, pending.take(local_rows))),
-                        )
-                        seq += 1
-            tm.puts_sent += len(entries)
+                    rng = rk.rng if fstreams[rid] is None else None
+                    if rng is not None and sigma_net > 0:
+                        for q, slots_q, local_rows, mb in entries:
+                            hpush(
+                                heap,
+                                (t + mb * float(rng.lognormal(0.0, sigma_net)),
+                                 seq, _MESSAGE, q,
+                                 (slots_q, pending.take(local_rows))),
+                            )
+                            seq += 1
+                    else:
+                        for q, slots_q, local_rows, mb in entries:
+                            hpush(
+                                heap,
+                                (t + mb, seq, _MESSAGE, q,
+                                 (slots_q, pending.take(local_rows))),
+                            )
+                            seq += 1
+            tm.puts_sent += n_puts
             commits_since_obs += 1
             if commits_since_obs >= observe_every:
                 commits_since_obs = 0
@@ -1263,6 +1496,7 @@ class DistributedJacobi:
                 counts.append(relaxations)
                 if res < tol:
                     converged = True
+                    conv_cursor = (t, s)
                     continue
             if rk.iterations >= max_iterations:
                 rk.stopped = True
@@ -1294,8 +1528,1115 @@ class DistributedJacobi:
                      seq, _START, rid, 0),
                 )
             seq += 1
+        # Block-event backend: one heap event per block iteration. A
+        # _START appears only as each rank's initial wake-up; every other
+        # event is a _COMMIT carrying the iteration's *virtual read
+        # cursor* ``(t_start, start_seq)`` — the (time, seq) its START
+        # would have occupied in the two-event engine (the seq counter
+        # advances at exactly the same processing points). At the pop the
+        # whole read-relax-commit span runs back to back: the mailbox cut
+        # at the virtual cursor reproduces what the relax would have seen
+        # at the START pop (later arrivals stay boxed), own rows are only
+        # ever written by their owner, and same-instant commits apply in
+        # virtual-cursor order — the order their two-event COMMIT seqs
+        # (assigned at START pops) would have induced.
+        #
+        # Stacked relax: a run of consecutive _COMMIT pops can be
+        # *batched* whenever no batch member's read cursor can still be
+        # affected by an earlier member's commit. A put fired by member i
+        # arrives strictly after its pop time t_i, so member j's cursor
+        # cut is unaffected as long as ts_j <= t_i for every *in-batch
+        # sender* i < j (ranks that never put to j cannot disturb it at
+        # all — on a grid that is all but a handful of neighbors). Each
+        # rank appears at most once (one outstanding commit per rank), so
+        # the k relaxes read disjoint ``x`` rows and write disjoint
+        # scratch. The batch then runs in three phases: every member's
+        # mailbox cut, ONE gather/multiply/bincount over the concatenated
+        # local matrices (global row numbering keeps each row's
+        # accumulation order, so the result is bitwise the per-rank
+        # relax), then the order-sensitive commits/RNG draws/put firing
+        # sequentially in cursor order. Batches are capped at the
+        # observation cadence so convergence can only strike at the last
+        # member, and never split a same-time tie group.
+        #
+        # Stacking (and the turbo engine above it) only pays while rank
+        # blocks are small: the batch concatenates every member's local
+        # matrix, so its cost is O(nnz per batch) of pure memory traffic.
+        # Once blocks carry thousands of nonzeros each, a single rank's
+        # relax already amortizes the NumPy call overhead and the copies
+        # become the bottleneck — paper-scale runs (10^6 rows) are 2-10x
+        # faster per-commit. The cutoff is a pure performance knob; both
+        # paths are bitwise-identical.
+        stacked = (
+            block_mode
+            and not gauss_seidel
+            and A.data.size <= n_ranks * self._STACK_MAX_NNZ_PER_RANK
+        )
+        if stacked:
+            grow_off = np.zeros(n_ranks + 1, dtype=np.int64)
+            for r in range(n_ranks):
+                grow_off[r + 1] = nrows_loc[r]
+            np.cumsum(grow_off, out=grow_off)
+            n_grows = int(grow_off[-1])
+            st_idx = [lb_off[rk.rank] + rk.local.indices for rk in ranks]
+            st_dat = [rk.local.data for rk in ranks]
+            st_row = [grow_off[rk.rank] + rk.local._row_of_nnz for rk in ranks]
+            st_pos = [
+                np.arange(int(lb_off[r]), int(lb_off[r]) + nrows_loc[r])
+                for r in range(n_ranks)
+            ]
+            st_span = [
+                np.arange(int(grow_off[r]), int(grow_off[r + 1]))
+                for r in range(n_ranks)
+            ]
+            in_nbrs: list[list[int]] = [[] for _ in range(n_ranks)]
+            for rk in ranks:
+                for q, _slots, _rows in rk.send_plan:
+                    in_nbrs[q].append(rk.rank)
+            bt_pop: list = [None] * n_ranks  # in-batch pop time per rank
+            # Steady-state flush: every in-edge usually has exactly one
+            # qualifying record, so the winner scatter can go through one
+            # precomputed concatenated slot array per rank.
+            n_in = [len(in_boxes[r]) for r in range(n_ranks)]
+            in_slot_cat = [
+                np.concatenate([sl for _box, sl in in_boxes[r]])
+                if in_boxes[r]
+                else None
+                for r in range(n_ranks)
+            ]
+        # Turbo block engine: with both jitters drawn from per-rank
+        # pattern streams, a rank's event *schedule* is a fixed
+        # recurrence over its own generator — nothing about timing
+        # depends on relax values. The whole timeline is therefore
+        # precomputed in vectorized chunks (compute/overhead deltas
+        # interleaved under one cumsum, the running clock folded into
+        # the first delta — every add bitwise the scalar engine's) and
+        # lexsorted once into the global (commit, cursor) pop order,
+        # which is exactly how the sequential loop resolves same-time
+        # ties. Mailboxes collapse into per-edge integer frontiers over
+        # precomputed arrival rows, so Python only makes the
+        # irreducibly sequential decisions — batch admission, winner
+        # picks, observations — while all arithmetic is array work.
+        # Exact time ties (measure zero under lognormal jitter) abort
+        # to the two-event engine, which orders them via seq stamps.
+        if (
+            stacked
+            and heap
+            and not converged
+            and n_ranks >= self._TURBO_MIN_RANKS
+            and sigma_m > 0
+            and sigma_net > 0
+            and all(type(fs) is PatternJitterStream for fs in fstreams)
+        ):
+            try:
+                exp = math.exp
+                INF = math.inf
+                npcat = np.concatenate
+                n_e = [len(put_plan[r]) for r in range(n_ranks)]
+                # Directed-edge maps: emap[p][q] is p's put index toward
+                # q; recv_edges[q] lists q's in-edges with the slice of
+                # the sender's fired row holding this edge's values and
+                # the edge's ghost slots in *parent-buffer* coordinates
+                # (ghost layers are views into ``loc_parent``, so every
+                # member's winner scatter can fuse into one store).
+                emap: list = [{} for _ in range(n_ranks)]
+                recv_edges: list = [[] for _ in range(n_ranks)]
+                for p in range(n_ranks):
+                    voff = 0
+                    for ei, (q, slots_q, lrows, _mb) in enumerate(
+                        put_plan[p]
+                    ):
+                        emap[p][q] = ei
+                        recv_edges[q].append(
+                            (
+                                p,
+                                ei,
+                                int(lb_off[q]) + nrows_loc[q] + slots_q,
+                                voff,
+                                voff + lrows.size,
+                            )
+                        )
+                        voff += lrows.size
+                # Rank groups by put fan-out: every rank in a group
+                # shares the draw pattern width, so one stacked sweep
+                # per group generates a whole chunk of per-rank
+                # timelines (draws stay per-rank generators; chunking
+                # does not change ``standard_normal`` streams).
+                wgroups: dict = {}
+                for r in range(n_ranks):
+                    wgroups.setdefault(n_e[r], []).append(r)
+                groups = []
+                for ne, rl in sorted(wgroups.items()):
+                    w = 2 + ne
+                    pat = np.array(
+                        [sigma_m] + [sigma_net] * ne + [sigma_m]
+                    )
+                    cb_c = np.array([cbase[r] for r in rl])[:, None]
+                    sl_c = np.array([slow[r] for r in rl])[:, None]
+                    pc_c = np.array([puts_const[r] for r in rl])[:, None]
+                    ce_c = np.array(
+                        [const_extra[r] for r in rl]
+                    )[:, None]
+                    mb_c = (
+                        np.array(
+                            [[pe[3] for pe in put_plan[r]] for r in rl]
+                        )[:, None, :]
+                        if ne
+                        else None
+                    )
+                    rngs_g = [ranks[r].rng for r in rl]
+                    groups.append(
+                        (rl, ne, w, pat, cb_c, sl_c, pc_c, ce_c, mb_c,
+                         rngs_g)
+                    )
+                # Per-rank relax-plan caches: (rows, parent-pos, global
+                # row) int triples and (compact col, global row) pairs
+                # stacked so a batch needs three concatenations, not
+                # six; scatter-plan arrays unpacked out of their slots.
+                i3 = [
+                    np.stack([rows_of[r], st_pos[r], st_span[r]])
+                    for r in range(n_ranks)
+                ]
+                i2 = [
+                    np.stack([st_idx[r], st_row[r]])
+                    for r in range(n_ranks)
+                ]
+                if incremental:
+                    sp_rep = [splans[r].rep_idx for r in range(n_ranks)]
+                    sp_loc = [splans[r].local for r in range(n_ranks)]
+                    sp_val = [splans[r].vals for r in range(n_ranks)]
+                    sp_base = [splans[r].base for r in range(n_ranks)]
+                    sp_span = [splans[r].span for r in range(n_ranks)]
+                    sp_n = [splans[r].vals.size for r in range(n_ranks)]
+                cr_len = [cat_rows[r].size for r in range(n_ranks)]
+                tc_l: list = [[] for _ in range(n_ranks)]  # commit times
+                ts_l: list = [[] for _ in range(n_ranks)]  # read cursors
+                arr_l: list = [[] for _ in range(n_ranks)]  # arrival rows
+                carry = [0.0] * n_ranks  # cursor of next ungenerated iter
+                cover = [0.0] * n_ranks
+                gen_all = 0  # generated iterations (lockstep, all ranks)
+                chunk = 8
+                iters = [0] * n_ranks
+                eptr = [[0] * n_e[r] for r in range(n_ranks)]
+                espill: list = [[None] * n_e[r] for r in range(n_ranks)]
+                sent_l: list = [[] for _ in range(n_ranks)]
+                sbase = [0] * n_ranks
+                puts_fired = 0
+                conv_t = None
+                # The heap holds exactly the initial wake-ups; their pop
+                # does nothing but anchor each rank's clock and consume
+                # one seq, so processing them out of time order is
+                # unobservable (total seq advance is order-independent).
+                while heap:
+                    sev = hpop(heap)
+                    if sev[2] != _START:
+                        raise _TurboBail
+                    carry[sev[3]] = sev[0]
+                    seq += 1
+
+                def _gen_round() -> bool:
+                    """Extend every rank's precomputed timeline one chunk.
+
+                    Draw positions match the scalar engines' pattern
+                    streams exactly: ``standard_normal`` yields the same
+                    positional sequence under any chunking, and every
+                    product/add below pairs the same operands the scalar
+                    recurrences pair.
+                    """
+                    nonlocal gen_all, chunk
+                    ns = min(chunk, max_iterations - gen_all)
+                    if ns <= 0:
+                        return False
+                    chunk = min(chunk * 2, 64)
+                    for (rl, ne, w, pat, cb_c, sl_c, pc_c, ce_c, mb_c,
+                         rngs_g) in groups:
+                        nrg = len(rl)
+                        z = np.stack(
+                            [rg.standard_normal(ns * w) for rg in rngs_g]
+                        )
+                        prod = z.reshape(nrg, ns, w) * pat
+                        fac = np.fromiter(
+                            map(exp, prod.ravel().tolist()),
+                            np.float64,
+                            nrg * ns * w,
+                        ).reshape(nrg, ns, w)
+                        dcv = fac[:, :, 0] * cb_c
+                        dcv *= sl_c
+                        dov = fac[:, :, w - 1] * ovbase
+                        dov += pc_c
+                        dov *= sl_c
+                        dov += ce_c
+                        inter = np.empty((nrg, 2 * ns))
+                        inter[:, 0::2] = dcv
+                        inter[:, 1::2] = dov
+                        inter[:, 0] += [carry[r] for r in rl]
+                        cs_ = np.cumsum(inter, axis=1)
+                        tcg = cs_[:, 0::2]
+                        if ne:
+                            arr = fac[:, :, 1 : w - 1] * mb_c
+                            arr += tcg[:, :, None]
+                            arr_rows = arr.tolist()
+                        tc_rows = tcg.tolist()
+                        ts_rows = cs_[:, 1::2].tolist()
+                        for i, r in enumerate(rl):
+                            tc_l[r].extend(tc_rows[i])
+                            tr = ts_rows[i]
+                            ts_l[r].append(carry[r])
+                            ts_l[r].extend(tr[:-1])
+                            carry[r] = tr[-1]
+                            if ne:
+                                arr_l[r].extend(arr_rows[i])
+                            cover[r] = carry[r]
+                    gen_all += ns
+                    if gen_all >= max_iterations:
+                        for r in range(n_ranks):
+                            cover[r] = INF
+                    return True
+
+                merged = 0
+                otc: list = []
+                ots: list = []
+                orr: list = []
+                ork: list = []
+                pos = 0
+
+                def _merge() -> None:
+                    """Re-lexsort pending plus newly generated events."""
+                    nonlocal otc, ots, orr, ork, pos, merged
+                    tps = [np.array(otc[pos:], dtype=np.float64)]
+                    sps = [np.array(ots[pos:], dtype=np.float64)]
+                    rps = [np.array(orr[pos:], dtype=np.int64)]
+                    kps = [np.array(ork[pos:], dtype=np.int64)]
+                    if merged < gen_all:
+                        ks = np.arange(merged, gen_all, dtype=np.int64)
+                        for r in range(n_ranks):
+                            tps.append(np.array(tc_l[r][merged:gen_all]))
+                            sps.append(np.array(ts_l[r][merged:gen_all]))
+                            rps.append(
+                                np.full(gen_all - merged, r, np.int64)
+                            )
+                            kps.append(ks)
+                        merged = gen_all
+                    tca = npcat(tps)
+                    tsa = npcat(sps)
+                    idx = np.lexsort((tsa, tca))
+                    tca = tca.take(idx)
+                    tsa = tsa.take(idx)
+                    if tca.size > 1:
+                        tie = np.flatnonzero(np.diff(tca) == 0.0)
+                        if tie.size and bool(
+                            np.any(tsa.take(tie) == tsa.take(tie + 1))
+                        ):
+                            raise _TurboBail
+                    otc = tca.tolist()
+                    ots = tsa.tolist()
+                    orr = npcat(rps).take(idx).tolist()
+                    ork = npcat(kps).take(idx).tolist()
+                    pos = 0
+
+                _gen_round()
+                _merge()
+                n_ord = len(otc)
+                hor = min(cover)
+                bat_of = [-1] * n_ranks
+                b_r: list = []
+                b_k: list = []
+                b_tc: list = []
+                b_ts: list = []
+                gs_parts: list = []
+                gv_parts: list = []
+                while not converged:
+                    if pos >= n_ord or otc[pos] >= hor:
+                        # Horizon exhausted: extend every rank at once —
+                        # extending only the binding rank would re-merge
+                        # the whole order once per rank, and the chunk
+                        # cap bounds each round's overdraw.
+                        if _gen_round():
+                            _merge()
+                            n_ord = len(otc)
+                            hor = min(cover)
+                            continue
+                        if pos >= n_ord:
+                            break
+                        hor = min(cover)
+                        continue
+                    # Batch assembly over the static order: stop at a
+                    # repeated rank (its next commit is already sorted in
+                    # place, so no push-back machinery is needed), the
+                    # observation cadence, the generation horizon, or an
+                    # *exact-arrival* conflict — refuse candidate j when
+                    # an in-batch sender's put would reach j's cursor,
+                    # since phase-1 cuts cannot see in-batch fires.
+                    # Refusing on arrival == cursor is safe: such a put
+                    # carries a later stamp than the cursor seq and would
+                    # not deliver sequentially either.
+                    cap = observe_every - commits_since_obs
+                    del b_r[:], b_k[:], b_tc[:], b_ts[:]
+                    while pos < n_ord and len(b_r) < cap:
+                        tcv = otc[pos]
+                        if tcv >= hor:
+                            break
+                        br = orr[pos]
+                        if bat_of[br] >= 0:
+                            break
+                        tsv = ots[pos]
+                        ok = True
+                        for p in in_nbrs[br]:
+                            bj = bat_of[p]
+                            if bj >= 0 and (
+                                arr_l[p][b_k[bj]][emap[p][br]] <= tsv
+                            ):
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                        bat_of[br] = len(b_r)
+                        b_r.append(br)
+                        b_k.append(ork[pos])
+                        b_tc.append(tcv)
+                        b_ts.append(tsv)
+                        pos += 1
+                    nb = len(b_r)
+                    for br in b_r:
+                        bat_of[br] = -1
+                    # Phase 1: every member's mailbox cut at its own
+                    # cursor. Per directed edge an integer frontier walks
+                    # the sender's arrival rows in fire order; records
+                    # passed over unripe go to a (rare) spill list. The
+                    # latest qualifying fire wins — arrival ties on one
+                    # edge resolve to the later fire, matching the
+                    # sequential stamp tiebreak. Winner scatters collect
+                    # into one fused parent-buffer store per batch
+                    # (members own disjoint ghost segments, and the
+                    # relax gather only runs in phase 2).
+                    del gs_parts[:], gv_parts[:]
+                    for bi in range(nb):
+                        bq = b_r[bi]
+                        tsv = b_ts[bi]
+                        for p, ei, gsl, lo, hi in recv_edges[bq]:
+                            ep_p = eptr[p]
+                            wv = ep_p[ei]
+                            fcp = iters[p]
+                            esp = espill[p]
+                            sp = esp[ei]
+                            if not sp:
+                                if wv >= fcp:
+                                    continue
+                                if wv + 1 == fcp:
+                                    # Steady state: exactly one fresh
+                                    # record on the edge.
+                                    a_ = arr_l[p][wv][ei]
+                                    ep_p[ei] = fcp
+                                    if a_ < tsv:
+                                        delivered += 1
+                                        gs_parts.append(gsl)
+                                        gv_parts.append(
+                                            sent_l[p][wv - sbase[p]][
+                                                lo:hi
+                                            ]
+                                        )
+                                    elif a_ == tsv:
+                                        raise _TurboBail
+                                    else:
+                                        esp[ei] = [(a_, wv)]
+                                    continue
+                            nd = 0
+                            best_a = None
+                            bk = -1
+                            if sp:
+                                keep = None
+                                for ent in sp:
+                                    a_ = ent[0]
+                                    if a_ < tsv:
+                                        nd += 1
+                                        if best_a is None or a_ >= best_a:
+                                            best_a = a_
+                                            bk = ent[1]
+                                    elif a_ == tsv:
+                                        raise _TurboBail
+                                    elif keep is None:
+                                        keep = [ent]
+                                    else:
+                                        keep.append(ent)
+                                esp[ei] = keep
+                            if wv < fcp:
+                                ap = arr_l[p]
+                                sp = esp[ei]
+                                while wv < fcp:
+                                    a_ = ap[wv][ei]
+                                    if a_ < tsv:
+                                        nd += 1
+                                        if best_a is None or a_ >= best_a:
+                                            best_a = a_
+                                            bk = wv
+                                    elif a_ == tsv:
+                                        raise _TurboBail
+                                    elif sp is None:
+                                        sp = esp[ei] = [(a_, wv)]
+                                    else:
+                                        sp.append((a_, wv))
+                                    wv += 1
+                                ep_p[ei] = fcp
+                            if nd:
+                                delivered += nd
+                                gs_parts.append(gsl)
+                                gv_parts.append(
+                                    sent_l[p][bk - sbase[p]][lo:hi]
+                                )
+                    if gs_parts:
+                        loc_parent[npcat(gs_parts)] = npcat(gv_parts)
+                    # Phase 2: one stacked relax for the whole batch
+                    # (identical machinery to the heap-driven stacked
+                    # path above), then one batched x commit — safe here
+                    # because turbo batches are never pushed back.
+                    if nb == 1:
+                        b0 = b_r[0]
+                        rows_cat = rows_of[b0]
+                        st_pos_c = st_pos[b0]
+                        st_span_c = st_span[b0]
+                        st_idx_c = st_idx[b0]
+                        st_row_c = st_row[b0]
+                        st_dat_c = st_dat[b0]
+                    else:
+                        i3c = npcat([i3[r] for r in b_r], axis=1)
+                        rows_cat = i3c[0]
+                        st_pos_c = i3c[1]
+                        st_span_c = i3c[2]
+                        i2c = npcat([i2[r] for r in b_r], axis=1)
+                        st_idx_c = i2c[0]
+                        st_row_c = i2c[1]
+                        st_dat_c = npcat([st_dat[r] for r in b_r])
+                    own_cat = x.take(rows_cat)
+                    loc_parent[st_pos_c] = own_cat
+                    g = loc_parent.take(st_idx_c)
+                    np.multiply(st_dat_c, g, out=g)
+                    mv_all = np.bincount(
+                        st_row_c, weights=g, minlength=n_grows
+                    )
+                    mv_cat = mv_all.take(st_span_c)
+                    np.subtract(b.take(rows_cat), mv_cat, out=mv_cat)
+                    np.multiply(dinv.take(rows_cat), mv_cat, out=mv_cat)
+                    pend_cat = np.add(own_cat, mv_cat, out=mv_cat)
+                    x[rows_cat] = pend_cat
+                    seg = None
+                    if incremental:
+                        dx_cat = np.subtract(
+                            pend_cat, own_cat, out=own_cat
+                        )
+                        # Batched scatter-plan apply: concatenate the
+                        # per-member plans with np.repeat-broadcast
+                        # offsets, bincount once, then subtract each
+                        # member's span slice in commit order (bins are
+                        # member-disjoint, so per-row accumulation order
+                        # is bitwise the per-member bincounts).
+                        rep_ps: list = []
+                        loc_ps: list = []
+                        val_ps: list = []
+                        doffs: list = []
+                        goffs: list = []
+                        plens: list = []
+                        seg = []
+                        doff = 0
+                        goff = 0
+                        for bq in b_r:
+                            if sp_n[bq]:
+                                rep_ps.append(sp_rep[bq])
+                                loc_ps.append(sp_loc[bq])
+                                val_ps.append(sp_val[bq])
+                                doffs.append(doff)
+                                goffs.append(goff)
+                                plens.append(sp_n[bq])
+                                seg.append(
+                                    (sp_base[bq], sp_span[bq], goff)
+                                )
+                                goff += sp_span[bq]
+                            else:
+                                seg.append(None)
+                            doff += nrows_loc[bq]
+                        if rep_ps:
+                            if len(rep_ps) == 1:
+                                ri = rep_ps[0] + doffs[0]
+                                li = loc_ps[0] + goffs[0]
+                                vv_ = val_ps[0]
+                            else:
+                                pl = np.array(plens)
+                                ri = npcat(rep_ps) + np.repeat(
+                                    np.array(doffs), pl
+                                )
+                                li = npcat(loc_ps) + np.repeat(
+                                    np.array(goffs), pl
+                                )
+                                vv_ = npcat(val_ps)
+                            sg = dx_cat.take(ri)
+                            np.multiply(vv_, sg, out=sg)
+                            contrib = np.bincount(
+                                li, weights=sg, minlength=goff
+                            )
+                    # Fired rows for the whole batch in one gather; the
+                    # per-member views slice out of it in commit order.
+                    s_parts: list = []
+                    s_offs: list = []
+                    s_lens: list = []
+                    soff = 0
+                    for bq in b_r:
+                        if n_e[bq]:
+                            s_parts.append(cat_rows[bq])
+                            s_offs.append(soff)
+                            s_lens.append(cr_len[bq])
+                        soff += nrows_loc[bq]
+                    if s_parts:
+                        if len(s_parts) == 1:
+                            svals = pend_cat.take(
+                                s_parts[0] + s_offs[0]
+                            )
+                        else:
+                            svals = pend_cat.take(
+                                npcat(s_parts)
+                                + np.repeat(
+                                    np.array(s_offs), np.array(s_lens)
+                                )
+                            )
+                    # Phase 3: commits in cursor order — residual
+                    # updates, fires, observations and seq advances
+                    # exactly as the sequential path interleaves them.
+                    scur = 0
+                    for bi in range(nb):
+                        bq = b_r[bi]
+                        t = b_tc[bi]
+                        if seg is not None:
+                            sg_ = seg[bi]
+                            if sg_ is not None:
+                                sb_, ssp, go = sg_
+                                r_vec[sb_ : sb_ + ssp] -= contrib[
+                                    go : go + ssp
+                                ]
+                        iters[bq] += 1
+                        relaxations += nrows_loc[bq]
+                        t_end = t
+                        ne_q = n_e[bq]
+                        if ne_q:
+                            sl_q = sent_l[bq]
+                            nxt = scur + cr_len[bq]
+                            sl_q.append(svals[scur:nxt])
+                            scur = nxt
+                            seq += ne_q
+                            puts_fired += ne_q
+                            if len(sl_q) >= 96:
+                                # Trim rows every consumer is past.
+                                mn = iters[bq]
+                                for ei in range(ne_q):
+                                    sp = espill[bq][ei]
+                                    k0 = (
+                                        sp[0][1]
+                                        if sp
+                                        else eptr[bq][ei]
+                                    )
+                                    if k0 < mn:
+                                        mn = k0
+                                if mn > sbase[bq]:
+                                    del sl_q[: mn - sbase[bq]]
+                                    sbase[bq] = mn
+                        commits_since_obs += 1
+                        if commits_since_obs >= observe_every:
+                            # Cap placement guarantees this is the
+                            # batch's last member.
+                            commits_since_obs = 0
+                            res = observe_residual()
+                            times.append(t)
+                            residuals.append(res)
+                            counts.append(relaxations)
+                            if res < tol:
+                                converged = True
+                                conv_t = t
+                                break
+                        if iters[bq] >= max_iterations:
+                            continue
+                        seq += 2
+                # Exit bookkeeping. Boxed-record reconciliation below
+                # sees only empty boxes; pending deliveries live in the
+                # spill lists and unconsumed frontier ranges instead.
+                for r in range(n_ranks):
+                    frk = ranks[r]
+                    frk.iterations = iters[r]
+                    if iters[r] >= max_iterations:
+                        frk.stopped = True
+                tm.puts_sent += puts_fired
+                if converged:
+                    ct = conv_t
+                    for p in range(n_ranks):
+                        ap = arr_l[p]
+                        fcp = iters[p]
+                        for ei in range(n_e[p]):
+                            sp = espill[p][ei]
+                            if sp:
+                                for a_, _k in sp:
+                                    if a_ < ct:
+                                        delivered += 1
+                                    elif a_ == ct:
+                                        raise _TurboBail
+                            for wv in range(eptr[p][ei], fcp):
+                                a_ = ap[wv][ei]
+                                if a_ < ct:
+                                    delivered += 1
+                                elif a_ == ct:
+                                    raise _TurboBail
+                else:
+                    for p in range(n_ranks):
+                        fcp = iters[p]
+                        for ei in range(n_e[p]):
+                            sp = espill[p][ei]
+                            delivered += (
+                                len(sp) if sp else 0
+                            ) + fcp - eptr[p][ei]
+            except _TurboBail:
+                # An exact tie the static order cannot break: rerun on
+                # the two-event engine, whose seq stamps resolve it.
+                # Nothing observable leaked — per-run state (ranks,
+                # queue, telemetry) is rebuilt from scratch and ``x0``
+                # was never mutated.
+                return self.run_async(
+                    x0=x0,
+                    tol=tol,
+                    max_iterations=max_iterations,
+                    observe_every=observe_every,
+                    eager=eager,
+                    termination=termination,
+                    report_every=report_every,
+                    residual_mode=residual_mode,
+                    recompute_every=recompute_every,
+                    instrument=instrument,
+                    tracer=tracer,
+                    legacy_engine=legacy_engine,
+                    queue_backend=queue_backend,
+                    delivery=delivery,
+                    relax_backend="event",
+                )
+        while block_mode and heap and not converged:
+            ev = hpop(heap)
+            if stacked and ev[2] == _COMMIT and heap:
+                batch = [ev]
+                bt_pop[ev[3]] = ev[0]
+                cap = observe_every - commits_since_obs
+                while len(batch) < cap and heap and heap[0][2] == _COMMIT:
+                    nev = heap[0]
+                    cts = nev[4][0]
+                    ok = True
+                    for q in in_nbrs[nev[3]]:
+                        tq = bt_pop[q]
+                        if tq is not None and tq < cts:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                    batch.append(hpop(heap))
+                    bt_pop[nev[3]] = nev[0]
+                for e in batch:
+                    bt_pop[e[3]] = None
+                # Never split a same-time tie group across the batch
+                # boundary: ties must sort by cursor *together*.
+                while len(batch) > 1 and heap and heap[0][0] == batch[-1][0]:
+                    hpush(heap, batch.pop())
+                if len(batch) > 1:
+                    batch.sort(key=lambda e: (e[0], e[4]))
+                    # Phase 1: every member's mailbox cut at its own
+                    # cursor. Intra-batch puts arrive after t1 and cannot
+                    # qualify, so flushing up front matches sequential
+                    # order (and is idempotent if a member is pushed back).
+                    for e in batch:
+                        brid = e[3]
+                        bts, bsv = e[4]
+                        w_slots: list = []
+                        w_vals: list = []
+                        for box, slots in in_boxes[brid]:
+                            if not box:
+                                continue
+                            if len(box) == 1:
+                                m = box[0]
+                                if m[0] < bts or (
+                                    m[0] == bts and m[1] < bsv
+                                ):
+                                    delivered += 1
+                                    w_slots.append(slots)
+                                    w_vals.append(m[2])
+                                    box.clear()
+                                continue
+                            best = None
+                            rest = None
+                            for m in box:
+                                if m[0] < bts or (m[0] == bts and m[1] < bsv):
+                                    delivered += 1
+                                    if best is None or m > best:
+                                        best = m
+                                elif rest is None:
+                                    rest = [m]
+                                else:
+                                    rest.append(m)
+                            if best is not None:
+                                w_slots.append(slots)
+                                w_vals.append(best[2])
+                                if rest is None:
+                                    box.clear()
+                                else:
+                                    box[:] = rest
+                        # In-edge slot sets are disjoint (each ghost
+                        # position has exactly one sender), so one fused
+                        # scatter is bitwise the per-edge stores.
+                        if w_vals and len(w_vals) == n_in[brid]:
+                            ghosts_of[brid][in_slot_cat[brid]] = (
+                                np.concatenate(w_vals)
+                            )
+                        else:
+                            gh = ghosts_of[brid]
+                            for sl, vv in zip(w_slots, w_vals):
+                                gh[sl] = vv
+                    # Phase 2: one stacked relax for the whole batch.
+                    rids = [e[3] for e in batch]
+                    rows_cat = np.concatenate([rows_of[r] for r in rids])
+                    own_cat = x.take(rows_cat)
+                    loc_parent[
+                        np.concatenate([st_pos[r] for r in rids])
+                    ] = own_cat
+                    g = loc_parent.take(
+                        np.concatenate([st_idx[r] for r in rids])
+                    )
+                    np.multiply(
+                        np.concatenate([st_dat[r] for r in rids]), g, out=g
+                    )
+                    mv_all = np.bincount(
+                        np.concatenate([st_row[r] for r in rids]),
+                        weights=g,
+                        minlength=n_grows,
+                    )
+                    mv_cat = mv_all.take(
+                        np.concatenate([st_span[r] for r in rids])
+                    )
+                    np.subtract(b.take(rows_cat), mv_cat, out=mv_cat)
+                    np.multiply(dinv.take(rows_cat), mv_cat, out=mv_cat)
+                    pend_cat = np.add(own_cat, mv_cat, out=mv_cat)
+                    # Phase 3: commits in cursor order — x writes, residual
+                    # updates, RNG draws, put firing and next-event pushes
+                    # exactly as the sequential path interleaves them.
+                    off = 0
+                    nb = len(batch)
+                    for bi in range(nb):
+                        t, s, _bk, rid, payload = batch[bi]
+                        rk = ranks[rid]
+                        m = nrows_loc[rid]
+                        pb = pend_cat[off : off + m]
+                        own = own_cat[off : off + m]
+                        off += m
+                        if incremental:
+                            np.subtract(pb, own, out=dx_buf[rid])
+                            x[rows_of[rid]] = pb
+                            splans[rid].apply(r_vec, dx_buf[rid])
+                        else:
+                            x[rows_of[rid]] = pb
+                        rk.iterations += 1
+                        relaxations += nrows_loc[rid]
+                        t_end = t
+                        f = fbuf[rid]
+                        fent = fire[rid]
+                        if fent:
+                            vals = pb.take(cat_rows[rid])
+                            if f is not None:
+                                if sigma_net > 0:
+                                    j = net_j0
+                                    for box, mb, lo, hi in fent:
+                                        box.append(
+                                            (t + mb * f[j], seq, vals[lo:hi])
+                                        )
+                                        seq += 1
+                                        j += 1
+                                else:
+                                    for box, mb, lo, hi in fent:
+                                        box.append((t + mb, seq, vals[lo:hi]))
+                                        seq += 1
+                            else:
+                                rng = (
+                                    rk.rng if fstreams[rid] is None else None
+                                )
+                                if rng is not None and sigma_net > 0:
+                                    for box, mb, lo, hi in fent:
+                                        box.append(
+                                            (t + mb
+                                             * float(rng.lognormal(
+                                                 0.0, sigma_net)),
+                                             seq, vals[lo:hi])
+                                        )
+                                        seq += 1
+                                else:
+                                    for box, mb, lo, hi in fent:
+                                        box.append((t + mb, seq, vals[lo:hi]))
+                                        seq += 1
+                        tm.puts_sent += len(fent)
+                        commits_since_obs += 1
+                        if commits_since_obs >= observe_every:
+                            # Cap placement guarantees this is the batch's
+                            # last member, so earlier flushes stay valid.
+                            commits_since_obs = 0
+                            res = observe_residual()
+                            times.append(t)
+                            residuals.append(res)
+                            counts.append(relaxations)
+                            if res < tol:
+                                converged = True
+                                conv_cursor = (t, s)
+                                break
+                        if rk.iterations >= max_iterations:
+                            rk.stopped = True
+                            continue
+                        f = fbuf[rid]
+                        if f is not None:
+                            if sigma_m > 0:
+                                nts = t + ((ovbase * f[-1] + puts_const[rid])
+                                           * slow[rid] + const_extra[rid])
+                            else:
+                                nts = t + ((ovbase + puts_const[rid])
+                                           * slow[rid] + const_extra[rid])
+                        else:
+                            base = ovbase
+                            rng = rk.rng
+                            if fstreams[rid] is None and sigma_m > 0:
+                                base *= float(rng.lognormal(0.0, sigma_m))
+                            ce = const_extra[rid]
+                            if ce is None:
+                                ce = self.delay.extra_time(
+                                    rid, rk.iterations, rng
+                                )
+                            nts = t + ((base + puts_const[rid]) * slow[rid]
+                                       + ce)
+                        nsv = seq
+                        seq += 1
+                        st = fstreams[rid]
+                        if st is None:
+                            base = cbase[rid]
+                            if sigma_m > 0:
+                                base *= float(rk.rng.lognormal(0.0, sigma_m))
+                            nct = nts + base * slow[rid]
+                        elif type(st) is tuple:
+                            nct = nts + cbase[rid] * slow[rid]
+                        else:
+                            fl = fbuf[rid] = st.next_step()
+                            if sigma_m > 0:
+                                nct = nts + (cbase[rid] * fl[0]) * slow[rid]
+                            else:
+                                nct = nts + cbase[rid] * slow[rid]
+                        hpush(heap, (nct, seq, _COMMIT, rid, (nts, nsv)))
+                        seq += 1
+                        # If the event just pushed precedes the next batch
+                        # member, sequential order would pop it first: push
+                        # the unprocessed tail back (their flushes are
+                        # idempotent, their relax results pure scratch).
+                        if bi + 1 < nb and nct < batch[bi + 1][0]:
+                            for bj in range(nb - 1, bi, -1):
+                                hpush(heap, batch[bj])
+                            break
+                    continue
+            if heap and heap[0][0] == ev[0]:
+                tb = ev[0]
+                run = [ev]
+                while heap and heap[0][0] == tb:
+                    run.append(hpop(heap))
+                run.sort(
+                    key=lambda e: e[4] if e[2] == _COMMIT else (e[0], e[1])
+                )
+            else:
+                run = (ev,)
+            for ev in run:
+                if converged:
+                    break
+                t, s, kind, rid, payload = ev
+                rk = ranks[rid]
+                if kind == _START:
+                    # Initial wake-up: realize the first virtual read at
+                    # (t, s) and schedule the first block event.
+                    st = fstreams[rid]
+                    if st is None:
+                        base = cbase[rid]
+                        if sigma_m > 0:
+                            base *= float(rk.rng.lognormal(0.0, sigma_m))
+                        hpush(
+                            heap,
+                            (t + base * slow[rid], seq, _COMMIT, rid, (t, s)),
+                        )
+                    elif type(st) is tuple:
+                        hpush(
+                            heap,
+                            (t + cbase[rid] * slow[rid], seq, _COMMIT, rid,
+                             (t, s)),
+                        )
+                    else:
+                        fl = fbuf[rid] = st.next_step()
+                        if sigma_m > 0:
+                            hpush(
+                                heap,
+                                (t + (cbase[rid] * fl[0]) * slow[rid], seq,
+                                 _COMMIT, rid, (t, s)),
+                            )
+                        else:
+                            hpush(
+                                heap,
+                                (t + cbase[rid] * slow[rid], seq, _COMMIT,
+                                 rid, (t, s)),
+                            )
+                    seq += 1
+                    continue
+                # _COMMIT: flush the mailbox at the virtual read cursor,
+                # relax, then commit — one whole block iteration.
+                ts, sv = payload
+                for box, slots in in_boxes[rid]:
+                    if not box:
+                        continue
+                    best = None
+                    rest = None
+                    for e in box:
+                        if e[0] < ts or (e[0] == ts and e[1] < sv):
+                            delivered += 1
+                            if best is None or e > best:
+                                best = e
+                        elif rest is None:
+                            rest = [e]
+                        else:
+                            rest.append(e)
+                    if best is not None:
+                        ghosts_of[rid][slots] = best[2]
+                        if rest is None:
+                            box.clear()
+                        else:
+                            box[:] = rest
+                relax(rk)
+                pb = pend_buf[rid]
+                if incremental:
+                    if gauss_seidel:
+                        x.take(rows_of[rid], out=own_view[rid])
+                    np.subtract(pb, own_view[rid], out=dx_buf[rid])
+                    x[rows_of[rid]] = pb
+                    splans[rid].apply(r_vec, dx_buf[rid])
+                else:
+                    x[rows_of[rid]] = pb
+                rk.iterations += 1
+                relaxations += nrows_loc[rid]
+                t_end = t
+                f = fbuf[rid]
+                fent = fire[rid]
+                if fent:
+                    vals = pb.take(cat_rows[rid])
+                    if f is not None:
+                        if sigma_net > 0:
+                            j = net_j0
+                            for box, mb, lo, hi in fent:
+                                box.append((t + mb * f[j], seq, vals[lo:hi]))
+                                seq += 1
+                                j += 1
+                        else:
+                            for box, mb, lo, hi in fent:
+                                box.append((t + mb, seq, vals[lo:hi]))
+                                seq += 1
+                    else:
+                        rng = rk.rng if fstreams[rid] is None else None
+                        if rng is not None and sigma_net > 0:
+                            for box, mb, lo, hi in fent:
+                                box.append(
+                                    (t + mb * float(rng.lognormal(0.0, sigma_net)),
+                                     seq, vals[lo:hi])
+                                )
+                                seq += 1
+                        else:
+                            for box, mb, lo, hi in fent:
+                                box.append((t + mb, seq, vals[lo:hi]))
+                                seq += 1
+                tm.puts_sent += len(fent)
+                commits_since_obs += 1
+                if commits_since_obs >= observe_every:
+                    commits_since_obs = 0
+                    res = observe_residual()
+                    times.append(t)
+                    residuals.append(res)
+                    counts.append(relaxations)
+                    if res < tol:
+                        converged = True
+                        # Measure-zero caveat: a message arriving at
+                        # *exactly* this event's time counts against this
+                        # event's seq rather than the seq a two-event
+                        # COMMIT would have carried; under any nonzero
+                        # jitter exact ties never occur.
+                        conv_cursor = (t, s)
+                        continue
+                if rk.iterations >= max_iterations:
+                    rk.stopped = True
+                    continue
+                # Next block event: the virtual START at t + overhead
+                # consumes the seq its real push would have, then the
+                # next iteration's compute factor is drawn — the same
+                # per-rank draw positions the two-event engine uses.
+                f = fbuf[rid]
+                if f is not None:
+                    if sigma_m > 0:
+                        nts = t + ((ovbase * f[-1] + puts_const[rid])
+                                   * slow[rid] + const_extra[rid])
+                    else:
+                        nts = t + ((ovbase + puts_const[rid]) * slow[rid]
+                                   + const_extra[rid])
+                else:
+                    base = ovbase
+                    rng = rk.rng
+                    if fstreams[rid] is None and sigma_m > 0:
+                        base *= float(rng.lognormal(0.0, sigma_m))
+                    ce = const_extra[rid]
+                    if ce is None:
+                        ce = self.delay.extra_time(rid, rk.iterations, rng)
+                    nts = t + ((base + puts_const[rid]) * slow[rid] + ce)
+                nsv = seq
+                seq += 1
+                st = fstreams[rid]
+                if st is None:
+                    base = cbase[rid]
+                    if sigma_m > 0:
+                        base *= float(rk.rng.lognormal(0.0, sigma_m))
+                    hpush(
+                        heap,
+                        (nts + base * slow[rid], seq, _COMMIT, rid,
+                         (nts, nsv)),
+                    )
+                elif type(st) is tuple:
+                    hpush(
+                        heap,
+                        (nts + cbase[rid] * slow[rid], seq, _COMMIT, rid,
+                         (nts, nsv)),
+                    )
+                else:
+                    fl = fbuf[rid] = st.next_step()
+                    if sigma_m > 0:
+                        hpush(
+                            heap,
+                            (nts + (cbase[rid] * fl[0]) * slow[rid], seq,
+                             _COMMIT, rid, (nts, nsv)),
+                        )
+                    else:
+                        hpush(
+                            heap,
+                            (nts + cbase[rid] * slow[rid], seq, _COMMIT,
+                             rid, (nts, nsv)),
+                        )
+                seq += 1
         if fast:
             queue._seq = seq
+            if batch_delivery:
+                # Messages still boxed at exit: a drained heap means the
+                # per-event engine would have popped (delivered) every one
+                # of them; a convergence exit delivers exactly those that
+                # arrival-precede the converging commit event.
+                if conv_cursor is not None:
+                    ct, cs = conv_cursor
+                    for fent in fire:
+                        for box, _mb, _lo, _hi in fent:
+                            for e in box:
+                                if e[0] < ct or (e[0] == ct and e[1] < cs):
+                                    delivered += 1
+                elif not converged:
+                    for fent in fire:
+                        for box, _mb, _lo, _hi in fent:
+                            delivered += len(box)
             tm.puts_delivered += delivered
 
         while queue and not converged:
@@ -1314,7 +2655,14 @@ class DistributedJacobi:
                         # scatter below IS the one-sided RMA landing.
                         if trc is None:
                             slots, values = payload
-                            rk.ghosts[slots] = values
+                            if batch_delivery:
+                                ps = pend_scatter[rid]
+                                k = id(slots)
+                                if k in ps:
+                                    coalesced_puts += 1
+                                ps[k] = (slots, values, None)
+                            else:
+                                rk.ghosts[slots] = values
                             tm.puts_delivered += 1
                             fresh[rid] = True
                             if eager and idle[rid] and not rk.stopped:
@@ -1322,9 +2670,22 @@ class DistributedJacobi:
                                 queue.push(t, _START, rid, rk.epoch)
                             continue
                         slots, values, meta = payload
-                        rk.ghosts[slots] = values
-                        if trace_reads and meta is not None and meta.get("vers") is not None:
-                            rk.ghost_ver[slots] = meta["vers"]
+                        vers = (
+                            meta["vers"]
+                            if trace_reads and meta is not None
+                            and meta.get("vers") is not None
+                            else None
+                        )
+                        if batch_delivery:
+                            ps = pend_scatter[rid]
+                            k = id(slots)
+                            if k in ps:
+                                coalesced_puts += 1
+                            ps[k] = (slots, values, vers)
+                        else:
+                            rk.ghosts[slots] = values
+                            if vers is not None:
+                                rk.ghost_ver[slots] = vers
                         tm.puts_delivered += 1
                         trc.recv(
                             t, rid, None, values.size, seq=None,
@@ -1354,9 +2715,22 @@ class DistributedJacobi:
                         tm.duplicates_suppressed += 1
                         continue
                     applied_seq[ch] = seq
-                    rk.ghosts[slots] = values
-                    if trace_reads and meta is not None and meta.get("vers") is not None:
-                        rk.ghost_ver[slots] = meta["vers"]
+                    vers = (
+                        meta["vers"]
+                        if trace_reads and meta is not None
+                        and meta.get("vers") is not None
+                        else None
+                    )
+                    if batch_delivery:
+                        ps = pend_scatter[rid]
+                        k = id(slots)
+                        if k in ps:
+                            coalesced_puts += 1
+                        ps[k] = (slots, values, vers)
+                    else:
+                        rk.ghosts[slots] = values
+                        if vers is not None:
+                            rk.ghost_ver[slots] = vers
                     tm.puts_delivered += 1
                     if trc is not None:
                         trc.recv(
@@ -1470,6 +2844,9 @@ class DistributedJacobi:
                         rk.ghosts[:] = x[rk.ghost_cols]  # ghost re-sync
                         if trace_reads:
                             rk.ghost_ver[:] = version[rk.ghost_cols]
+                        if batch_delivery:
+                            # Pre-crash arrivals are superseded by the re-sync.
+                            pend_scatter[rid].clear()
                     tm.restarts.append((rid, t))
                     if trc is not None:
                         trc.fault(t, rid, "restart")
@@ -1495,6 +2872,9 @@ class DistributedJacobi:
                         drk.ghosts[:] = x[drk.ghost_cols]  # ghost re-sync
                         if trace_reads:
                             drk.ghost_ver[:] = version[drk.ghost_cols]
+                        if batch_delivery:
+                            # The re-sync supersedes anything boxed.
+                            pend_scatter[dead].clear()
                     tm.adoptions.append((dead, rid, t))
                     if trc is not None:
                         trc.detect(t, dead, "adopted")
@@ -1534,6 +2914,8 @@ class DistributedJacobi:
                         idle[rid] = True
                         continue
                     fresh[rid] = False
+                    if batch_delivery:
+                        flush_ghosts(rk)
                     # Read-to-write span: reads (own + ghosts) now, write at COMMIT.
                     relax(rk)
                     if trace_reads:
@@ -1556,6 +2938,9 @@ class DistributedJacobi:
                             drk.ghosts[:] = x[drk.ghost_cols]
                             if trace_reads:
                                 drk.ghost_ver[:] = version[drk.ghost_cols]
+                            if batch_delivery:
+                                # The re-sync supersedes anything boxed.
+                                pend_scatter[d].clear()
                         relax(drk)
                         if trace_reads:
                             capture_reads(drk)
@@ -1628,6 +3013,12 @@ class DistributedJacobi:
         converged = converged or res < tol
         if perf is not None:
             perf.total_seconds = _time.perf_counter() - run_start
+            if batch_delivery:
+                perf.puts_coalesced = coalesced_puts
+                perf.delivery_flushes = flush_batches
+                perf.delivery_edges_flushed = flushed_edges
+                perf.delivery_batch_max = batch_max
+                perf.ledger_scatter_width = ledger_width
         if trc is not None:
             trc.run_end(t_end, converged, relaxations)
         return SimulationResult(
@@ -1721,6 +3112,102 @@ class DistributedJacobi:
                 PatternJitterStream(rk.rng, pattern) if pattern else ()
             )
 
+        # Vectorized sweep timing: when every rank prefetches (all
+        # streams are PatternJitterStreams), whole blocks of sweeps can
+        # be drawn, exponentiated and max-reduced as arrays. Ranks are
+        # grouped by draw-pattern width so each group's normals stack
+        # into one rectangular block; ``max`` is exact, so reducing
+        # across ranks elementwise is bitwise the scalar running max.
+        # Per-factor arithmetic keeps the scalar operand order
+        # (``(cbase*f)*slow`` etc.), and ``math.exp`` stays libm.
+        vec = n_ranks > 0 and all(
+            type(st) is PatternJitterStream for st in streams
+        )
+        if vec:
+            const_comp = 0.0  # jitter-free cycle contributions
+            const_comm = 0.0  # jitter-free message contributions
+            gmeta = []
+            groups: dict = {}
+            for ri, rk in enumerate(ranks):
+                e = len(rk.send_plan) if sigma_net > 0 else 0
+                w = (2 if sigma_m > 0 else 0) + e
+                groups.setdefault(w, []).append(ri)
+                if sigma_m <= 0:
+                    cyc = cbase[ri] * slow[ri] + (
+                        (ovbase + puts_const[ri]) * slow[ri] + const_extra[ri]
+                    )
+                    if cyc > const_comp:
+                        const_comp = cyc
+                if sigma_net <= 0:
+                    for mb in msg_bases[ri]:
+                        if mb > const_comm:
+                            const_comm = mb
+            for w, idxs in groups.items():
+                nrg = len(idxs)
+                if sigma_m > 0:
+                    pat = [sigma_m, sigma_m] + [sigma_net] * (w - 2)
+                else:
+                    pat = [sigma_net] * w
+                pat_a = np.asarray(pat, dtype=np.float64)
+                cb = np.array([cbase[ri] for ri in idxs])[:, None]
+                sl = np.array([slow[ri] for ri in idxs])[:, None]
+                pc = np.array([puts_const[ri] for ri in idxs])[:, None]
+                ce = np.array([const_extra[ri] for ri in idxs])[:, None]
+                j0 = 2 if sigma_m > 0 else 0
+                mb_mat = (
+                    np.array([msg_bases[ri] for ri in idxs])[:, None, :]
+                    if w > j0
+                    else None
+                )
+                rngs = [ranks[ri].rng for ri in idxs]
+                gmeta.append((w, nrg, pat_a, cb, sl, pc, ce, j0, mb_mat, rngs))
+
+            exp = math.exp
+
+            def _sweep_chunk(S: int):
+                """(compute, comm) lists for the next ``S`` sweeps."""
+                comp_c = None
+                comm_c = None
+                for w, nrg, pat_a, cb, sl, pc, ce, j0, mb_mat, rngs in gmeta:
+                    z = np.empty((nrg, S * w))
+                    for gi, rng in enumerate(rngs):
+                        z[gi] = rng.standard_normal(S * w)
+                    prod = z.reshape(nrg, S, w) * pat_a
+                    fac = np.array(
+                        [exp(v) for v in prod.ravel().tolist()]
+                    ).reshape(nrg, S, w)
+                    if sigma_m > 0:
+                        t1 = fac[:, :, 0] * cb
+                        t1 *= sl
+                        t2 = fac[:, :, 1] * ovbase
+                        t2 += pc
+                        t2 *= sl
+                        t2 += ce
+                        t1 += t2
+                        gcomp = np.max(t1, axis=0)
+                        if comp_c is None:
+                            comp_c = gcomp
+                        else:
+                            np.maximum(comp_c, gcomp, out=comp_c)
+                    if mb_mat is not None:
+                        mv = fac[:, :, j0:] * mb_mat
+                        gcomm = np.max(mv, axis=(0, 2))
+                        if comm_c is None:
+                            comm_c = gcomm
+                        else:
+                            np.maximum(comm_c, gcomm, out=comm_c)
+                if comp_c is None:
+                    comp_l = [const_comp] * S
+                else:
+                    np.maximum(comp_c, const_comp, out=comp_c)
+                    comp_l = comp_c.tolist()
+                if comm_c is None:
+                    comm_l = [const_comm] * S
+                else:
+                    np.maximum(comm_c, const_comm, out=comm_c)
+                    comm_l = comm_c.tolist()
+                return comp_l, comm_l
+
         b_norm = vector_norm(b, 1)
         # One SpMV per sweep in the Jacobi branch: the residual driving the
         # update doubles as the previous sweep's convergence check.
@@ -1730,8 +3217,44 @@ class DistributedJacobi:
         t = 0.0
         relaxations = 0
         k = 0
+        vi = vn = 0
+        v_steps = 8
+        comp_buf: list = []
+        comm_buf: list = []
         converged = res0 < tol
         while not converged and k < max_iterations:
+            if vec:
+                if vi >= vn:
+                    S = min(v_steps, max(max_iterations - k, 1))
+                    if v_steps < 128:
+                        v_steps *= 4
+                    comp_buf, comm_buf = _sweep_chunk(S)
+                    vn = S
+                    vi = 0
+                compute = comp_buf[vi]
+                comm = comm_buf[vi]
+                vi += 1
+                t += compute + comm + allreduce
+                if self.local_sweep == "jacobi":
+                    x += dinv * r
+                else:
+                    updates = []
+                    for rk in ranks:
+                        if rk.ghost_cols.size:
+                            rk.ghosts[:] = x[rk.ghost_cols]
+                        updates.append(self._relax_block(rk, x))
+                    for rk, new in zip(ranks, updates):
+                        x[rk.rows] = new
+                relaxations += self.n
+                k += 1
+                r = b - A.matvec(x)
+                num = vector_norm(r, 1)
+                res = num / b_norm if b_norm > 0 else num
+                times.append(t)
+                residuals.append(res)
+                counts.append(relaxations)
+                converged = res < tol
+                continue
             compute = 0.0
             comm = 0.0
             # One pass per rank: cycle time then message times, exactly the

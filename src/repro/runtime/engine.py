@@ -533,10 +533,11 @@ class PatternJitterStream:
     Bit-identical to per-call scalar ``rng.lognormal(0.0, sigma_i)`` under
     the same gating rule as :class:`JitterStream`: no other draws may hit
     the generator between refills. Draws prefetched beyond the last
-    consumed step are simply discarded with the generator. Factors are
-    exponentiated eagerly at refill time; the chunk size starts small and
-    grows geometrically toward ``steps``, so short runs waste little
-    ``exp`` work on the tail while long runs amortize the refill.
+    consumed step are simply discarded with the generator. Refills keep
+    the scaled normals raw and ``math.exp`` runs lazily per consumed
+    step, so overdrawn tail positions never pay for the (libm, scalar)
+    exponential; the chunk size starts small and grows geometrically
+    toward ``steps`` to bound even the raw-draw waste on short runs.
     """
 
     __slots__ = ("_rng", "_pattern", "_width", "_max_steps", "_steps",
@@ -561,8 +562,10 @@ class PatternJitterStream:
                 self._steps = min(steps * 4, self._max_steps)
             self._size = steps * self._width
             z = self._rng.standard_normal(self._size)
-            prod = (np.tile(self._pattern, steps) * z).tolist()
-            self._buf = [math.exp(v) for v in prod]
+            self._buf = (
+                z.reshape(steps, self._width) * self._pattern
+            ).ravel().tolist()
             i = 0
         self._i = i + self._width
-        return self._buf[i : i + self._width]
+        exp = math.exp
+        return [exp(v) for v in self._buf[i : i + self._width]]

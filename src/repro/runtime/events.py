@@ -52,6 +52,36 @@ class EventQueue:
             )
         heapq.heappush(self._heap, (time, next(self._seq), payload))
 
+    def extend(self, items) -> int:
+        """Bulk-schedule an iterable of ``(time, payload)`` pairs.
+
+        Sequence numbers are assigned in iteration order and the pop order
+        depends only on ``(time, seq)``, so draining the queue afterwards is
+        indistinguishable from an equivalent loop of :meth:`push` calls.
+        When the batch rivals the pending heap in size, one ``heapify``
+        replaces per-item sift-ups; smaller batches fall back to pushes.
+        Validation failures reject the whole batch. Returns the batch size.
+        """
+        batch = []
+        for time, payload in items:
+            if math.isnan(time):
+                raise SimulationError(
+                    f"cannot schedule event at NaN time (payload={payload!r})"
+                )
+            if time < self._now:
+                raise SimulationError(
+                    f"cannot schedule event at t={time} before current "
+                    f"time t={self._now}"
+                )
+            batch.append((time, next(self._seq), payload))
+        if len(batch) >= len(self._heap):
+            self._heap.extend(batch)
+            heapq.heapify(self._heap)
+        else:
+            for item in batch:
+                heapq.heappush(self._heap, item)
+        return len(batch)
+
     def pop(self):
         """Remove and return the earliest ``(time, payload)``."""
         if not self._heap:

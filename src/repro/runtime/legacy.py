@@ -428,11 +428,13 @@ def distributed_run_async(
         )
 
     queue = EventQueue()
-    for rk in ranks:
-        queue.push(
+    queue.extend(
+        (
             float(rk.rng.random()) * sim.cluster.node.iteration_overhead,
             (_START, rk.rank, rk.epoch),
         )
+        for rk in ranks
+    )
     # Scripted restarts are known up front; crashes need no event — the
     # plan is consulted at every START/COMMIT/MESSAGE touching the rank.
     for r in sorted(plan.agents()):

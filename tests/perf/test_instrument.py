@@ -39,6 +39,46 @@ class TestPerfCounters:
         assert d["total_seconds"] == 1.0 and d["trials"] == 5
         assert "dispatch" in perf.summary()
 
+    def test_delivery_counters_merge_and_digest(self):
+        a = PerfCounters(
+            puts_coalesced=3, delivery_flushes=4, delivery_edges_flushed=10,
+            delivery_batch_max=5, ledger_scatter_width=7,
+        )
+        b = PerfCounters(
+            puts_coalesced=1, delivery_flushes=2, delivery_edges_flushed=4,
+            delivery_batch_max=3, ledger_scatter_width=1,
+        )
+        a.merge(b)
+        assert a.puts_coalesced == 4 and a.delivery_flushes == 6
+        assert a.delivery_edges_flushed == 14
+        assert a.delivery_batch_max == 5  # widest flush, not a sum
+        assert a.ledger_scatter_width == 8
+        digest = a.delivery_summary()
+        assert "4 puts coalesced" in digest and "max 5" in digest
+        assert a.as_dict()["delivery_flushes"] == 6
+        # No flushes -> empty digest, so callers can print conditionally.
+        assert PerfCounters().delivery_summary() == ""
+
+    def test_distributed_batched_run_fills_delivery_counters(self, rng):
+        from repro.matrices.laplacian import fd_laplacian_2d
+        from repro.runtime.distributed import DistributedJacobi
+
+        A = fd_laplacian_2d(8, 8)
+        b = rng.uniform(-1, 1, A.shape[0])
+        sim = DistributedJacobi(A, b, n_ranks=4, seed=3)
+        res = sim.run_async(tol=1e-8, max_iterations=300, instrument=True)
+        perf = res.perf
+        assert perf.delivery_flushes > 0
+        assert perf.delivery_edges_flushed >= perf.delivery_flushes
+        assert perf.delivery_batch_max >= 1
+        assert "puts coalesced" in perf.delivery_summary()
+        # The eager-delivery arm keeps the counters at zero.
+        res2 = sim.run_async(
+            tol=1e-8, max_iterations=300, instrument=True, delivery="event"
+        )
+        assert res2.perf.delivery_flushes == 0
+        assert res2.perf.delivery_summary() == ""
+
 
 @pytest.fixture
 def system(rng):

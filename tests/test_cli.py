@@ -23,7 +23,7 @@ class TestCLI:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "fig9", "ablations", "seeds", "faults", "trace",
+            "fig8", "fig9", "ablations", "seeds", "scale", "faults", "trace",
         }
 
     def test_run_one_experiment(self, capsys):
