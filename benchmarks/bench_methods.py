@@ -1,0 +1,94 @@
+"""Iteration-method sweep: one async run per method, same machine.
+
+Runs each member of the pluggable method family (:mod:`repro.methods`)
+through the shared-memory simulator on one FD Laplacian with a fixed seed
+— so every trajectory is deterministic — and archives, per method, the
+relaxation count to the target residual reduction and the wall-clock time
+(``benchmarks/results/methods.json``). The counts are machine-independent
+and are what regressions gate on; the timings are context for humans.
+
+Parameters per method follow each one's own theory: Richardson takes its
+optimal step size from the spectrum
+(:meth:`~repro.methods.Richardson.optimal_alpha`), SOR stays inside
+Vigna's ``omega <= 1`` hypothesis, damped Jacobi uses the classical 2/3.
+Second-order Richardson runs with *mild* momentum (``beta = 0.3``): the
+heavy-ball ``beta`` that is optimal for the synchronous iteration is
+tuned to the edge of stability and demonstrably diverges once updates go
+stale under asynchrony — the momentum term keeps amplifying along
+directions whose corrections arrive late.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import publish, publish_json
+
+from repro.experiments.report import format_table
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.methods import Richardson
+from repro.runtime.shared import SharedMemoryJacobi
+
+GRID = (24, 24)
+N_THREADS = 8
+SEED = 33
+TOL = 1e-6
+MAX_ITERATIONS = 5000
+
+
+def _method_specs(A):
+    alpha = Richardson.optimal_alpha(A)
+    return (
+        ("jacobi", {"kind": "jacobi", "omega": 1.0}),
+        ("damped_jacobi", {"kind": "damped_jacobi", "omega": 2.0 / 3.0}),
+        ("richardson", {"kind": "richardson", "alpha": alpha}),
+        ("richardson2", {"kind": "richardson2", "alpha": alpha,
+                         "beta": 0.3}),
+        ("sor", {"kind": "sor", "omega": 1.0}),
+    )
+
+
+def test_method_sweep(benchmark):
+    A = fd_laplacian_2d(*GRID)
+    b = np.ones(A.nrows)
+
+    def sweep():
+        rows = []
+        for name, spec in _method_specs(A):
+            sim = SharedMemoryJacobi(
+                A, b, n_threads=N_THREADS, seed=SEED, method=spec
+            )
+            start = time.perf_counter()
+            result = sim.run_async(tol=TOL, max_iterations=MAX_ITERATIONS)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (
+                    name,
+                    result.converged,
+                    int(result.relaxation_counts[-1]),
+                    result.residual_norms[-1],
+                    elapsed,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = format_table(
+        ["method", "converged", "relaxations", "final residual", "seconds"],
+        rows,
+    )
+    publish("methods_sweep", report)
+    payload = {}
+    for name, converged, relaxations, _res, elapsed in rows:
+        payload[f"{name}_relaxations"] = relaxations
+        payload[f"{name}_wall_seconds"] = elapsed
+    publish_json("methods", payload)
+
+    by_name = {r[0]: r for r in rows}
+    assert all(r[1] for r in rows), f"non-converged method(s): {rows}"
+    # Damping can only slow an already-convergent Jacobi iteration down.
+    assert by_name["damped_jacobi"][2] >= by_name["jacobi"][2]
+    # The in-block Gauss–Seidel sweeps use fresher values than Jacobi's
+    # simultaneous update, so SOR needs no more relaxations (10% slack for
+    # asynchronous scheduling noise).
+    assert by_name["sor"][2] <= by_name["jacobi"][2] * 1.1

@@ -49,6 +49,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    methods,
     scale,
     seeds,
     table1,
@@ -71,6 +72,7 @@ EXPERIMENTS = {
     "scale": scale,
     "faults": faults,
     "trace": trace,
+    "methods": methods,
 }
 
 #: ``list`` output groups experiments by what part of the repo they exercise.
@@ -80,7 +82,7 @@ GROUPS = (
         "fig6", "fig7", "fig8", "fig9",
     )),
     ("parameter studies", ("ablations", "seeds", "scale")),
-    ("subsystem scenarios", ("faults", "trace")),
+    ("subsystem scenarios", ("faults", "trace", "methods")),
 )
 
 

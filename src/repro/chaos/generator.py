@@ -2,8 +2,10 @@
 
 A *scenario spec* is a plain-JSON dict describing one adversarial run:
 which executor (shared-memory simulator, distributed simulator, or the
-exact-information model with its batched twin), which matrix, which fault
-plan, which delay model or schedule, and every knob the executor takes.
+exact-information model with its batched twin), which matrix, which iteration
+method (any kind from :mod:`repro.methods` — absent means Jacobi at the
+spec's ``omega``), which fault plan, which delay model or schedule, and
+every knob the executor takes.
 Specs are pure data — they can be cached by
 :func:`repro.perf.runner.run_cells`, shipped to worker processes, archived
 as shrunk reproducers, and re-run bit-identically years later.
@@ -221,6 +223,32 @@ def _schedule_spec(rng, n: int, n_agents: int, has_plan: bool) -> dict:
     return {"kind": "synchronous", "delay": 1.0}
 
 
+def _method_spec(rng, omega: float) -> dict:
+    """An iteration-method spec legal for every executor at this ``omega``.
+
+    The generated matrix families are unit-diagonal and weakly diagonally
+    dominant, so ``alpha = omega <= 1`` keeps Richardson inside the
+    generalized Theorem-1 row condition; the harness gates each norm
+    check on the method's own :meth:`~repro.methods.Method.guarantee`
+    anyway (momentum asserts nothing).
+    """
+    kind = str(
+        rng.choice(
+            ["jacobi", "damped_jacobi", "richardson", "richardson2", "sor"],
+            p=[0.5, 0.125, 0.125, 0.125, 0.125],
+        )
+    )
+    if kind == "richardson":
+        return {"kind": "richardson", "alpha": omega}
+    if kind == "richardson2":
+        return {
+            "kind": "richardson2",
+            "alpha": omega,
+            "beta": float(rng.choice([0.1, 0.3, 0.5])),
+        }
+    return {"kind": kind, "omega": omega}
+
+
 def generate_spec(seed: int, index: int) -> dict:
     """Scenario ``index`` of the campaign keyed by ``seed`` (pure data)."""
     rng = scenario_rng(seed, index)
@@ -244,6 +272,10 @@ def generate_spec(seed: int, index: int) -> dict:
         spec["plan"] = _fault_plan(rng, "model", n_agents, float(spec["max_iterations"]))
         spec["schedule"] = _schedule_spec(rng, n, n_agents, bool(spec["plan"]["events"]))
         spec["batch_trials"] = int(rng.integers(2, 4))
+        # Drawn last so every pre-method choice of a (seed, index) pair —
+        # executor, matrix, plan, knobs — is unchanged from older
+        # campaigns; only the method key is new.
+        spec["method"] = _method_spec(rng, omega)
         return spec
     horizon = HORIZONS[executor]
     spec["plan"] = _fault_plan(rng, executor, n_agents, horizon)
@@ -271,6 +303,7 @@ def generate_spec(seed: int, index: int) -> dict:
             "delivery": delivery,
             "relax_backend": str(rng.choice(backends)),
         }
+    spec["method"] = _method_spec(rng, omega)
     return spec
 
 

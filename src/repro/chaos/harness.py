@@ -37,6 +37,7 @@ from repro.matrices import (
     nine_point_laplacian_2d,
     variable_coefficient_laplacian_2d,
 )
+from repro.methods import MethodError, make_method
 from repro.observability import Tracer
 from repro.perf.batched import BatchedAsyncJacobiModel
 from repro.runtime.delays import (
@@ -177,11 +178,16 @@ def build_scenario(spec: dict) -> dict:
         raise ChaosSpecError(f"omega={omega} outside (0, 2)")
     if tol <= 0 or max_iterations < 1:
         raise ChaosSpecError(f"bad tol={tol} / max_iterations={max_iterations}")
+    try:
+        method = make_method(spec.get("method"), omega=omega)
+    except MethodError as exc:
+        raise ChaosSpecError(f"bad method spec: {exc}") from exc
     built = {
         "A": A,
         "b": build_b(spec, A.nrows),
         "agents": agents,
         "omega": omega,
+        "method": method,
         "tol": tol,
         "max_iterations": max_iterations,
         "plan": build_plan(spec["plan"]),
@@ -237,6 +243,7 @@ def _run_shared(spec: dict, built: dict) -> tuple:
         delay=built["delay"],
         seed=int(spec["seed"]),
         omega=built["omega"],
+        method=built["method"],
         fault_plan=built["plan"],
     )
     result = sim.run_async(
@@ -256,7 +263,7 @@ def _run_shared(spec: dict, built: dict) -> tuple:
         max_iterations=built["max_iterations"],
     )
     failures += props.check_theorem1_replay(
-        events, built["A"], built["b"], built["omega"]
+        events, built["A"], built["b"], built["omega"], method=built["method"]
     )
     if result.telemetry is not None:
         failures += props.check_telemetry(
@@ -297,6 +304,7 @@ def _run_distributed(spec: dict, built: dict) -> tuple:
         duplicate_probability=float(d.get("duplicate_probability", 0.0)),
         seed=int(spec["seed"]),
         omega=built["omega"],
+        method=built["method"],
         fault_plan=built["plan"],
         reliable=d.get("reliable"),
         recovery=d.get("recovery", "freeze"),
@@ -328,7 +336,7 @@ def _run_distributed(spec: dict, built: dict) -> tuple:
         max_iterations=built["max_iterations"],
     )
     failures += props.check_theorem1_replay(
-        events, built["A"], built["b"], built["omega"]
+        events, built["A"], built["b"], built["omega"], method=built["method"]
     )
     if result.telemetry is not None:
         failures += props.check_telemetry(
@@ -349,7 +357,7 @@ def _run_distributed(spec: dict, built: dict) -> tuple:
 
 def _run_model(spec: dict, built: dict) -> tuple:
     A, b = built["A"], built["b"]
-    model = AsyncJacobiModel(A, b, omega=built["omega"])
+    model = AsyncJacobiModel(A, b, omega=built["omega"], method=built["method"])
     result = model.run(
         build_schedule(spec),
         tol=built["tol"],
@@ -357,7 +365,12 @@ def _run_model(spec: dict, built: dict) -> tuple:
     )
     failures = []
     failures += props.check_finiteness(result.x, result.residual_norms)
-    failures += props.check_theorem1_history(result.residual_norms)
+    # The direct residual-history check is the Theorem-1 family's bound:
+    # only enforced when the method guarantees it on this matrix (SOR
+    # guarantees a different norm, momentum guarantees nothing).
+    guarantee = built["method"].guarantee(A)
+    if guarantee.norm == "residual_l1" and guarantee.holds:
+        failures += props.check_theorem1_history(result.residual_norms)
     if len(result.residual_norms) == 0:
         failures.append({"property": "liveness", "detail": "empty residual history"})
 
@@ -367,12 +380,16 @@ def _run_model(spec: dict, built: dict) -> tuple:
     trials = built["batch_trials"]
     rng = np.random.default_rng(int(spec["b_seed"]) + 1)
     B = np.column_stack([b] + [rng.standard_normal(A.nrows) for _ in range(trials - 1)])
-    batched = BatchedAsyncJacobiModel(A, B, omega=built["omega"]).run(
+    batched = BatchedAsyncJacobiModel(
+        A, B, omega=built["omega"], method=built["method"]
+    ).run(
         build_schedule(spec), tol=built["tol"], max_steps=built["max_iterations"]
     )
     for t in range(trials):
         bt = batched.trial(t)
-        seq = AsyncJacobiModel(A, B[:, t], omega=built["omega"]).run(
+        seq = AsyncJacobiModel(
+            A, B[:, t], omega=built["omega"], method=built["method"]
+        ).run(
             build_schedule(spec), tol=built["tol"], max_steps=built["max_iterations"]
         )
         if (

@@ -112,6 +112,7 @@ def _config_candidates(spec: dict) -> list:
     if spec["max_iterations"] > 20:
         out.append(_set(spec, ("max_iterations",), max(20, spec["max_iterations"] // 2)))
     out.append(_set(spec, ("omega",), 1.0))
+    out.append(_set(spec, ("method",), {"kind": "jacobi", "omega": 1.0}))
     if "delay" in spec:
         out.append(_set(spec, ("delay",), {"kind": "none"}))
     if "batch_trials" in spec:

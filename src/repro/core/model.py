@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.core.schedules import Schedule
 from repro.matrices.sparse import CSRMatrix
+from repro.methods import make_method
+from repro.methods.kernels import sor_step_dense, sor_step_incremental
 from repro.perf.instrument import PerfCounters
 from repro.util.errors import ShapeError, SingularMatrixError
 from repro.util.norms import relative_residual_norm, vector_norm
@@ -105,21 +107,30 @@ class AsyncJacobiModel:
     omega
         Relaxation weight in (0, 2): 1.0 is plain Jacobi; < 1 damps each
         relaxation (useful for matrices where undamped Jacobi diverges).
+    method
+        Iteration method (see :mod:`repro.methods`): ``None`` (default)
+        is Jacobi at ``omega`` — bit-identical to the historical executor
+        — and accepts a name (``"jacobi"``, ``"damped_jacobi"``,
+        ``"richardson"``, ``"richardson2"``, ``"sor"``), a spec dict, or
+        a :class:`~repro.methods.Method` instance. Scaled methods reuse
+        the vectorized hot path; ``"sor"`` relaxes each step's rows
+        sequentially (latest values), ``"richardson2"`` carries one
+        previous iterate for its momentum term.
     """
 
-    def __init__(self, A: CSRMatrix, b, omega: float = 1.0):
+    def __init__(self, A: CSRMatrix, b, omega: float = 1.0, method=None):
         if A.nrows != A.ncols:
             raise ShapeError(f"matrix must be square, got {A.shape}")
         if not 0 < omega < 2:
             raise ValueError(f"omega must lie in (0, 2), got {omega}")
-        d = A.diagonal()
-        if np.any(d == 0):
+        self.method = make_method(method, omega=omega)
+        if self.method.name != "richardson" and np.any(A.diagonal() == 0):
             raise SingularMatrixError("the model requires a nonzero diagonal")
         self.A = A
         self.n = A.nrows
         self.b = check_vector(b, self.n, "b")
         self.omega = float(omega)
-        self._dinv = self.omega / d
+        self._dinv = self.method.scale(A)
 
     def run(
         self,
@@ -174,7 +185,11 @@ class AsyncJacobiModel:
         A, b, dinv = self.A, self.b, self._dinv
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
         incremental = residual_mode == "incremental"
-        perf = PerfCounters() if instrument else None
+        scaled = self.method.is_scaled
+        sequential = self.method.kind == "sequential"
+        beta = self.method.beta
+        x_prev = x.copy() if self.method.kind == "momentum" else None
+        perf = PerfCounters(method=self.method.name) if instrument else None
         run_start = time.perf_counter() if instrument else 0.0
         # Resolved once: a missing or all-null-sink tracer costs one branch
         # per event afterwards (see repro.observability.tracer.resolve).
@@ -182,7 +197,7 @@ class AsyncJacobiModel:
         if trc is not None:
             trc.run_start(
                 "AsyncJacobiModel", self.n, omega=self.omega, tol=tol,
-                residual_mode=residual_mode,
+                residual_mode=residual_mode, method=self.method.name,
             )
 
         b_norm = vector_norm(b, residual_norm_ord)
@@ -209,8 +224,19 @@ class AsyncJacobiModel:
                 if rows.size:
                     t0 = perf.tick() if perf is not None else 0.0
                     if incremental:
-                        dx = dinv[rows] * r[rows]
-                        x[rows] += dx
+                        if scaled:
+                            dx = dinv[rows] * r[rows]
+                            x[rows] += dx
+                        elif sequential:
+                            # Updates x and keeps r maintained row by row;
+                            # the tail scatter below must not run again.
+                            sor_step_incremental(A, dinv, x, r, rows)
+                        else:
+                            dx = dinv[rows] * r[rows] + beta * (
+                                x[rows] - x_prev[rows]
+                            )
+                            x_prev[rows] = x[rows]
+                            x[rows] += dx
                         if rows.size >= self.n // 2:
                             # Dense step: a fresh SpMV costs the same as the
                             # scatter but is exact (and bit-identical to the
@@ -218,12 +244,21 @@ class AsyncJacobiModel:
                             # order), so drift never accumulates.
                             r = b - A.matvec(x)
                             steps_since_recompute = 0
+                        elif sequential:
+                            steps_since_recompute += 1
                         else:
                             A.subtract_columns_update(r, rows, dx)
                             steps_since_recompute += 1
-                    else:
+                    elif scaled:
                         rr = b[rows] - A.row_matvec(rows, x)
                         x[rows] += dinv[rows] * rr
+                    elif sequential:
+                        sor_step_dense(A, b, dinv, x, rows)
+                    else:
+                        rr = b[rows] - A.row_matvec(rows, x)
+                        dx = dinv[rows] * rr + beta * (x[rows] - x_prev[rows])
+                        x_prev[rows] = x[rows]
+                        x[rows] += dx
                     if perf is not None:
                         perf.tock_spmv(t0)
                     relaxations += rows.size

@@ -212,6 +212,154 @@ def theorem1_report(A: CSRMatrix, mask, dense_radius: bool = True) -> Propagatio
     )
 
 
+def _check_scale(A: CSRMatrix, scale) -> np.ndarray:
+    scale = np.asarray(scale, dtype=np.float64)
+    if scale.shape != (A.nrows,):
+        raise ShapeError(f"scale must be a vector of shape ({A.nrows},)")
+    if np.any(scale < 0):
+        raise ValueError("scale entries must be nonnegative")
+    return scale
+
+
+def scaled_error_propagation_matrix(A: CSRMatrix, mask, scale) -> CSRMatrix:
+    """``G-hat = I - D-hat S A`` for a per-row scale vector ``S = diag(s)``.
+
+    Generalizes :func:`error_propagation_matrix` from ``s = omega / d`` to
+    any nonnegative scale — the parallel-step error propagator of every
+    *scaled* method in :mod:`repro.methods` (Jacobi, damped Jacobi,
+    Richardson). Pass ``scale = method.scale(A)``.
+    """
+    mask = _check_mask(A, mask)
+    scale = _check_scale(A, scale)
+    n = A.nrows
+    rows_nz = A._row_of_nnz
+    keep = mask[rows_nz]
+    r = rows_nz[keep]
+    c = A.indices[keep]
+    v = -A.data[keep] * scale[r]
+    all_rows = np.concatenate((r, np.arange(n, dtype=np.int64)))
+    all_cols = np.concatenate((c, np.arange(n, dtype=np.int64)))
+    all_vals = np.concatenate((v, np.ones(n)))
+    return CSRMatrix.from_coo(all_rows, all_cols, all_vals, (n, n))
+
+
+def scaled_residual_propagation_matrix(A: CSRMatrix, mask, scale) -> CSRMatrix:
+    """``H-hat = I - A D-hat S`` for a per-row scale vector (Eq. 8 analog).
+
+    Columns where ``mask`` is False are unit basis vectors, as in
+    :func:`residual_propagation_matrix`; active columns are scaled by the
+    method's ``s_j`` instead of ``omega / a_jj``.
+    """
+    mask = _check_mask(A, mask)
+    scale = _check_scale(A, scale)
+    n = A.nrows
+    cols_nz = A.indices
+    keep = mask[cols_nz]
+    r = A._row_of_nnz[keep]
+    c = cols_nz[keep]
+    v = -A.data[keep] * scale[c]
+    all_rows = np.concatenate((r, np.arange(n, dtype=np.int64)))
+    all_cols = np.concatenate((c, np.arange(n, dtype=np.int64)))
+    all_vals = np.concatenate((v, np.ones(n)))
+    return CSRMatrix.from_coo(all_rows, all_cols, all_vals, (n, n))
+
+
+def sequential_propagation_matrix(A: CSRMatrix, rows, scale) -> CSRMatrix:
+    """Ordered-product error propagator of a sequential (SOR-like) step.
+
+    Relaxing rows one at a time, each seeing all earlier in-step updates,
+    composes single-row propagators ``E_i = I - e_i (s_i a_i)^T`` in
+    visit order::
+
+        G-hat = E_{r_m} ... E_{r_2} E_{r_1}
+
+    which is exactly one step-asynchronous SOR parallel step over
+    ``rows`` (Vigna, arXiv:1404.3327: the "steps" are the rows relaxed
+    with latest values). Built densely — analysis-size matrices only.
+    Duplicate rows are allowed (a row may relax twice in one sequential
+    step); order matters.
+    """
+    if A.nrows != A.ncols:
+        raise ShapeError(f"matrix must be square, got {A.shape}")
+    scale = _check_scale(A, scale)
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 1:
+        raise ScheduleError(f"rows must be 1-D, got {rows.ndim}-D")
+    if rows.size and (rows.min() < 0 or rows.max() >= A.nrows):
+        raise ScheduleError(f"rows out of range [0, {A.nrows})")
+    n = A.nrows
+    M = np.eye(n)
+    for i in rows:
+        i = int(i)
+        cols_i, vals_i = A.row_entries(i)
+        # (I - e_i v^T) M  =>  row i of M becomes  M[i] - s_i (a_i^T M).
+        M[i] -= scale[i] * (vals_i @ M[cols_i])
+    return CSRMatrix.from_dense(M)
+
+
+def second_order_companion_matrix(A: CSRMatrix, mask, scale, beta: float) -> np.ndarray:
+    """Dense companion (block) error propagator of a momentum step.
+
+    One parallel step of the second-order (heavy-ball) Richardson
+    iteration ``x+ = x + D-hat (S r + beta (x - x_prev))`` propagates the
+    stacked error ``(e(k), e(k-1))`` through the ``2n x 2n`` matrix::
+
+        [ I - D-hat S A + beta D-hat     -beta D-hat ]
+        [ I                               0          ]
+
+    Synchronous convergence (all rows active every step) is governed by
+    its spectral radius; asynchronous steps chain different masks. Dense,
+    analysis-size only.
+    """
+    mask = _check_mask(A, mask)
+    scale = _check_scale(A, scale)
+    beta = float(beta)
+    if not 0 <= beta < 1:
+        raise ValueError(f"beta must lie in [0, 1), got {beta}")
+    n = A.nrows
+    d_hat = mask.astype(np.float64)
+    top_left = np.eye(n) - (d_hat * scale)[:, None] * A.to_dense() + beta * np.diag(
+        d_hat
+    )
+    top_right = -beta * np.diag(d_hat)
+    C = np.zeros((2 * n, 2 * n))
+    C[:n, :n] = top_left
+    C[:n, n:] = top_right
+    C[n:, :n] = np.eye(n)
+    return C
+
+
+def scaled_theorem1_report(
+    A: CSRMatrix, mask, scale, dense_radius: bool = True
+) -> PropagationReport:
+    """Theorem 1 quantities for a scaled method's parallel step.
+
+    Same report as :func:`theorem1_report` but with the per-row scale of
+    an arbitrary scaled method. The norms equal 1 whenever every active
+    row satisfies the generalized row condition
+    ``|1 - s_i a_ii| + s_i sum_{j != i} |a_ij| <= 1`` (see
+    :func:`repro.methods.scaled_rowsum_condition`) and at least one row
+    is delayed.
+    """
+    mask = _check_mask(A, mask)
+    scale = _check_scale(A, scale)
+    G = scaled_error_propagation_matrix(A, mask, scale)
+    H = scaled_residual_propagation_matrix(A, mask, scale)
+    if dense_radius:
+        g_rho = spectral_radius_dense(G)
+        h_rho = spectral_radius_dense(H)
+    else:
+        g_rho = h_rho = float("nan")
+    return PropagationReport(
+        n_active=int(mask.sum()),
+        n_delayed=int((~mask).sum()),
+        g_norm_inf=matrix_norm_inf(G),
+        h_norm_1=matrix_norm_1(H),
+        g_spectral_radius=g_rho,
+        h_spectral_radius=h_rho,
+    )
+
+
 def two_by_two_propagation(A: CSRMatrix, delayed_row: int) -> tuple:
     """The explicit 2x2 propagation matrices of Eq. 11.
 

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    methods,
     scale,
     seeds,
     table1,
@@ -33,6 +34,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "methods",
     "scale",
     "seeds",
     "table1",

@@ -46,6 +46,25 @@ def wdd_fraction(A: CSRMatrix, tol: float = 1e-12) -> float:
     return float(np.mean(wdd_rows(A, tol=tol)))
 
 
+def is_m_matrix_like(A: CSRMatrix, tol: float = 1e-12) -> bool:
+    """Sufficient M-matrix check: sign pattern plus diagonal dominance.
+
+    True when every diagonal entry is positive, every off-diagonal entry
+    is nonpositive, and the matrix is weakly diagonally dominant — a
+    standard sufficient condition for ``A`` to be a (possibly singular)
+    M-matrix. This is the hypothesis of Vigna's step-asynchronous SOR
+    sup-norm theorem (arXiv:1404.3327) as used by
+    :meth:`repro.methods.StepAsyncSOR.guarantee`; the FD Laplacian
+    families all satisfy it.
+    """
+    if np.any(A.diagonal() <= 0):
+        return False
+    off = A._row_of_nnz != A.indices
+    if np.any(A.data[off] > tol):
+        return False
+    return is_weakly_diagonally_dominant(A, tol=tol)
+
+
 def is_irreducible(A: CSRMatrix) -> bool:
     """True iff the matrix graph (off-diagonal sparsity) is connected.
 

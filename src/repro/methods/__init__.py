@@ -1,0 +1,35 @@
+"""Pluggable iteration methods (Jacobi, Richardson, step-async SOR).
+
+Public surface: the :class:`~repro.methods.base.Method` abstraction and
+its five implementations, :func:`make_method` resolution for the
+``method=`` run flag on every executor, and the shared sequential/momentum
+kernels. See docs/methods.md for the convergence theory per method.
+"""
+
+from repro.methods.base import (
+    DampedJacobi,
+    Guarantee,
+    Jacobi,
+    Method,
+    MethodError,
+    Richardson,
+    Richardson2,
+    StepAsyncSOR,
+    scaled_rowsum_condition,
+)
+from repro.methods.registry import METHODS, legal_method_kinds, make_method
+
+__all__ = [
+    "DampedJacobi",
+    "Guarantee",
+    "Jacobi",
+    "METHODS",
+    "Method",
+    "MethodError",
+    "Richardson",
+    "Richardson2",
+    "StepAsyncSOR",
+    "legal_method_kinds",
+    "make_method",
+    "scaled_rowsum_condition",
+]

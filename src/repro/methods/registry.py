@@ -1,0 +1,83 @@
+"""Method construction, round-tripping, and executor legality.
+
+``make_method`` is the single resolution point every executor calls:
+
+* ``None`` — the executor's historical behavior: :class:`Jacobi` at the
+  executor's ``omega``, bit-identical to pre-method code;
+* a string — a method at its conventional parameters, with the
+  executor's ``omega`` standing in for the method's primary knob
+  (``omega`` for jacobi/damped/SOR, ``alpha`` for Richardson);
+* a dict — ``{"kind": name, **params}``, the pure-data form chaos specs
+  and the experiment cache carry;
+* a :class:`Method` instance — passed through untouched.
+
+``legal_method_kinds`` is the chaos generator's source of truth for which
+method kinds each executor/backend combination supports, so specs are
+legal by construction rather than by rejection sampling.
+"""
+
+from __future__ import annotations
+
+from repro.methods.base import (
+    DampedJacobi,
+    Jacobi,
+    Method,
+    MethodError,
+    Richardson,
+    Richardson2,
+    StepAsyncSOR,
+)
+
+#: name -> class, for string and dict specs.
+METHODS = {
+    "jacobi": Jacobi,
+    "damped_jacobi": DampedJacobi,
+    "richardson": Richardson,
+    "richardson2": Richardson2,
+    "sor": StepAsyncSOR,
+}
+
+
+def make_method(method=None, omega: float = 1.0) -> Method:
+    """Resolve a ``method=`` run-flag value into a :class:`Method`."""
+    if method is None:
+        return Jacobi(omega=omega)
+    if isinstance(method, Method):
+        return method
+    if isinstance(method, str):
+        if method not in METHODS:
+            raise MethodError(
+                f"unknown method {method!r}; known: {', '.join(sorted(METHODS))}"
+            )
+        if method == "richardson":
+            return Richardson(alpha=omega)
+        if method == "richardson2":
+            return Richardson2(alpha=omega)
+        return METHODS[method](omega=omega)
+    if isinstance(method, dict):
+        spec = dict(method)
+        kind = spec.pop("kind", None)
+        if kind not in METHODS:
+            raise MethodError(
+                f"method spec needs a known 'kind', got {kind!r}; "
+                f"known: {', '.join(sorted(METHODS))}"
+            )
+        try:
+            return METHODS[kind](**spec)
+        except TypeError as exc:
+            raise MethodError(f"bad parameters for method {kind!r}: {exc}") from exc
+    raise MethodError(
+        f"method must be None, a name, a spec dict or a Method, got {method!r}"
+    )
+
+
+def legal_method_kinds(executor: str) -> tuple:
+    """Method kinds an executor supports (chaos draws only from these).
+
+    Every executor supports the whole family; the tuple exists so future
+    executors with narrower support plug into the generator without
+    touching it. Order is stable (generators index into it).
+    """
+    if executor not in ("model", "shared", "distributed"):
+        raise MethodError(f"unknown executor {executor!r}")
+    return ("jacobi", "damped_jacobi", "richardson", "richardson2", "sor")

@@ -19,6 +19,11 @@ module closes the loop:
    :class:`~repro.core.schedules.TraceSchedule`, and checks Theorem 1's
    prediction for weakly diagonally dominant systems: the residual 1-norm
    never increases. Violating steps are reported individually.
+
+The check is method-aware (``method=`` mirrors the run flag): scaled
+methods keep the Theorem-1 residual 1-norm check, step-async SOR replays
+sequentially and checks Vigna's error sup-norm bound on M-matrices, and
+momentum methods replay without a per-step assertion.
 """
 
 from __future__ import annotations
@@ -35,8 +40,11 @@ from repro.core.reconstruct import (
 )
 from repro.core.schedules import TraceSchedule
 from repro.matrices.sparse import CSRMatrix
+from repro.methods import Guarantee, make_method
+from repro.methods.kernels import sor_step_dense
 from repro.observability import events as ev
 from repro.util.errors import ScheduleError
+from repro.util.norms import relative_residual_norm
 
 
 def relax_events(events) -> list:
@@ -103,12 +111,23 @@ class ReplayReport:
     residuals
         Relative residual 1-norm after each replayed application
         (index 0 = initial state).
+    errors
+        Error sup-norm against the dense solution after each application
+        — populated only for the ``"error_sup"`` check (step-async SOR).
+    method
+        Name of the iteration method the trace was replayed as.
+    norm
+        Which per-step norm check ran: ``"residual_l1"`` (Theorem 1
+        family), ``"error_sup"`` (Vigna's SOR bound) or ``None`` (no
+        check — e.g. momentum methods).
+    guarantee
+        The method's :class:`~repro.methods.Guarantee` on this matrix.
     monotone
-        Theorem 1's check: no step increased the residual 1-norm beyond
-        floating-point slack.
+        The per-method check: no step increased the checked norm beyond
+        floating-point slack (vacuously True when ``norm`` is None).
     violations
         ``(step, before, after)`` for each step that increased the
-        residual beyond the slack (empty when ``monotone``).
+        checked norm beyond the slack (empty when ``monotone``).
     reconstruction
         The underlying :class:`ReconstructionResult`.
     x
@@ -120,6 +139,10 @@ class ReplayReport:
     fraction_propagated: float = 1.0
     valid_sequence: bool = True
     residuals: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    method: str = "jacobi"
+    norm: str | None = "residual_l1"
+    guarantee: Guarantee | None = None
     monotone: bool = True
     violations: list = field(default_factory=list)
     reconstruction: ReconstructionResult = None
@@ -128,11 +151,20 @@ class ReplayReport:
     @property
     def verdict(self) -> str:
         """One-line human-readable verdict."""
-        state = (
-            "residual 1-norm non-increasing (Theorem 1 holds)"
-            if self.monotone
-            else f"{len(self.violations)} step(s) increased the residual 1-norm"
-        )
+        if self.norm is None:
+            state = f"no per-step norm check for method {self.method!r}"
+        elif self.monotone:
+            what = (
+                "error sup-norm" if self.norm == "error_sup"
+                else "residual 1-norm"
+            )
+            state = f"{what} non-increasing ({self.method} bound holds)"
+        else:
+            what = (
+                "error sup-norm" if self.norm == "error_sup"
+                else "residual 1-norm"
+            )
+            state = f"{len(self.violations)} step(s) increased the {what}"
         return (
             f"{self.n_relaxations} relaxations -> {self.n_steps} propagation "
             f"steps, {self.fraction_propagated:.2%} propagated; {state}"
@@ -145,24 +177,39 @@ def replay_report(
     b,
     x0=None,
     omega: float = 1.0,
+    method=None,
     rtol: float = 1e-9,
     atol: float = 1e-13,
 ) -> ReplayReport:
-    """Reconstruct a captured trace and verify Theorem 1 step by step.
+    """Reconstruct a captured trace and verify its method's bound stepwise.
 
-    ``A``, ``b``, ``x0`` and ``omega`` must match the captured run (the
-    trace records schedules and reads, not data). The non-increase check
-    on each step is ``after <= before * (1 + rtol) + atol``: residuals
-    are recomputed in floating point, so exact ties wobble at machine
-    precision, and once the (relative) residual is deep below 1 the noise
-    floor of one recomputation — a few eps in relative-residual units —
-    dominates any ``rtol`` proportional to the residual itself; ``atol``
-    absorbs it. For a weakly diagonally dominant ``A`` every application
-    in the reconstructed order is a propagation-matrix step, so Theorem 1
-    predicts ``monotone=True``; a violation beyond the slack means the
-    captured execution cannot be explained by the paper's model with the
-    recorded reads (or the wrong system was passed in).
+    ``A``, ``b``, ``x0``, ``omega`` and ``method`` must match the captured
+    run (the trace records schedules and reads, not data). The
+    non-increase check on each step is ``after <= before * (1 + rtol) +
+    atol``: norms are recomputed in floating point, so exact ties wobble
+    at machine precision, and once the value is deep below 1 the noise
+    floor of one recomputation dominates any ``rtol`` proportional to the
+    value itself; ``atol`` absorbs it.
+
+    Which norm is checked follows the method's
+    :meth:`~repro.methods.Method.guarantee`:
+
+    * scaled methods (Jacobi, damped Jacobi, Richardson) replay through
+      the model and check the Theorem-1 residual 1-norm non-increase —
+      for a weakly diagonally dominant ``A`` (generally: when the
+      generalized row condition holds) a violation beyond the slack means
+      the captured execution cannot be explained by the paper's model
+      with the recorded reads;
+    * step-async SOR replays each reconstructed application as a
+      *sequential* step (rows in recorded order, latest values) and
+      checks Vigna's error sup-norm non-increase against the dense
+      solution — enforced only when the matrix is M-matrix-like and
+      ``omega <= 1`` (the theorem's hypotheses);
+    * momentum methods (richardson2) replay for the record but assert
+      nothing: momentum legitimately overshoots per-step.
     """
+    method_obj = make_method(method, omega=omega)
+    guarantee = method_obj.guarantee(A)
     trace = to_execution_trace(events, A)
     rec = reconstruct_propagation_steps(trace)
     report = ReplayReport(
@@ -170,24 +217,67 @@ def replay_report(
         n_steps=len(rec.applied),
         fraction_propagated=rec.fraction_propagated,
         reconstruction=rec,
+        method=method_obj.name,
+        norm=guarantee.norm,
+        guarantee=guarantee,
     )
     if not rec.applied:
-        model = AsyncJacobiModel(A, b, omega=omega)
+        AsyncJacobiModel(A, b, omega=omega, method=method_obj)  # validates A
         x = np.zeros(A.nrows) if x0 is None else np.asarray(x0, dtype=float)
         report.x = x.copy()
-        from repro.util.norms import relative_residual_norm
-
         report.residuals = [relative_residual_norm(A, x, b, ord=1)]
         return report
 
+    steps_rows = [rows for rows, _propagated in rec.applied]
+
+    if guarantee.norm == "error_sup":
+        # Vigna's bound is on the error, so the replay tracks the iterate
+        # against the dense solution (analysis-size systems only — same
+        # regime as the reconstruction itself). Each application relaxes
+        # its rows sequentially with latest values, matching the
+        # simulators' in-block sweeps.
+        b_arr = np.asarray(b, dtype=np.float64)
+        x = (
+            np.zeros(A.nrows)
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).copy()
+        )
+        x_true = np.linalg.solve(A.to_dense(), b_arr)
+        scale = method_obj.scale(A)
+        report.errors = [float(np.max(np.abs(x - x_true)))]
+        report.residuals = [relative_residual_norm(A, x, b_arr, ord=1)]
+        try:
+            for rows in steps_rows:
+                rows_arr = np.asarray(rows, dtype=np.int64)
+                if rows_arr.size and (
+                    rows_arr.min() < 0 or rows_arr.max() >= A.nrows
+                ):
+                    raise ScheduleError("replayed rows out of range")
+                sor_step_dense(A, b_arr, scale, x, rows_arr)
+                report.errors.append(float(np.max(np.abs(x - x_true))))
+                report.residuals.append(
+                    relative_residual_norm(A, x, b_arr, ord=1)
+                )
+        except ScheduleError:
+            report.valid_sequence = False
+            report.monotone = False
+            return report
+        report.x = x
+        if guarantee.holds:
+            for k in range(1, len(report.errors)):
+                before, after = report.errors[k - 1], report.errors[k]
+                if after > before * (1.0 + rtol) + atol:
+                    report.violations.append((k, before, after))
+            report.monotone = not report.violations
+        return report
+
     # Replay the full reconstructed order (propagated and out-of-band
-    # applications alike — each is one propagation-matrix application).
-    steps = [
-        (float(k + 1), rows) for k, (rows, _propagated) in enumerate(rec.applied)
-    ]
+    # applications alike — each is one propagation-matrix application)
+    # through the model under the run's own method.
+    steps = [(float(k + 1), rows) for k, rows in enumerate(steps_rows)]
     schedule = TraceSchedule(A.nrows, steps)
     try:
-        model = AsyncJacobiModel(A, b, omega=omega)
+        model = AsyncJacobiModel(A, b, omega=omega, method=method_obj)
         result = model.run(
             schedule,
             x0=x0,
@@ -203,9 +293,10 @@ def replay_report(
         return report
     report.residuals = list(result.residual_norms)
     report.x = result.x
-    for k in range(1, len(report.residuals)):
-        before, after = report.residuals[k - 1], report.residuals[k]
-        if after > before * (1.0 + rtol) + atol:
-            report.violations.append((k, before, after))
-    report.monotone = not report.violations
+    if guarantee.norm == "residual_l1":
+        for k in range(1, len(report.residuals)):
+            before, after = report.residuals[k - 1], report.residuals[k]
+            if after > before * (1.0 + rtol) + atol:
+                report.violations.append((k, before, after))
+        report.monotone = not report.violations
     return report

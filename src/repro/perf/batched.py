@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.model import AsyncJacobiModel, ModelResult
 from repro.core.schedules import Schedule
 from repro.matrices.sparse import CSRMatrix
+from repro.methods import make_method
 from repro.perf.instrument import PerfCounters
 from repro.util.errors import ShapeError, SingularMatrixError
 from repro.util.norms import vector_norm
@@ -102,13 +103,13 @@ class BatchedAsyncJacobiModel:
         Relaxation weight, as in :class:`AsyncJacobiModel`.
     """
 
-    def __init__(self, A: CSRMatrix, B, omega: float = 1.0):
+    def __init__(self, A: CSRMatrix, B, omega: float = 1.0, method=None):
         if A.nrows != A.ncols:
             raise ShapeError(f"matrix must be square, got {A.shape}")
         if not 0 < omega < 2:
             raise ValueError(f"omega must lie in (0, 2), got {omega}")
-        d = A.diagonal()
-        if np.any(d == 0):
+        self.method = make_method(method, omega=omega)
+        if self.method.name != "richardson" and np.any(A.diagonal() == 0):
             raise SingularMatrixError("the model requires a nonzero diagonal")
         B = np.asarray(B, dtype=np.float64)
         if B.ndim != 2 or B.shape[0] != A.nrows:
@@ -120,7 +121,7 @@ class BatchedAsyncJacobiModel:
         self.B = B
         self.n_trials = B.shape[1]
         self.omega = float(omega)
-        self._dinv = self.omega / d
+        self._dinv = self.method.scale(A)
 
     def run(
         self,
@@ -163,7 +164,11 @@ class BatchedAsyncJacobiModel:
                 raise ShapeError(f"X0 must have shape {(n, T)}, got {X.shape}")
             X = X.copy()
         incremental = residual_mode == "incremental"
-        perf = PerfCounters() if instrument else None
+        scaled = self.method.is_scaled
+        sequential = self.method.kind == "sequential"
+        beta = self.method.beta
+        momentum = self.method.kind == "momentum"
+        perf = PerfCounters(method=self.method.name) if instrument else None
         run_start = time.perf_counter() if instrument else 0.0
 
         # NumPy's pairwise summation runs along the contiguous axis of a
@@ -212,6 +217,7 @@ class BatchedAsyncJacobiModel:
             Xw = np.ascontiguousarray(X[:, live_idx])
             Rw = np.ascontiguousarray(R[:, live_idx])
             Bw = np.ascontiguousarray(B[:, live_idx])
+            Xp = Xw.copy() if momentum else None
             bn = b_norms[live_idx]
             since = np.zeros(live_idx.size, dtype=np.int64)
             relax_live = 0
@@ -228,19 +234,49 @@ class BatchedAsyncJacobiModel:
                 if rows.size:
                     t0 = perf.tick() if perf is not None else 0.0
                     if incremental:
-                        DX = dinv[rows, None] * Rw[rows]
-                        Xw[rows] += DX
+                        if scaled:
+                            DX = dinv[rows, None] * Rw[rows]
+                            Xw[rows] += DX
+                        elif sequential:
+                            # Row-at-a-time chain of single-row incremental
+                            # steps (all trials advance together); Rw stays
+                            # maintained, so no tail scatter below.
+                            for j in range(rows.size):
+                                i = rows[j]
+                                DXi = dinv[i] * Rw[i]
+                                Xw[i] += DXi
+                                A.subtract_columns_update(
+                                    Rw, rows[j : j + 1], DXi[None, :]
+                                )
+                        else:
+                            DX = dinv[rows, None] * Rw[rows] + beta * (
+                                Xw[rows] - Xp[rows]
+                            )
+                            Xp[rows] = Xw[rows]
+                            Xw[rows] += DX
                         if rows.size >= n // 2:
                             # Dense step: recompute exactly, as the
                             # sequential executor does.
                             Rw = Bw - A.matmat(Xw)
                             since[:] = 0
+                        elif sequential:
+                            since += 1
                         else:
                             A.subtract_columns_update(Rw, rows, DX)
                             since += 1
-                    else:
+                    elif scaled:
                         RR = Bw[rows] - A.row_matvec(rows, Xw)
                         Xw[rows] += dinv[rows, None] * RR
+                    elif sequential:
+                        for j in range(rows.size):
+                            i = rows[j]
+                            RRi = Bw[i] - A.row_matvec(rows[j : j + 1], Xw)[0]
+                            Xw[i] += dinv[i] * RRi
+                    else:
+                        RR = Bw[rows] - A.row_matvec(rows, Xw)
+                        DX = dinv[rows, None] * RR + beta * (Xw[rows] - Xp[rows])
+                        Xp[rows] = Xw[rows]
+                        Xw[rows] += DX
                     if perf is not None:
                         perf.tock_spmv(t0)
                     relax_live += rows.size
@@ -289,6 +325,8 @@ class BatchedAsyncJacobiModel:
                         Xw = np.ascontiguousarray(Xw[:, keep])
                         Rw = np.ascontiguousarray(Rw[:, keep])
                         Bw = np.ascontiguousarray(Bw[:, keep])
+                        if momentum:
+                            Xp = np.ascontiguousarray(Xp[:, keep])
                         bn = bn[keep]
                         since = since[keep]
 

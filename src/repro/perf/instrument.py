@@ -25,6 +25,9 @@ from dataclasses import dataclass, field
 class PerfCounters:
     """Kernel-attributed timings and call counts for one run."""
 
+    #: Name of the iteration method whose relaxations the SpMV counters
+    #: attribute (``"mixed"`` after merging runs of different methods).
+    method: str = "jacobi"
     spmv_seconds: float = 0.0
     residual_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -65,6 +68,8 @@ class PerfCounters:
 
     def merge(self, other: "PerfCounters") -> "PerfCounters":
         """Accumulate another run's counters into this one (returns self)."""
+        if other.method != self.method:
+            self.method = "mixed"
         self.spmv_seconds += other.spmv_seconds
         self.residual_seconds += other.residual_seconds
         self.total_seconds += other.total_seconds
@@ -84,6 +89,7 @@ class PerfCounters:
     def as_dict(self) -> dict:
         """JSON-ready flat view (used by the benchmark emitters)."""
         return {
+            "method": self.method,
             "spmv_seconds": self.spmv_seconds,
             "residual_seconds": self.residual_seconds,
             "dispatch_seconds": self.dispatch_seconds,
@@ -125,7 +131,8 @@ class PerfCounters:
         """
         return (
             f"total {self.total_seconds:.3e}s: "
-            f"spmv {self.spmv_seconds:.3e}s/{self.spmv_calls} calls, "
+            f"spmv {self.spmv_seconds:.3e}s/{self.spmv_calls} "
+            f"{self.method} relaxes, "
             f"residual {self.residual_seconds:.3e}s/{self.residual_evals} evals "
             f"({self.full_recomputes} full recomputes), "
             f"dispatch {self.dispatch_seconds:.3e}s over {self.events} events"

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.matrices.sparse import CSRMatrix
+from repro.methods import MethodError, make_method
 from repro.partition.partitioner import bfs_bisection_partition, contiguous_partition
 from repro.partition.subdomain import DomainDecomposition
 from repro.perf.instrument import PerfCounters
@@ -156,6 +157,15 @@ class DistributedJacobi:
         paper's scheme — all block rows from the same snapshot) or
         ``"gauss_seidel"`` (one forward GS sweep over the block, the
         "inexact block Jacobi" variant of Jager & Bradley's study).
+    method
+        Iteration method (see :mod:`repro.methods`): ``None`` (default)
+        is Jacobi at ``omega`` — bit-identical to the historical
+        executor. ``"sor"`` forces ``local_sweep="gauss_seidel"`` (the
+        step-asynchronous SOR of Vigna, arXiv:1404.3327, with blocks as
+        the "steps"); ``"richardson"``/``"damped_jacobi"`` swap the
+        per-row scale; ``"richardson2"`` adds a momentum term from one
+        previous own-row iterate (incompatible with
+        ``local_sweep="gauss_seidel"``).
     ranks_per_node
         Override the cluster's ranks-per-node for the intra/inter-node
         message-latency split (None: use the cluster preset). Consecutive
@@ -225,6 +235,7 @@ class DistributedJacobi:
         seed=None,
         omega: float = 1.0,
         local_sweep: str = "jacobi",
+        method=None,
         ranks_per_node: int | None = None,
         fault_plan: FaultPlan | None = None,
         fault_seed=None,
@@ -246,14 +257,24 @@ class DistributedJacobi:
             raise ValueError(
                 f"local_sweep must be 'jacobi' or 'gauss_seidel', got {local_sweep!r}"
             )
+        self.method = make_method(method, omega=omega)
+        if self.method.kind == "sequential":
+            # Step-asynchronous SOR *is* a forward local sweep at scale
+            # omega/d: route it through the gauss_seidel relax path.
+            local_sweep = "gauss_seidel"
+        elif self.method.kind == "momentum" and local_sweep == "gauss_seidel":
+            raise MethodError(
+                "momentum methods (richardson2) do not compose with "
+                "local_sweep='gauss_seidel'"
+            )
         d = A.diagonal()
-        if np.any(d == 0):
+        if self.method.name != "richardson" and np.any(d == 0):
             raise SingularMatrixError("Jacobi requires a nonzero diagonal")
         self.A = A
         self.n = n
         self.b = check_vector(b, n, "b")
         self.omega = float(omega)
-        self.dinv = self.omega / d
+        self.dinv = self.method.scale(A)
         self.local_sweep = local_sweep
         self.ranks_per_node = int(
             cluster.ranks_per_node if ranks_per_node is None else ranks_per_node
@@ -419,19 +440,28 @@ class DistributedJacobi:
         """Whether two ranks share a node (consecutive-rank placement)."""
         return p // self.ranks_per_node == q // self.ranks_per_node
 
-    def _relax_block(self, rk: _Rank, x: np.ndarray) -> np.ndarray:
+    def _relax_block(self, rk: _Rank, x: np.ndarray, mom_prev=None) -> np.ndarray:
         """One local relaxation of ``rk``'s block from the current view.
 
         ``"jacobi"``: every block row uses the same snapshot (the paper's
         implementation). ``"gauss_seidel"``: a forward sweep where each row
-        immediately sees earlier in-block updates (inexact-block variant).
+        immediately sees earlier in-block updates (inexact-block variant;
+        also how sequential methods — step-async SOR — relax).
+        ``mom_prev`` (length-``n``, momentum methods only) carries the
+        previous own-row iterate read at relax time and is updated in
+        place.
         """
         local_x = np.concatenate((x[rk.rows], rk.ghosts))
         dinv_loc = self.dinv[rk.rows]
         b_loc = self.b[rk.rows]
         if self.local_sweep == "jacobi":
             r = b_loc - rk.local.matvec(local_x)
-            return local_x[: rk.rows.size] + dinv_loc * r
+            new = local_x[: rk.rows.size] + dinv_loc * r
+            if mom_prev is not None:
+                own = local_x[: rk.rows.size]
+                new += self.method.beta * (own - mom_prev[rk.rows])
+                mom_prev[rk.rows] = own
+            return new
         # Forward Gauss-Seidel over the block, in place on the local view.
         mat = rk.local
         for i in range(rk.rows.size):
@@ -602,7 +632,7 @@ class DistributedJacobi:
             )
         incremental = residual_mode == "incremental"
         batch_delivery = delivery != "event"
-        perf = PerfCounters() if instrument else None
+        perf = PerfCounters(method=self.method.name) if instrument else None
         run_start = _time.perf_counter() if instrument else 0.0
         A, b, dinv = self.A, self.b, self.dinv
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
@@ -694,6 +724,13 @@ class DistributedJacobi:
                     A.column_scatter_plan(rk.rows) for rk in ranks
                 ]
         gauss_seidel = self.local_sweep != "jacobi"
+        momentum_m = self.method.kind == "momentum"
+        mom_beta = self.method.beta
+        # Momentum state (richardson2): the own-row iterate each rank last
+        # read at relax time, kept per rank in local coordinates. Restarts
+        # keep the last read — the recovering rank resumes its momentum
+        # from wherever it crashed, like its own rows in ``x``.
+        mom_prev_loc = [x[rk.rows].copy() for rk in ranks] if momentum_m else None
 
         def relax(rk: _Rank) -> None:
             """One buffered local relaxation; the result lands in
@@ -717,6 +754,10 @@ class DistributedJacobi:
             np.subtract(b_loc[r], mv, out=mv)
             np.multiply(dinv_loc[r], mv, out=mv)
             np.add(own_view[r], mv, out=pend_buf[r])
+            if momentum_m:
+                mp = mom_prev_loc[r]
+                pend_buf[r] += mom_beta * (own_view[r] - mp)
+                np.copyto(mp, own_view[r])
 
         def local_residual_norm(rk: _Rank) -> float:
             """Block residual 1-norm from the rank's current (stale) view."""
@@ -812,6 +853,7 @@ class DistributedJacobi:
                 "DistributedJacobi", self.n, n_ranks=self.n_ranks, tol=tol,
                 omega=self.omega, termination=termination,
                 residual_mode=residual_mode, reliable=reliable, eager=eager,
+                method=self.method.name,
             )
 
         queue = make_event_queue(queue_backend, size_hint=4 * n_ranks)
@@ -1570,6 +1612,7 @@ class DistributedJacobi:
         stacked = (
             block_mode
             and not gauss_seidel
+            and self.method.is_scaled
             and A.data.size <= n_ranks * self._STACK_MAX_NNZ_PER_RANK
         )
         if stacked:
@@ -3209,6 +3252,8 @@ class DistributedJacobi:
                 return comp_l, comm_l
 
         b_norm = vector_norm(b, 1)
+        mom_beta = self.method.beta
+        mom_prev = x.copy() if self.method.kind == "momentum" else None
         # One SpMV per sweep in the Jacobi branch: the residual driving the
         # update doubles as the previous sweep's convergence check.
         r = b - A.matvec(x)
@@ -3236,7 +3281,12 @@ class DistributedJacobi:
                 vi += 1
                 t += compute + comm + allreduce
                 if self.local_sweep == "jacobi":
-                    x += dinv * r
+                    if mom_prev is None:
+                        x += dinv * r
+                    else:
+                        dx = dinv * r + mom_beta * (x - mom_prev)
+                        mom_prev[:] = x
+                        x += dx
                 else:
                     updates = []
                     for rk in ranks:
@@ -3324,8 +3374,13 @@ class DistributedJacobi:
                             comm = mb
             t += compute + comm + allreduce
             if self.local_sweep == "jacobi":
-                # Exact global Jacobi sweep (fast vectorized path).
-                x += dinv * r
+                if mom_prev is None:
+                    # Exact global Jacobi sweep (fast vectorized path).
+                    x += dinv * r
+                else:
+                    dx = dinv * r + mom_beta * (x - mom_prev)
+                    mom_prev[:] = x
+                    x += dx
             else:
                 # Per-rank local GS sweeps on fresh ghosts, applied together.
                 updates = []

@@ -23,6 +23,7 @@ from collections import deque
 import numpy as np
 
 from repro.core.reconstruct import ExecutionTrace
+from repro.methods.kernels import sor_block_pending
 from repro.perf.instrument import PerfCounters
 from repro.runtime.events import EventQueue
 from repro.runtime.results import FaultTelemetry, SimulationResult
@@ -77,7 +78,7 @@ def shared_run_async(
     x = np.zeros(sim.n) if x0 is None else check_vector(x0, sim.n, "x0").copy()
     data, cols = A.data, A.indices
     incremental = residual_mode == "incremental"
-    perf = PerfCounters() if instrument else None
+    perf = PerfCounters(method=sim.method.name) if instrument else None
     run_start = _time.perf_counter() if instrument else 0.0
 
     # Resolved once: a missing or all-null-sink tracer costs one branch
@@ -95,7 +96,15 @@ def shared_run_async(
         trc.run_start(
             "SharedMemoryJacobi", sim.n, n_threads=sim.n_threads, tol=tol,
             omega=sim.omega, residual_mode=residual_mode,
+            method=sim.method.name,
         )
+    # Method dispatch mirrors the engine loop: sequential blocks relax
+    # through the shared ordered kernel, momentum carries one previous
+    # iterate; scaled methods are the verbatim pre-method arithmetic.
+    seq_m = sim.method.kind == "sequential"
+    mom_beta = sim.method.beta
+    momentum_m = sim.method.kind == "momentum"
+    mom_prev = x.copy() if momentum_m else None
 
     # Per-core run queues implementing iteration-granularity round-robin.
     core_queue = [deque() for _ in range(sim.n_cores)]
@@ -199,9 +208,19 @@ def shared_run_async(
                 continue
             # Read-to-write span: snapshot reads now, writes at COMMIT.
             lo, hi = th.lo, th.hi
-            seg = data[th.nnz_lo : th.nnz_hi] * x[cols[th.nnz_lo : th.nnz_hi]]
-            r = b[lo:hi] - np.bincount(th.rowid_local, weights=seg, minlength=hi - lo)
-            th.pending = x[lo:hi] + dinv[lo:hi] * r
+            if seq_m and hi - lo > 1:
+                pend = np.empty(hi - lo)
+                sor_block_pending(A, b, dinv, x, lo, hi, pend)
+                th.pending = pend
+            else:
+                seg = data[th.nnz_lo : th.nnz_hi] * x[cols[th.nnz_lo : th.nnz_hi]]
+                r = b[lo:hi] - np.bincount(
+                    th.rowid_local, weights=seg, minlength=hi - lo
+                )
+                th.pending = x[lo:hi] + dinv[lo:hi] * r
+                if momentum_m:
+                    th.pending += mom_beta * (x[lo:hi] - mom_prev[lo:hi])
+                    mom_prev[lo:hi] = x[lo:hi]
             if trace_rows:
                 th.pending_reads = [
                     {int(j): int(version[j]) for j in nbrs}
@@ -376,10 +395,11 @@ def distributed_run_async(
             f"residual_mode must be 'incremental' or 'full', got {residual_mode!r}"
         )
     incremental = residual_mode == "incremental"
-    perf = PerfCounters() if instrument else None
+    perf = PerfCounters(method=sim.method.name) if instrument else None
     run_start = _time.perf_counter() if instrument else 0.0
     A, b, dinv = sim.A, sim.b, sim.dinv
     x = np.zeros(sim.n) if x0 is None else check_vector(x0, sim.n, "x0").copy()
+    mom_prev = x.copy() if sim.method.kind == "momentum" else None
     ranks = sim._compile_ranks()
     net = sim.cluster.network
     plan = sim.fault_plan
@@ -425,6 +445,7 @@ def distributed_run_async(
             "DistributedJacobi", sim.n, n_ranks=sim.n_ranks, tol=tol,
             omega=sim.omega, termination=termination,
             residual_mode=residual_mode, reliable=reliable, eager=eager,
+            method=sim.method.name,
         )
 
     queue = EventQueue()
@@ -1015,7 +1036,7 @@ def distributed_run_async(
                 continue
             fresh[rid] = False
             # Read-to-write span: reads (own + ghosts) now, write at COMMIT.
-            rk.pending = sim._relax_block(rk, x)
+            rk.pending = sim._relax_block(rk, x, mom_prev)
             if trace_reads:
                 capture_reads(rk)
             snap = list(adopters.get(rid, ()))
@@ -1033,7 +1054,7 @@ def distributed_run_async(
                     drk.ghosts[:] = x[drk.ghost_cols]
                     if trace_reads:
                         drk.ghost_ver[:] = version[drk.ghost_cols]
-                drk.pending = sim._relax_block(drk, x)
+                drk.pending = sim._relax_block(drk, x, mom_prev)
                 if trace_reads:
                     capture_reads(drk)
                 compute += sim._compute_time(drk)
@@ -1141,6 +1162,8 @@ def distributed_run_sync(
     allreduce = net.allreduce_cost(sim.n_ranks)
 
     b_norm = vector_norm(b, 1)
+    mom_beta = sim.method.beta
+    mom_prev = x.copy() if sim.method.kind == "momentum" else None
     # One SpMV per sweep in the Jacobi branch: the residual driving the
     # update doubles as the previous sweep's convergence check.
     r = b - A.matvec(x)
@@ -1158,8 +1181,13 @@ def distributed_run_sync(
                 comm = max(comm, net.message_time(local_rows.size, rk.rng))
         t += compute + comm + allreduce
         if sim.local_sweep == "jacobi":
-            # Exact global Jacobi sweep (fast vectorized path).
-            x += dinv * r
+            if mom_prev is None:
+                # Exact global Jacobi sweep (fast vectorized path).
+                x += dinv * r
+            else:
+                dx = dinv * r + mom_beta * (x - mom_prev)
+                mom_prev[:] = x
+                x += dx
         else:
             # Per-rank local GS sweeps on fresh ghosts, applied together.
             updates = []

@@ -46,6 +46,8 @@ import numpy as np
 from repro.core.reconstruct import ExecutionTrace
 from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.matrices.sparse import CSRMatrix
+from repro.methods import make_method
+from repro.methods.kernels import sor_block_pending, sor_step_dense
 from repro.perf.instrument import PerfCounters
 from repro.runtime.delays import CompositeDelay, DelayModel, NO_DELAY, StragglerDelay
 from repro.runtime.engine import JitterStream, make_event_queue
@@ -120,6 +122,7 @@ class SharedMemoryJacobi:
         seed=None,
         omega: float = 1.0,
         fault_plan: FaultPlan | None = None,
+        method=None,
     ):
         if A.nrows != A.ncols:
             raise ShapeError(f"matrix must be square, got {A.shape}")
@@ -130,14 +133,14 @@ class SharedMemoryJacobi:
             )
         if not 0 < omega < 2:
             raise ValueError(f"omega must lie in (0, 2), got {omega}")
-        d = A.diagonal()
-        if np.any(d == 0):
+        self.method = make_method(method, omega=omega)
+        if self.method.name != "richardson" and np.any(A.diagonal() == 0):
             raise SingularMatrixError("Jacobi requires a nonzero diagonal")
         self.A = A
         self.n = n
         self.b = check_vector(b, n, "b")
         self.omega = float(omega)
-        self.dinv = self.omega / d
+        self.dinv = self.method.scale(A)
         self.n_threads = int(n_threads)
         self.machine = machine
         self.delay = delay
@@ -279,7 +282,7 @@ class SharedMemoryJacobi:
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
         data, cols = A.data, A.indices
         incremental = residual_mode == "incremental"
-        perf = PerfCounters() if instrument else None
+        perf = PerfCounters(method=self.method.name) if instrument else None
         run_start = _time.perf_counter() if instrument else 0.0
 
         # Resolved once: a missing or all-null-sink tracer costs one branch
@@ -297,7 +300,17 @@ class SharedMemoryJacobi:
             trc.run_start(
                 "SharedMemoryJacobi", self.n, n_threads=self.n_threads, tol=tol,
                 omega=self.omega, residual_mode=residual_mode,
+                method=self.method.name,
             )
+        # Method dispatch: scaled methods ride every vectorized fast path
+        # below unchanged (their scale vector *is* ``dinv``); sequential
+        # (step-async SOR) blocks relax through the ordered kernel, and
+        # momentum carries one previous iterate per row.
+        scaled_m = self.method.is_scaled
+        seq_m = self.method.kind == "sequential"
+        mom_beta = self.method.beta
+        momentum_m = self.method.kind == "momentum"
+        mom_prev = x.copy() if momentum_m else None
 
         # --- engine compilation: everything invariant across events ------
         machine = self.machine
@@ -359,15 +372,29 @@ class SharedMemoryJacobi:
         b0 = [float(b_seg[i][0]) if one_row[i] else 0.0 for i in range(T)]
         dinv0 = [float(dinv_seg[i][0]) if one_row[i] else 0.0 for i in range(T)]
 
+        mom_prev_seg = (
+            [mom_prev[th.lo : th.hi] for th in threads] if momentum_m else None
+        )
+
         def relax(tid: int) -> None:
             """One block relaxation into the thread's pending buffer."""
             if one_row[tid]:
+                # A one-row block is the same update for every method kind
+                # except momentum (a sequential sweep of one row is the
+                # scaled update).
                 s = 0.0
                 for c, a in row_pairs[tid]:
                     s += a * x[c]
-                pending_buf[tid][0] = (
-                    x[threads[tid].lo] + dinv0[tid] * (b0[tid] - s)
-                )
+                lo = threads[tid].lo
+                pv = x[lo] + dinv0[tid] * (b0[tid] - s)
+                if momentum_m:
+                    pv += mom_beta * (x[lo] - mom_prev[lo])
+                    mom_prev[lo] = x[lo]
+                pending_buf[tid][0] = pv
+                return
+            th = threads[tid]
+            if seq_m:
+                sor_block_pending(A, b, dinv, x, th.lo, th.hi, pending_buf[tid])
                 return
             g = gather_buf[tid]
             rb = r_buf[tid]
@@ -379,6 +406,10 @@ class SharedMemoryJacobi:
             np.subtract(b_seg[tid], rsum, out=rb)
             np.multiply(dinv_seg[tid], rb, out=rb)
             np.add(x_seg[tid], rb, out=pending_buf[tid])
+            if momentum_m:
+                pb = pending_buf[tid]
+                pb += mom_beta * (x_seg[tid] - mom_prev_seg[tid])
+                mom_prev_seg[tid][:] = x_seg[tid]
 
         # Per-core run queues implementing iteration-granularity round-robin.
         core_queue = [deque() for _ in range(self.n_cores)]
@@ -484,7 +515,10 @@ class SharedMemoryJacobi:
                 # COMMIT push) then runs in pop order, so the RNG call
                 # order and seq tie-breaks match scalar dispatch exactly.
                 relaxed = None
-                if len(agents) > 1:
+                # The coalesced multi-thread relax assumes a simultaneous
+                # (scaled) update; sequential/momentum methods relax one
+                # thread at a time below.
+                if scaled_m and len(agents) > 1:
                     elig = [
                         tid
                         for tid in agents
@@ -747,12 +781,27 @@ class SharedMemoryJacobi:
         k = 0
         converged = res0 < tol
         core_time = np.zeros(self.n_cores)
+        scaled_m = self.method.is_scaled
+        seq_m = self.method.kind == "sequential"
+        mom_beta = self.method.beta
+        mom_prev = None if scaled_m or seq_m else x.copy()
+        all_rows = None if scaled_m else np.arange(self.n, dtype=np.int64)
         while not converged and k < max_iterations:
             core_time[:] = 0.0
             for th in threads:
                 core_time[th.core] += self._duration(th, k)
             t += float(core_time.max()) + barrier
-            x += dinv * r
+            if scaled_m:
+                x += dinv * r
+            elif seq_m:
+                # One synchronous SOR sweep: blocks in thread order, rows
+                # sequential within each (thread blocks are contiguous and
+                # ascending, so this is a full forward sweep).
+                sor_step_dense(A, b, dinv, x, all_rows)
+            else:
+                dx = dinv * r + mom_beta * (x - mom_prev)
+                mom_prev[:] = x
+                x += dx
             relaxations += self.n
             k += 1
             r = b - A.matvec(x)

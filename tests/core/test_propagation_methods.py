@@ -1,0 +1,155 @@
+"""Propagation-matrix extensions for the method family.
+
+The scaled forms must coincide with the historical ``omega`` forms for
+Jacobi scales; the sequential product must be exactly what one SOR block
+step does to the error; the momentum companion must drive the stacked
+error of a second-order step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.propagation import (
+    error_propagation_matrix,
+    matrix_norm_1,
+    matrix_norm_inf,
+    relaxation_mask,
+    residual_propagation_matrix,
+    scaled_error_propagation_matrix,
+    scaled_residual_propagation_matrix,
+    scaled_theorem1_report,
+    second_order_companion_matrix,
+    sequential_propagation_matrix,
+)
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.methods import Jacobi, Richardson, StepAsyncSOR
+from repro.methods.kernels import sor_step_dense
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture
+def lap():
+    return fd_laplacian_2d(4, 4)
+
+
+@pytest.fixture
+def mask(lap):
+    return relaxation_mask(lap.nrows, [0, 2, 3, 5, 9, 11, 14])
+
+
+def test_scaled_forms_reduce_to_omega_forms_for_jacobi(lap, mask):
+    for omega in (1.0, 0.75):
+        scale = Jacobi(omega=omega).scale(lap)
+        G = scaled_error_propagation_matrix(lap, mask, scale)
+        H = scaled_residual_propagation_matrix(lap, mask, scale)
+        assert np.array_equal(
+            G.to_dense(), error_propagation_matrix(lap, mask, omega).to_dense()
+        )
+        assert np.array_equal(
+            H.to_dense(),
+            residual_propagation_matrix(lap, mask, omega).to_dense(),
+        )
+
+
+def test_scaled_error_matrix_drives_the_error(lap, mask):
+    rng = np.random.default_rng(0)
+    scale = Richardson(alpha=0.3).scale(lap)
+    b = rng.uniform(-1, 1, lap.nrows)
+    x_true = np.linalg.solve(lap.to_dense(), b)
+    x = rng.standard_normal(lap.nrows)
+    r = b - lap.matvec(x)
+    x_new = x.copy()
+    x_new[mask] += scale[mask] * r[mask]
+    G = scaled_error_propagation_matrix(lap, mask, scale)
+    np.testing.assert_allclose(
+        x_new - x_true, G.matvec(x - x_true), rtol=0, atol=1e-12
+    )
+
+
+def test_scaled_residual_matrix_drives_the_residual(lap, mask):
+    rng = np.random.default_rng(1)
+    scale = Jacobi(omega=0.9).scale(lap)
+    b = rng.uniform(-1, 1, lap.nrows)
+    x = rng.standard_normal(lap.nrows)
+    r = b - lap.matvec(x)
+    x_new = x.copy()
+    x_new[mask] += scale[mask] * r[mask]
+    H = scaled_residual_propagation_matrix(lap, mask, scale)
+    np.testing.assert_allclose(
+        b - lap.matvec(x_new), H.matvec(r), rtol=0, atol=1e-12
+    )
+
+
+def test_sequential_matrix_is_one_sor_block_step(lap):
+    rng = np.random.default_rng(2)
+    scale = StepAsyncSOR(omega=0.9).scale(lap)
+    rows = np.array([5, 2, 9, 2, 0])  # unordered, with a duplicate
+    b = rng.uniform(-1, 1, lap.nrows)
+    x_true = np.linalg.solve(lap.to_dense(), b)
+    x = rng.standard_normal(lap.nrows)
+    e = x - x_true
+    M = sequential_propagation_matrix(lap, rows, scale)
+    sor_step_dense(lap, b, scale, x, rows)
+    np.testing.assert_allclose(
+        x - x_true, M.matvec(e), rtol=0, atol=1e-12
+    )
+
+
+def test_sequential_matrix_contracts_sup_norm_on_m_matrix(lap):
+    scale = StepAsyncSOR(omega=1.0).scale(lap)
+    M = sequential_propagation_matrix(lap, np.arange(lap.nrows), scale)
+    assert matrix_norm_inf(M) <= 1.0 + 1e-12
+
+
+def test_companion_matrix_drives_stacked_error(lap):
+    rng = np.random.default_rng(3)
+    n = lap.nrows
+    alpha, beta = 0.25, 0.4
+    scale = np.full(n, alpha)
+    mask = relaxation_mask(n, [0, 1, 4, 7, 8, 13])
+    b = rng.uniform(-1, 1, n)
+    x_true = np.linalg.solve(lap.to_dense(), b)
+    x = rng.standard_normal(n)
+    x_prev = rng.standard_normal(n)
+    # One momentum step on the masked rows.
+    r = b - lap.matvec(x)
+    dx = scale[mask] * r[mask] + beta * (x[mask] - x_prev[mask])
+    x_new = x.copy()
+    new_prev = x.copy()
+    new_prev[~mask] = x_prev[~mask]
+    x_new[mask] += dx
+    C = second_order_companion_matrix(lap, mask, scale, beta)
+    stacked = np.concatenate([x - x_true, x_prev - x_true])
+    out = C @ stacked
+    np.testing.assert_allclose(out[:n], x_new - x_true, rtol=0, atol=1e-12)
+    np.testing.assert_allclose(out[n:], x - x_true, rtol=0, atol=1e-12)
+
+
+def test_companion_matrix_rejects_bad_beta(lap, mask):
+    scale = np.full(lap.nrows, 0.2)
+    with pytest.raises(ValueError):
+        second_order_companion_matrix(lap, mask, scale, 1.0)
+
+
+def test_scaled_theorem1_report_norms_are_one_for_legal_scale(lap, mask):
+    report = scaled_theorem1_report(lap, mask, Jacobi().scale(lap))
+    assert report.theorem1_holds
+    assert report.n_active == int(np.sum(mask))
+
+
+def test_scaled_theorem1_report_flags_illegal_scale(lap, mask):
+    report = scaled_theorem1_report(lap, mask, Richardson(alpha=1.9).scale(lap))
+    assert not report.theorem1_holds
+    assert report.g_norm_inf > 1.0
+
+
+def test_scale_shape_checked(lap, mask):
+    with pytest.raises(ShapeError):
+        scaled_error_propagation_matrix(lap, mask, np.ones(3))
+
+
+def test_h_norm_matches_dense_1_norm(lap, mask):
+    scale = Jacobi(omega=0.8).scale(lap)
+    H = scaled_residual_propagation_matrix(lap, mask, scale)
+    dense = np.abs(H.to_dense()).sum(axis=0).max()
+    assert matrix_norm_1(H) == pytest.approx(dense)

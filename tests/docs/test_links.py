@@ -33,6 +33,15 @@ def test_checker_ignores_external_and_fragment_links(tmp_path):
         ("README.md", ["docs/observability.md", "docs/architecture.md"]),
         ("docs/simulators.md", ["docs/fault_tolerance.md", "docs/performance.md"]),
         ("EXPERIMENTS.md", ["docs/fault_tolerance.md", "docs/observability.md"]),
+        (
+            "docs/methods.md",
+            [
+                "docs/theory.md",
+                "docs/observability.md",
+                "docs/chaos.md",
+                "docs/performance.md",
+            ],
+        ),
     ],
 )
 def test_subsystem_docs_are_cross_referenced(doc, targets):

@@ -45,5 +45,10 @@ def test_python_snippets_execute(doc):
 
 def test_docs_with_snippets_are_covered():
     """The docs that teach by example keep at least one runnable block."""
-    for doc in ("docs/fault_tolerance.md", "docs/observability.md", "README.md"):
+    for doc in (
+        "docs/fault_tolerance.md",
+        "docs/observability.md",
+        "docs/methods.md",
+        "README.md",
+    ):
         assert any(runnable for _, _, runnable in blocks_of(Path(doc))), doc

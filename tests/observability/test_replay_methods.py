@@ -1,0 +1,93 @@
+"""Method-aware replay: the bridge checks each method's own norm bound."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.laplacian import fd_laplacian_2d
+from repro.methods import StepAsyncSOR
+from repro.observability import Tracer
+from repro.observability.replay import replay_report
+from repro.runtime.distributed import DistributedJacobi
+from repro.runtime.shared import SharedMemoryJacobi
+
+
+def _problem():
+    A = fd_laplacian_2d(5, 5)
+    b = np.ones(A.nrows)
+    return A, b
+
+
+def _traced_distributed(A, b, **kwargs):
+    tracer = Tracer(trace_reads=True)
+    sim = DistributedJacobi(A, b, n_ranks=3, seed=9, **kwargs)
+    sim.run_async(tol=1e-8, max_iterations=120, tracer=tracer)
+    return tracer.events()
+
+
+def test_default_replay_is_jacobi_residual_check():
+    A, b = _problem()
+    events = _traced_distributed(A, b)
+    report = replay_report(events, A, b)
+    assert report.method == "jacobi"
+    assert report.norm == "residual_l1"
+    assert report.guarantee.holds
+    assert report.valid_sequence and report.monotone
+    assert report.errors == []  # error tracking is the sup-norm check's
+
+
+def test_sor_replay_checks_error_sup_norm():
+    A, b = _problem()
+    events = _traced_distributed(A, b, method="sor")
+    report = replay_report(events, A, b, method="sor")
+    assert report.method == "sor"
+    assert report.norm == "error_sup"
+    assert report.guarantee.holds
+    assert report.valid_sequence and report.monotone
+    assert len(report.errors) == report.n_steps + 1
+    assert report.errors[-1] < report.errors[0]
+    # The replayed iterate really is the sequential replay's endpoint.
+    x_true = np.linalg.solve(A.to_dense(), b)
+    assert np.max(np.abs(report.x - x_true)) == pytest.approx(
+        report.errors[-1]
+    )
+    assert "error sup-norm" in report.verdict
+
+
+def test_sor_replay_with_omega_above_one_asserts_nothing():
+    A, b = _problem()
+    method = StepAsyncSOR(omega=1.5)
+    events = _traced_distributed(A, b, method=method)
+    report = replay_report(events, A, b, method=method)
+    assert report.norm == "error_sup"
+    assert not report.guarantee.holds
+    # No enforcement when the hypotheses fail: violations never recorded.
+    assert report.monotone and report.violations == []
+
+
+def test_momentum_replay_has_no_norm_check():
+    A, b = _problem()
+    spec = {"kind": "richardson2", "alpha": 0.2, "beta": 0.3}
+    events = _traced_distributed(A, b, method=spec)
+    report = replay_report(events, A, b, method=spec)
+    assert report.method == "richardson2"
+    assert report.norm is None and report.guarantee.norm is None
+    assert report.valid_sequence and report.monotone
+    assert "no per-step norm check" in report.verdict
+
+
+def test_shared_memory_sor_trace_replays_monotone():
+    A, b = _problem()
+    tracer = Tracer(trace_reads=True)
+    sim = SharedMemoryJacobi(A, b, n_threads=3, seed=4, method="sor")
+    sim.run_async(tol=1e-8, max_iterations=120, tracer=tracer)
+    report = replay_report(tracer.events(), A, b, method="sor")
+    assert report.valid_sequence and report.monotone
+    assert report.errors[-1] < report.errors[0]
+
+
+def test_empty_trace_still_reports_method():
+    A, b = _problem()
+    report = replay_report([], A, b, method="sor")
+    assert report.n_steps == 0
+    assert report.method == "sor" and report.norm == "error_sup"
+    assert report.residuals and report.monotone

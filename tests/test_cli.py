@@ -24,6 +24,7 @@ class TestCLI:
         assert set(EXPERIMENTS) == {
             "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "fig8", "fig9", "ablations", "seeds", "scale", "faults", "trace",
+            "methods",
         }
 
     def test_run_one_experiment(self, capsys):
