@@ -14,13 +14,21 @@ archives the speedups in ``benchmarks/results/engine.json``:
   4..256 ranks, synchronous and asynchronous to a 10x residual
   reduction); the new arm runs the block-event relax backend
   (``relax_backend="block"``) and both arms report events-per-second so
-  delivery-bound regressions show up directly, not just in the ratio;
+  delivery-bound regressions show up directly, not just in the ratio.
+  When a C toolchain is present a third ``native`` arm runs the
+  compiled relax kernels (``relax_backend="native"``) over the same
+  grid — bit-identical to the other two arms on every rep — and the
+  measured ``native_speedup_vs_block`` is archived to
+  ``benchmarks/results/native.json`` (plus build provenance), so the
+  honest compiled-kernel number lives next to the engine ratios;
 * ``scaling`` — the size-scaling curve (n = 10^4 -> 10^6 stencil rows,
   fixed rank count and iteration budget) comparing batched delivery +
   block relaxes against per-put delivery events; the batching speedup
-  is the machine-independent gated metric. The 10^6 point is full-size
-  locally and smoke-sized (tiny budget, ungated) under
-  ``REPRO_BENCH_SMOKE=1``, which the CI benchmarks job sets.
+  is the machine-independent gated metric, and a ``native`` column
+  (compiled kernels, bit-identical to block) joins when the toolchain
+  probe succeeds. The 10^6 point is full-size locally and smoke-sized
+  (tiny budget, ungated) under ``REPRO_BENCH_SMOKE=1``, which the CI
+  benchmarks job sets.
 
 Both arms compute *bit-identical trajectories* (asserted here on every
 rep), so the ratio isolates pure engine overhead: queue, dispatch, RNG
@@ -38,6 +46,7 @@ import numpy as np
 from conftest import publish, publish_json
 
 from repro.experiments.fig3 import DELAYED_ROW, N_ROWS, N_THREADS
+from repro.perf.native import build_info, native_available
 from repro.matrices.laplacian import fd_laplacian_2d, paper_fd_matrix
 from repro.runtime import KNL
 from repro.runtime.delays import ConstantDelay
@@ -130,8 +139,10 @@ def _bench_fig8():
 
     The new arm runs batched delivery with the block-event relax backend
     (whole-rank relaxes); trajectories stay bitwise the legacy oracle's.
-    Returns the best times plus the composite's block-commit event count
-    (identical in both arms), for events-per-second reporting.
+    A third ``native`` arm (compiled relax kernels) joins when the
+    toolchain probe succeeds, bitwise-asserted against the other two on
+    every rep. Returns the best times plus the composite's block-commit
+    event count (identical in all arms), for events-per-second reporting.
     """
     A = fd_laplacian_2d(*FIG8_GRID)
     b = np.random.default_rng(0).standard_normal(A.shape[0])
@@ -144,12 +155,12 @@ def _bench_fig8():
 
     events = 0
 
-    def run(legacy, count=False):
+    def run(legacy, backend="block", count=False):
         def fn():
             nonlocal events
             last = None
             for sim, n_ranks, tol in configs:
-                extra = {} if legacy else {"relax_backend": "block"}
+                extra = {} if legacy else {"relax_backend": backend}
                 rs = sim.run_sync(
                     tol=tol, max_iterations=5000, legacy_engine=legacy
                 )
@@ -165,8 +176,13 @@ def _bench_fig8():
         return fn
 
     run(False, count=True)()  # one counted pass, outside the timing loop
-    best, ref = _interleaved_best([("new", run(False)), ("legacy", run(True))])
+    arms = [("new", run(False)), ("legacy", run(True))]
+    if native_available():
+        arms.insert(0, ("native", run(False, backend="native")))
+    best, ref = _interleaved_best(arms)
     _assert_arms_match(ref, "new", "legacy")
+    if "native" in best:
+        _assert_arms_match(ref, "native", "new")
     return best, events
 
 
@@ -199,14 +215,16 @@ def _bench_scaling():
 
             return fn
 
-        best, ref = _interleaved_best(
-            [
-                ("block", run({"relax_backend": "block"})),
-                ("event", run({"delivery": "event"})),
-            ],
-            reps=1 if smoke_point else SCALING_REPS,
-        )
+        arms = [
+            ("block", run({"relax_backend": "block"})),
+            ("event", run({"delivery": "event"})),
+        ]
+        if native_available():
+            arms.insert(0, ("native", run({"relax_backend": "native"})))
+        best, ref = _interleaved_best(arms, reps=1 if smoke_point else SCALING_REPS)
         _assert_arms_match(ref, "block", "event")
+        if "native" in best:
+            _assert_arms_match(ref, "native", "block")
         events = SCALING_RANKS * budget
         if smoke_point:
             # Info only — names avoid the _seconds/speedup gating suffixes.
@@ -215,6 +233,8 @@ def _bench_scaling():
                 "block_wall": best["block"],
                 "event_wall": best["event"],
             }
+            if "native" in best:
+                out[f"n{n}"]["native_wall"] = best["native"]
         else:
             out[f"n{n}"] = {
                 "block_seconds": best["block"],
@@ -223,6 +243,12 @@ def _bench_scaling():
                 "event_events_per_second": events / best["event"],
                 "batching_speedup": best["event"] / best["block"],
             }
+            if "native" in best:
+                out[f"n{n}"]["native_seconds"] = best["native"]
+                out[f"n{n}"]["native_events_per_second"] = events / best["native"]
+                out[f"n{n}"]["native_speedup_vs_block"] = (
+                    best["block"] / best["native"]
+                )
     return out
 
 
@@ -267,6 +293,44 @@ def test_engine_speedups(benchmark):
     )
     assert speedup > 1.2, "fig8: engine slower than legacy oracle"
 
+    if "native" in best:
+        # Compiled-kernel arm: bit-identical to block (asserted in
+        # _bench_fig8), so the ratio isolates pure relax/commit kernel
+        # cost. Archived separately so machines without a toolchain skip
+        # the gate (compare.py treats absent metrics as skipped).
+        native_vs_block = best["new"] / best["native"]
+        payload["fig8"]["native_seconds"] = best["native"]
+        payload["fig8"]["native_events_per_second"] = events / best["native"]
+        payload["fig8"]["native_speedup_vs_block"] = native_vs_block
+        rows.append(
+            f"{'fig8 (native)':>16} {best['native']:>10.4f} "
+            f"{best['new']:>10.4f} {native_vs_block:>8.2f}x   "
+            f"({events / best['native']:,.0f} events/s, vs block arm)"
+        )
+        info = build_info()
+        publish_json(
+            "native",
+            {
+                "fig8": {
+                    "native_seconds": best["native"],
+                    "block_seconds": best["new"],
+                    "legacy_seconds": best["legacy"],
+                    "native_speedup_vs_block": native_vs_block,
+                    "native_speedup_vs_legacy": best["legacy"] / best["native"],
+                    "native_events_per_second": events / best["native"],
+                },
+                "build": {
+                    "compiler": info.get("compiler"),
+                    "source_hash": info.get("source_hash"),
+                    "library": info.get("library"),
+                    "build_millis": info.get("build_ms") or 0.0,
+                },
+            },
+        )
+        assert native_vs_block > 0.9, (
+            "fig8: native kernels slower than the NumPy block backend"
+        )
+
     def measured():  # archive the headline number under pytest-benchmark
         return payload["fig8"]["new_seconds"]
 
@@ -295,11 +359,17 @@ def test_engine_scaling(benchmark):
                 f"{entry['event_wall']:>10.4f}    (smoke budget, ungated)"
             )
             continue
+        native = (
+            f"  native {entry['native_seconds']:.4f}s "
+            f"({entry['native_speedup_vs_block']:.2f}x vs block)"
+            if "native_seconds" in entry
+            else ""
+        )
         rows.append(
             f"{key:>10} {entry['block_seconds']:>10.4f} "
             f"{entry['event_seconds']:>10.4f} "
             f"{entry['batching_speedup']:>8.2f}x "
-            f"{entry['block_events_per_second']:>12,.0f} ev/s"
+            f"{entry['block_events_per_second']:>12,.0f} ev/s{native}"
         )
         # Batched delivery + block relaxes must never lose badly to
         # per-put events; the committed baseline gates the real curve.

@@ -6,8 +6,13 @@ Usage::
     python -m repro table1 fig3 fig6     # run specific experiments
     python -m repro all                  # run everything (several minutes)
     python -m repro chaos --budget 200   # adversarial property fuzzing
+    python -m repro scale --matrix thermal2   # Table I problem sweep
     python -m repro --no-cache fig3      # ignore the on-disk result cache
     python -m repro --profile fig3       # profile the run, dump profile.pstats
+
+``--matrix NAME`` (``scale`` only) sweeps a Table I problem instead of the
+synthetic stencil: the real SuiteSparse ``.mtx`` is read when
+``$REPRO_SUITESPARSE_DIR`` holds it, the verified stand-in otherwise.
 
 ``--no-cache`` disables the experiment-cell cache (equivalent to setting
 ``REPRO_NO_CACHE=1``); see docs/performance.md for the cache layout.
@@ -115,24 +120,32 @@ def _delivery_digest() -> None:
     :class:`~repro.perf.instrument.PerfCounters` delivery counters.
     """
     from repro.matrices.laplacian import fd_laplacian_2d
+    from repro.perf.native import native_available
     from repro.runtime.distributed import DistributedJacobi
     from repro.util.rng import as_rng
 
     A = fd_laplacian_2d(63, 63)
     b = as_rng(1).uniform(-1, 1, A.shape[0])
     sim = DistributedJacobi(A, b, n_ranks=16, partition="contiguous", seed=1)
-    result = sim.run_async(tol=1e-6, max_iterations=4000, instrument=True)
+    backend = "native" if native_available() else "auto"
+    result = sim.run_async(
+        tol=1e-6, max_iterations=4000, instrument=True, relax_backend=backend
+    )
     perf = result.perf
     print("delivery digest (63x63 stencil, 16 ranks, batched delivery):")
     print("  " + (perf.delivery_summary() or "no batched flushes recorded"))
     print("  kernels: " + perf.summary())
+    native_line = perf.native_summary()
+    if native_line:
+        print("  " + native_line)
 
 
-def _run(names) -> None:
+def _run(names, matrix: str | None = None) -> None:
     for name in names:
         mod = EXPERIMENTS[name]
         print(f"=== {name} " + "=" * max(0, 66 - len(name)))
-        print(mod.format_report(mod.run()))
+        result = mod.run(matrix=matrix) if matrix is not None else mod.run()
+        print(mod.format_report(result))
         print()
 
 
@@ -188,6 +201,14 @@ def main(argv=None) -> int:
         os.environ["REPRO_NO_CACHE"] = "1"
     if args and args[0] == "chaos":
         return _chaos_main(args[1:])
+    matrix = None
+    if "--matrix" in args:
+        at = args.index("--matrix")
+        if at + 1 >= len(args):
+            print("--matrix requires a problem name", file=sys.stderr)
+            return 2
+        matrix = args[at + 1]
+        del args[at : at + 2]
     if not args or args == ["list"]:
         _print_listing()
         return 0
@@ -197,6 +218,9 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if matrix is not None and names != ["scale"]:
+        print("--matrix only applies to the 'scale' experiment", file=sys.stderr)
+        return 2
     if profile:
         import cProfile
         import pstats
@@ -204,7 +228,7 @@ def main(argv=None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            _run(names)
+            _run(names, matrix=matrix)
         finally:
             profiler.disable()
             profiler.dump_stats("profile.pstats")
@@ -213,7 +237,7 @@ def main(argv=None) -> int:
             print("full profile written to profile.pstats")
             _delivery_digest()
         return 0
-    _run(names)
+    _run(names, matrix=matrix)
     return 0
 
 

@@ -304,6 +304,23 @@ def generate_spec(seed: int, index: int) -> dict:
             "relax_backend": str(rng.choice(backends)),
         }
     spec["method"] = _method_spec(rng, omega)
+    if executor == "distributed":
+        # Appended after every legacy draw so the whole pre-native stream
+        # of a (seed, index) pair is unchanged from older campaigns. The
+        # coin itself is flipped unconditionally (stream-stable); whether
+        # it lands depends on the toolchain probe, so a machine without a
+        # C compiler simply never sees the backend, and SOR — whose local
+        # sweeps are sequential and therefore native-illegal — keeps its
+        # legacy draw.
+        wants_native = bool(rng.random() < 0.25)
+        from repro.perf.native import native_available
+
+        if (
+            wants_native
+            and spec["method"]["kind"] != "sor"
+            and native_available()
+        ):
+            spec["distributed"]["relax_backend"] = "native"
     return spec
 
 

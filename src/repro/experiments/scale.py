@@ -52,6 +52,8 @@ class ScalePoint:
     async_time: float  # simulated seconds
     wall_seconds: float  # wall-clock cost of the sync+async pair
     commit_rate: float  # async block commits per wall second
+    matrix: str = ""  # Table I problem name when --matrix is used
+    source: str = ""  # "suitesparse" (real file) or "stand-in"
 
 
 def run(
@@ -62,15 +64,27 @@ def run(
     seed: int = 1,
     max_iterations: int = 500,
     relax_backend: str = "block",
+    matrix: str | None = None,
 ) -> list:
     """The sweep. Returns one :class:`ScalePoint` per delay.
 
     ``grid`` may be shrunk (e.g. ``(100, 100)``) for smoke runs; the
     default is the paper-scale 10^6-row stencil, sized to finish in a
-    few minutes on one core.
+    few minutes on one core. ``matrix`` selects a Table I problem
+    instead of the stencil (``python -m repro scale --matrix thermal2``):
+    the real SuiteSparse file is read when ``$REPRO_SUITESPARSE_DIR``
+    holds it, the verified synthetic stand-in is built otherwise (see
+    :func:`repro.matrices.suitesparse.load_real`).
     """
     rng = as_rng(seed)
-    A = fd_laplacian_2d(*grid)
+    matrix_name = source = ""
+    if matrix is not None:
+        from repro.matrices.suitesparse import load_real
+
+        A, info = load_real(matrix, seed=seed)
+        matrix_name, source = info["name"], info["source"]
+    else:
+        A = fd_laplacian_2d(*grid)
     n = A.shape[0]
     b = rng.uniform(-1, 1, n)
     delayed_rank = n_ranks // 2
@@ -114,6 +128,8 @@ def run(
                 async_time=at,
                 wall_seconds=wall,
                 commit_rate=commits / wall if wall > 0 else float("nan"),
+                matrix=matrix_name,
+                source=source,
             )
         )
     return points
@@ -124,8 +140,11 @@ def format_report(points: list) -> str:
     if not points:
         return "scale: no points"
     head = points[0]
+    problem = (
+        f"{head.matrix} ({head.source}), " if head.matrix else ""
+    )
     out = [
-        f"Paper-scale Figure-3-style sweep: n={head.n:,} rows, "
+        f"Paper-scale Figure-3-style sweep: {problem}n={head.n:,} rows, "
         f"{head.n_ranks} ranks, one straggler rank"
     ]
     out.append(

@@ -19,6 +19,7 @@ real data).
 from __future__ import annotations
 
 import io as _io
+import math
 from pathlib import Path
 
 import numpy as np
@@ -112,6 +113,10 @@ def _read_stream(fh) -> CSRMatrix:
             v = float(entry[2])
         except ValueError as exc:
             raise MatrixMarketError(f"bad entry line: {stripped!r}") from exc
+        if not math.isfinite(v):
+            # A NaN/inf entry would silently poison every downstream
+            # kernel (diagonal scaling, residuals); reject it at the gate.
+            raise MatrixMarketError(f"non-finite entry value in: {stripped!r}")
         if not (1 <= i <= nrows and 1 <= j <= ncols):
             raise MatrixMarketError(f"entry ({i}, {j}) outside {nrows}x{ncols}")
         rows[k], cols[k], vals[k] = i - 1, j - 1, v

@@ -18,7 +18,9 @@ benchmark.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -230,3 +232,66 @@ def load_problem(name: str, n: int | None = None, seed: int | None = None) -> CS
             f"unknown problem {name!r}; available: {', '.join(PAPER_PROBLEMS)}"
         ) from None
     return spec.build(n=n, seed=seed)
+
+
+def real_matrix_path(name: str) -> Path | None:
+    """Locate the real SuiteSparse ``.mtx`` file for a Table I problem.
+
+    Searches ``$REPRO_SUITESPARSE_DIR`` for ``<name>.mtx`` and
+    ``<name>/<name>.mtx`` (the layout ``tar xf`` of a SuiteSparse download
+    produces). Returns ``None`` when the variable is unset or no file is
+    found — callers then fall back to the synthetic stand-ins.
+    """
+    root = os.environ.get("REPRO_SUITESPARSE_DIR", "")
+    if not root:
+        return None
+    base = Path(root)
+    for candidate in (base / f"{name}.mtx", base / name / f"{name}.mtx"):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_real(
+    name: str, n: int | None = None, seed: int | None = None
+) -> tuple[CSRMatrix, dict]:
+    """Load a Table I matrix, preferring the real SuiteSparse file.
+
+    When ``$REPRO_SUITESPARSE_DIR`` holds the paper's actual matrix (see
+    :func:`real_matrix_path`), it is read from MatrixMarket format and
+    unit-diagonal scaled — the same normalization every stand-in generator
+    applies, so downstream Jacobi iterations are directly comparable.
+    Otherwise the verified synthetic stand-in is built (``n``/``seed``
+    forwarded; both are ignored for real reads, which have a fixed size).
+
+    Returns ``(matrix, info)`` where ``info`` records ``name``,
+    ``source`` (``"suitesparse"`` or ``"stand-in"``), ``path`` (real reads
+    only), ``rows`` and ``nnz`` — so experiment reports can say what they
+    actually measured.
+    """
+    if name not in PAPER_PROBLEMS:
+        raise KeyError(
+            f"unknown problem {name!r}; available: {', '.join(PAPER_PROBLEMS)}"
+        )
+    path = real_matrix_path(name)
+    if path is not None:
+        from repro.matrices.io import read_matrix_market
+
+        A = read_matrix_market(path)
+        A, _ = A.unit_diagonal_scaled()
+        info = {
+            "name": name,
+            "source": "suitesparse",
+            "path": str(path),
+            "rows": A.nrows,
+            "nnz": A.nnz,
+        }
+        return A, info
+    A = load_problem(name, n=n, seed=seed)
+    info = {
+        "name": name,
+        "source": "stand-in",
+        "rows": A.nrows,
+        "nnz": A.nnz,
+    }
+    return A, info

@@ -45,6 +45,15 @@ class PerfCounters:
     delivery_edges_flushed: int = 0
     delivery_batch_max: int = 0
     ledger_scatter_width: int = 0
+    #: Resolved relax backend label (``"native"`` when the compiled
+    #: kernels ran, ``"mixed"`` after merging runs of different backends)
+    #: and the native-kernel counters: compiled relax calls, rows they
+    #: relaxed, and the one-time library compile cost this process paid
+    #: (0.0 when the content-hash cache already held it).
+    backend: str = "auto"
+    native_calls: int = 0
+    native_rows_relaxed: int = 0
+    native_build_ms: float = 0.0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -84,6 +93,11 @@ class PerfCounters:
             self.delivery_batch_max, other.delivery_batch_max
         )
         self.ledger_scatter_width += other.ledger_scatter_width
+        if other.backend != self.backend:
+            self.backend = "mixed"
+        self.native_calls += other.native_calls
+        self.native_rows_relaxed += other.native_rows_relaxed
+        self.native_build_ms += other.native_build_ms
         return self
 
     def as_dict(self) -> dict:
@@ -103,8 +117,26 @@ class PerfCounters:
             "delivery_edges_flushed": self.delivery_edges_flushed,
             "delivery_batch_max": self.delivery_batch_max,
             "ledger_scatter_width": self.ledger_scatter_width,
+            "backend": self.backend,
+            "native_calls": self.native_calls,
+            "native_rows_relaxed": self.native_rows_relaxed,
+            "native_build_ms": self.native_build_ms,
             **self.extra,
         }
+
+    def native_summary(self) -> str:
+        """One-line digest of the compiled-kernel counters.
+
+        Empty string when no native kernel ever ran, so callers can print
+        it conditionally (mirrors :meth:`delivery_summary`).
+        """
+        if not self.native_calls:
+            return ""
+        return (
+            f"native: {self.native_calls} kernel calls, "
+            f"{self.native_rows_relaxed} rows relaxed "
+            f"(build {self.native_build_ms:.1f} ms)"
+        )
 
     def delivery_summary(self) -> str:
         """One-line digest of the delivery-batching counters.
@@ -129,6 +161,12 @@ class PerfCounters:
         Kernel attribution only; pair with :meth:`delivery_summary` for the
         message-coalescing counters.
         """
+        native = (
+            f", native {self.native_calls} calls"
+            f"/{self.native_rows_relaxed} rows"
+            if self.native_calls
+            else ""
+        )
         return (
             f"total {self.total_seconds:.3e}s: "
             f"spmv {self.spmv_seconds:.3e}s/{self.spmv_calls} "
@@ -136,4 +174,5 @@ class PerfCounters:
             f"residual {self.residual_seconds:.3e}s/{self.residual_evals} evals "
             f"({self.full_recomputes} full recomputes), "
             f"dispatch {self.dispatch_seconds:.3e}s over {self.events} events"
+            f"{native}"
         )

@@ -563,6 +563,17 @@ class DistributedJacobi:
           engine's interleaving. Applies to the plain fast path (no
           faults, no tracing, no reliable puts, no eager/detect/heartbeat
           machinery, heap backend); elsewhere the flag is inert.
+        * ``"native"`` — the block backend's relax/commit inner kernels
+          (and the two-event/general-loop relax when delivery is
+          ``"event"``) run as compiled C via :mod:`repro.perf.native`,
+          bit-identical to the NumPy paths. Falls back silently to
+          ``"block"``/``"event"`` when no compiler is available, the
+          build fails, or ``REPRO_NO_NATIVE`` is set. Illegal for the
+          sequential (SOR) kind and the Gauss-Seidel local sweep, whose
+          BLAS dot products have no reproducible compiled operand order.
+          ``"auto"`` upgrades to native at ``n_ranks >=
+          _TURBO_MIN_RANKS`` under batched delivery when the library
+          loads (see docs/performance.md, "Native compiled kernels").
 
         Parameters beyond the common ones
         ---------------------------------
@@ -601,10 +612,31 @@ class DistributedJacobi:
             raise ValueError(
                 f"delivery must be 'auto', 'batched' or 'event', got {delivery!r}"
             )
-        if relax_backend not in ("auto", "event", "block"):
+        # Legal relax backends depend on the method: the native kernels
+        # (and every non-"event" granularity) reproduce NumPy's operand
+        # order exactly, but the sequential Gauss-Seidel sweep accumulates
+        # through BLAS dot products whose summation order no compiled loop
+        # can match — so "native" is only offered for scaled/momentum
+        # methods with the plain jacobi local sweep.
+        native_ok = (
+            self.method.kind != "sequential" and self.local_sweep == "jacobi"
+        )
+        legal_backends = (
+            ("auto", "event", "block", "native")
+            if native_ok
+            else ("auto", "event", "block")
+        )
+        if relax_backend not in legal_backends:
+            hint = (
+                ""
+                if native_ok
+                else " ('native' is unavailable here: Gauss-Seidel dot"
+                " products have no reproducible compiled operand order)"
+            )
             raise ValueError(
-                f"relax_backend must be 'auto', 'event' or 'block', "
-                f"got {relax_backend!r}"
+                f"relax_backend for method {self.method.name!r} must be one "
+                f"of {', '.join(repr(v) for v in legal_backends)}, "
+                f"got {relax_backend!r}{hint}"
             )
         if relax_backend == "block" and delivery == "event":
             raise ValueError(
@@ -632,7 +664,33 @@ class DistributedJacobi:
             )
         incremental = residual_mode == "incremental"
         batch_delivery = delivery != "event"
+        # Native kernel resolution. An explicit "native" uses the compiled
+        # library when it loads and silently degrades to the equivalent
+        # NumPy backend otherwise (no compiler, build failure,
+        # REPRO_NO_NATIVE). "auto" upgrades to native at high rank counts
+        # under batched delivery — the regime where per-commit dispatch
+        # overhead dominates — which is safe because the kernels are
+        # bit-identical to the NumPy paths (see repro.perf.native).
+        nat = None
+        if relax_backend == "native" or (
+            relax_backend == "auto"
+            and batch_delivery
+            and native_ok
+            and self.n_ranks >= self._TURBO_MIN_RANKS
+        ):
+            from repro.perf.native import native_kernels
+
+            nat = native_kernels()
+            if nat is not None:
+                relax_backend = "native"
+            elif relax_backend == "native":
+                relax_backend = "block" if batch_delivery else "event"
+        use_native = nat is not None
         perf = PerfCounters(method=self.method.name) if instrument else None
+        if perf is not None:
+            perf.backend = relax_backend
+            if use_native:
+                perf.native_build_ms = nat.build_ms
         run_start = _time.perf_counter() if instrument else 0.0
         A, b, dinv = self.A, self.b, self.dinv
         x = np.zeros(self.n) if x0 is None else check_vector(x0, self.n, "x0").copy()
@@ -758,6 +816,66 @@ class DistributedJacobi:
                 mp = mom_prev_loc[r]
                 pend_buf[r] += mom_beta * (own_view[r] - mp)
                 np.copyto(mp, own_view[r])
+
+        nat_commit_args = None
+        if use_native and not gauss_seidel:
+            # Precompiled pointer tuples for the native kernels: every
+            # buffer below is allocated exactly once for the whole run
+            # (``x``, the ``loc_parent`` carve-outs, the per-rank scratch),
+            # so raw addresses are stable and each call is one ctypes
+            # dispatch with no per-event marshalling. The kernels read and
+            # write the same buffers the NumPy closures use — drop-in,
+            # bit-identical replacements (contract in repro.perf.native).
+            # ``r_vec`` is the one rebinding buffer (observe_residual
+            # replaces it); its address is fetched at every call.
+            nat_rows = [
+                np.ascontiguousarray(rk.rows, dtype=np.int64) for rk in ranks
+            ]
+            nat_mv = [np.empty(m) for m in nrows_loc]
+            x_ptr = x.ctypes.data
+            nat_beta = float(mom_beta) if momentum_m else 0.0
+            nat_relax_args = []
+            for rk in ranks:
+                r = rk.rank
+                nat_relax_args.append((
+                    nrows_loc[r], rk.local.nnz, x_ptr,
+                    nat_rows[r].ctypes.data, loc_buf[r].ctypes.data,
+                    rk.local.data.ctypes.data, rk.local.indices.ctypes.data,
+                    rowid_loc[r].ctypes.data, b_loc[r].ctypes.data,
+                    dinv_loc[r].ctypes.data, pend_buf[r].ctypes.data,
+                    nat_mv[r].ctypes.data, nat_beta,
+                    mom_prev_loc[r].ctypes.data if momentum_m else None,
+                ))
+            nat_relax = nat.relax_rank
+
+            def relax(rk: _Rank) -> None:
+                """Native relax: same buffers, same bits, one C call."""
+                nat_relax(*nat_relax_args[rk.rank])
+                if perf is not None:
+                    perf.native_calls += 1
+                    perf.native_rows_relaxed += nrows_loc[rk.rank]
+
+            if incremental:
+                nat_plan_keep = []
+                nat_commit_args = []
+                for rk in ranks:
+                    r = rk.rank
+                    sp = splans[r]
+                    pn = int(sp.vals.size)
+                    rep64 = np.ascontiguousarray(sp.rep_idx, dtype=np.int64)
+                    loc64 = np.ascontiguousarray(sp.local, dtype=np.int64)
+                    val64 = np.ascontiguousarray(sp.vals, dtype=np.float64)
+                    binc = np.zeros(max(int(sp.span), 1))
+                    nat_plan_keep.append((rep64, loc64, val64, binc))
+                    nat_commit_args.append((
+                        nrows_loc[r], nat_rows[r].ctypes.data, x_ptr,
+                        loc_buf[r].ctypes.data, dx_buf[r].ctypes.data,
+                        pn, rep64.ctypes.data, loc64.ctypes.data,
+                        val64.ctypes.data, int(sp.base), int(sp.span),
+                        binc.ctypes.data,
+                    ))
+                nat_commit = nat.commit_rank
+            nat_pend_ptr = [p.ctypes.data for p in pend_buf]
 
         def local_residual_norm(rk: _Rank) -> float:
             """Block residual 1-norm from the rank's current (stale) view."""
@@ -1345,7 +1463,7 @@ class DistributedJacobi:
             hpush = heapq.heappush
             hpop = heapq.heappop
             seq = queue._seq
-            block_mode = batch_delivery and relax_backend == "block"
+            block_mode = batch_delivery and relax_backend in ("block", "native")
             if batch_delivery:
                 # Mailbox delivery: puts skip the heap entirely. Each
                 # directed edge keeps an in-flight list of ``(arrival,
@@ -1442,11 +1560,15 @@ class DistributedJacobi:
             # re-gathers the old values instead.
             pb = pend_buf[rid]
             if incremental:
-                if gauss_seidel:
-                    x.take(rows_of[rid], out=own_view[rid])
-                np.subtract(pb, own_view[rid], out=dx_buf[rid])
-                x[rows_of[rid]] = pb
-                splans[rid].apply(r_vec, dx_buf[rid])
+                if nat_commit_args is not None:
+                    nat_commit(*nat_commit_args[rid], nat_pend_ptr[rid],
+                               r_vec.ctypes.data)
+                else:
+                    if gauss_seidel:
+                        x.take(rows_of[rid], out=own_view[rid])
+                    np.subtract(pb, own_view[rid], out=dx_buf[rid])
+                    x[rows_of[rid]] = pb
+                    splans[rid].apply(r_vec, dx_buf[rid])
             else:
                 x[rows_of[rid]] = pb
             rk.iterations += 1
@@ -1647,6 +1769,76 @@ class DistributedJacobi:
                 else None
                 for r in range(n_ranks)
             ]
+            if use_native:
+                # Per-rank pointer tables for the batched native kernel:
+                # uint64 arrays of raw addresses indexed by rank id, read
+                # in C as double**/int64_t** equivalents. The originals
+                # stay referenced through the lists captured above, so the
+                # addresses outlive every call.
+                def _ptr64(arrs):
+                    return np.array(
+                        [a.ctypes.data for a in arrs], dtype=np.uint64
+                    )
+
+                nat_members = np.empty(n_ranks, dtype=np.int64)
+                nat_pend_cat = np.empty(n_grows)
+                nat_m_tab = np.array(nrows_loc, dtype=np.int64)
+                nat_nnz_tab = np.array(
+                    [rk.local.nnz for rk in ranks], dtype=np.int64
+                )
+                nat_rows_tab = _ptr64(nat_rows)
+                nat_lb_tab = _ptr64(loc_buf)
+                nat_data_tab = _ptr64([rk.local.data for rk in ranks])
+                nat_idx_tab = _ptr64([rk.local.indices for rk in ranks])
+                nat_rowid_tab = _ptr64(rowid_loc)
+                nat_b_tab = _ptr64(b_loc)
+                nat_dinv_tab = _ptr64(dinv_loc)
+                if incremental:
+                    nat_pn_tab = np.array(
+                        [int(sp.vals.size) for sp in splans], dtype=np.int64
+                    )
+                    nat_rep_tab = _ptr64([t[0] for t in nat_plan_keep])
+                    nat_loc_tab = _ptr64([t[1] for t in nat_plan_keep])
+                    nat_val_tab = _ptr64([t[2] for t in nat_plan_keep])
+                    nat_base_tab = np.array(
+                        [int(sp.base) for sp in splans], dtype=np.int64
+                    )
+                    nat_span_tab = np.array(
+                        [int(sp.span) for sp in splans], dtype=np.int64
+                    )
+                    nat_binc_tab = _ptr64([t[3] for t in nat_plan_keep])
+                else:
+                    # mode 0/2 never touch the plan tables; zeros suffice.
+                    nat_pn_tab = np.zeros(n_ranks, dtype=np.int64)
+                    nat_rep_tab = np.zeros(n_ranks, dtype=np.uint64)
+                    nat_loc_tab = nat_rep_tab
+                    nat_val_tab = nat_rep_tab
+                    nat_base_tab = nat_pn_tab
+                    nat_span_tab = nat_pn_tab
+                    nat_binc_tab = nat_rep_tab
+                nat_batch_fn = nat.relax_batch
+
+                def nat_relax_batch(members, mode, r_ptr) -> None:
+                    """One compiled call per admission batch (modes 0/1/2)."""
+                    nbm = len(members)
+                    nat_members[:nbm] = members
+                    nat_batch_fn(
+                        nbm, nat_members.ctypes.data, mode, x_ptr, r_ptr,
+                        nat_pend_cat.ctypes.data, nat_m_tab.ctypes.data,
+                        nat_nnz_tab.ctypes.data, nat_rows_tab.ctypes.data,
+                        nat_lb_tab.ctypes.data, nat_data_tab.ctypes.data,
+                        nat_idx_tab.ctypes.data, nat_rowid_tab.ctypes.data,
+                        nat_b_tab.ctypes.data, nat_dinv_tab.ctypes.data,
+                        nat_pn_tab.ctypes.data, nat_rep_tab.ctypes.data,
+                        nat_loc_tab.ctypes.data, nat_val_tab.ctypes.data,
+                        nat_base_tab.ctypes.data, nat_span_tab.ctypes.data,
+                        nat_binc_tab.ctypes.data,
+                    )
+                    if perf is not None:
+                        perf.native_calls += 1
+                        perf.native_rows_relaxed += sum(
+                            nrows_loc[r] for r in members
+                        )
         # Turbo block engine: with both jitters drawn from per-rank
         # pattern streams, a rank's event *schedule* is a fixed
         # recurrence over its own generator — nothing about timing
@@ -2032,7 +2224,20 @@ class DistributedJacobi:
                     # (identical machinery to the heap-driven stacked
                     # path above), then one batched x commit — safe here
                     # because turbo batches are never pushed back.
-                    if nb == 1:
+                    if use_native:
+                        # Fused phase 2 + commit: one compiled call relaxes
+                        # the members in cursor order and, member by member,
+                        # writes ``x`` and applies the incremental residual
+                        # scatter (mode 1). Turbo batches are never pushed
+                        # back and observation can only strike at the last
+                        # member, so the sequential per-member interleaving
+                        # is bitwise the phased NumPy path below.
+                        nat_relax_batch(
+                            b_r, 1 if incremental else 2, r_vec.ctypes.data
+                        )
+                        pend_cat = nat_pend_cat
+                        seg = None
+                    elif nb == 1:
                         b0 = b_r[0]
                         rows_cat = rows_of[b0]
                         st_pos_c = st_pos[b0]
@@ -2049,20 +2254,21 @@ class DistributedJacobi:
                         st_idx_c = i2c[0]
                         st_row_c = i2c[1]
                         st_dat_c = npcat([st_dat[r] for r in b_r])
-                    own_cat = x.take(rows_cat)
-                    loc_parent[st_pos_c] = own_cat
-                    g = loc_parent.take(st_idx_c)
-                    np.multiply(st_dat_c, g, out=g)
-                    mv_all = np.bincount(
-                        st_row_c, weights=g, minlength=n_grows
-                    )
-                    mv_cat = mv_all.take(st_span_c)
-                    np.subtract(b.take(rows_cat), mv_cat, out=mv_cat)
-                    np.multiply(dinv.take(rows_cat), mv_cat, out=mv_cat)
-                    pend_cat = np.add(own_cat, mv_cat, out=mv_cat)
-                    x[rows_cat] = pend_cat
-                    seg = None
-                    if incremental:
+                    if not use_native:
+                        own_cat = x.take(rows_cat)
+                        loc_parent[st_pos_c] = own_cat
+                        g = loc_parent.take(st_idx_c)
+                        np.multiply(st_dat_c, g, out=g)
+                        mv_all = np.bincount(
+                            st_row_c, weights=g, minlength=n_grows
+                        )
+                        mv_cat = mv_all.take(st_span_c)
+                        np.subtract(b.take(rows_cat), mv_cat, out=mv_cat)
+                        np.multiply(dinv.take(rows_cat), mv_cat, out=mv_cat)
+                        pend_cat = np.add(own_cat, mv_cat, out=mv_cat)
+                        x[rows_cat] = pend_cat
+                        seg = None
+                    if incremental and not use_native:
                         dx_cat = np.subtract(
                             pend_cat, own_cat, out=own_cat
                         )
@@ -2334,28 +2540,38 @@ class DistributedJacobi:
                                 gh[sl] = vv
                     # Phase 2: one stacked relax for the whole batch.
                     rids = [e[3] for e in batch]
-                    rows_cat = np.concatenate([rows_of[r] for r in rids])
-                    own_cat = x.take(rows_cat)
-                    loc_parent[
-                        np.concatenate([st_pos[r] for r in rids])
-                    ] = own_cat
-                    g = loc_parent.take(
-                        np.concatenate([st_idx[r] for r in rids])
-                    )
-                    np.multiply(
-                        np.concatenate([st_dat[r] for r in rids]), g, out=g
-                    )
-                    mv_all = np.bincount(
-                        np.concatenate([st_row[r] for r in rids]),
-                        weights=g,
-                        minlength=n_grows,
-                    )
-                    mv_cat = mv_all.take(
-                        np.concatenate([st_span[r] for r in rids])
-                    )
-                    np.subtract(b.take(rows_cat), mv_cat, out=mv_cat)
-                    np.multiply(dinv.take(rows_cat), mv_cat, out=mv_cat)
-                    pend_cat = np.add(own_cat, mv_cat, out=mv_cat)
+                    if use_native:
+                        # Relax-only (mode 0): a member can still be pushed
+                        # back below, so commits stay per member in phase 3.
+                        # Each member's own rows stay staged in its
+                        # ``lb[:m]``, exactly where the per-member native
+                        # commit expects them.
+                        nat_relax_batch(rids, 0, 0)
+                        pend_cat = nat_pend_cat
+                    else:
+                        rows_cat = np.concatenate([rows_of[r] for r in rids])
+                        own_cat = x.take(rows_cat)
+                        loc_parent[
+                            np.concatenate([st_pos[r] for r in rids])
+                        ] = own_cat
+                        g = loc_parent.take(
+                            np.concatenate([st_idx[r] for r in rids])
+                        )
+                        np.multiply(
+                            np.concatenate([st_dat[r] for r in rids]), g,
+                            out=g
+                        )
+                        mv_all = np.bincount(
+                            np.concatenate([st_row[r] for r in rids]),
+                            weights=g,
+                            minlength=n_grows,
+                        )
+                        mv_cat = mv_all.take(
+                            np.concatenate([st_span[r] for r in rids])
+                        )
+                        np.subtract(b.take(rows_cat), mv_cat, out=mv_cat)
+                        np.multiply(dinv.take(rows_cat), mv_cat, out=mv_cat)
+                        pend_cat = np.add(own_cat, mv_cat, out=mv_cat)
                     # Phase 3: commits in cursor order — x writes, residual
                     # updates, RNG draws, put firing and next-event pushes
                     # exactly as the sequential path interleaves them.
@@ -2366,14 +2582,27 @@ class DistributedJacobi:
                         rk = ranks[rid]
                         m = nrows_loc[rid]
                         pb = pend_cat[off : off + m]
-                        own = own_cat[off : off + m]
-                        off += m
-                        if incremental:
-                            np.subtract(pb, own, out=dx_buf[rid])
-                            x[rows_of[rid]] = pb
-                            splans[rid].apply(r_vec, dx_buf[rid])
+                        if use_native:
+                            if incremental:
+                                # own rows live in lb[:m] from the mode-0
+                                # batch relax; pend is this member's
+                                # pend_cat segment.
+                                nat_commit(
+                                    *nat_commit_args[rid],
+                                    nat_pend_cat.ctypes.data + off * 8,
+                                    r_vec.ctypes.data,
+                                )
+                            else:
+                                x[rows_of[rid]] = pb
                         else:
-                            x[rows_of[rid]] = pb
+                            own = own_cat[off : off + m]
+                            if incremental:
+                                np.subtract(pb, own, out=dx_buf[rid])
+                                x[rows_of[rid]] = pb
+                                splans[rid].apply(r_vec, dx_buf[rid])
+                            else:
+                                x[rows_of[rid]] = pb
+                        off += m
                         rk.iterations += 1
                         relaxations += nrows_loc[rid]
                         t_end = t
@@ -2550,11 +2779,15 @@ class DistributedJacobi:
                 relax(rk)
                 pb = pend_buf[rid]
                 if incremental:
-                    if gauss_seidel:
-                        x.take(rows_of[rid], out=own_view[rid])
-                    np.subtract(pb, own_view[rid], out=dx_buf[rid])
-                    x[rows_of[rid]] = pb
-                    splans[rid].apply(r_vec, dx_buf[rid])
+                    if nat_commit_args is not None:
+                        nat_commit(*nat_commit_args[rid], nat_pend_ptr[rid],
+                                   r_vec.ctypes.data)
+                    else:
+                        if gauss_seidel:
+                            x.take(rows_of[rid], out=own_view[rid])
+                        np.subtract(pb, own_view[rid], out=dx_buf[rid])
+                        x[rows_of[rid]] = pb
+                        splans[rid].apply(r_vec, dx_buf[rid])
                 else:
                     x[rows_of[rid]] = pb
                 rk.iterations += 1

@@ -112,3 +112,57 @@ class TestSpecificGenerators:
     def test_size_validation(self):
         with pytest.raises(ShapeError):
             thermal2_like(4)
+
+
+class TestLoadReal:
+    """load_real: real .mtx files when present, verified stand-ins otherwise."""
+
+    def test_stand_in_fallback_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+        from repro.matrices.suitesparse import load_real, real_matrix_path
+
+        assert real_matrix_path("thermal2") is None
+        A, info = load_real("thermomech_dm", n=100, seed=17)
+        assert info["source"] == "stand-in"
+        assert info["name"] == "thermomech_dm"
+        assert info["rows"] == A.nrows == 100
+        assert info["nnz"] == A.nnz
+        assert "path" not in info
+
+    def test_missing_file_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+        from repro.matrices.suitesparse import load_real, real_matrix_path
+
+        assert real_matrix_path("ecology2") is None
+        _, info = load_real("ecology2", n=100)
+        assert info["source"] == "stand-in"
+
+    @pytest.mark.parametrize("layout", ["flat", "nested"])
+    def test_real_file_read_and_scaled(self, tmp_path, monkeypatch, layout):
+        """A dropped-in .mtx is read, unit-diagonal scaled, and attributed."""
+        from repro.matrices.io import write_matrix_market
+        from repro.matrices.laplacian import fd_laplacian_2d
+        from repro.matrices.suitesparse import load_real
+
+        A = fd_laplacian_2d(5, 5, scaled=False)
+        if layout == "flat":
+            path = tmp_path / "apache2.mtx"
+        else:
+            (tmp_path / "apache2").mkdir()
+            path = tmp_path / "apache2" / "apache2.mtx"
+        write_matrix_market(A, path)
+        monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+        got, info = load_real("apache2")
+        assert info["source"] == "suitesparse"
+        assert info["path"] == str(path)
+        assert info["rows"] == 25 and info["nnz"] == A.nnz
+        np.testing.assert_array_equal(got.diagonal(), np.ones(25))
+        scaled, _ = A.unit_diagonal_scaled()
+        assert got == scaled
+
+    def test_unknown_name_rejected_before_any_io(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+        from repro.matrices.suitesparse import load_real
+
+        with pytest.raises(KeyError, match="unknown problem"):
+            load_real("not_in_table_1")

@@ -59,6 +59,30 @@ class TestPerfCounters:
         # No flushes -> empty digest, so callers can print conditionally.
         assert PerfCounters().delivery_summary() == ""
 
+    def test_native_counters_merge_and_digest(self):
+        a = PerfCounters(
+            backend="native", native_calls=10, native_rows_relaxed=120,
+            native_build_ms=1800.0,
+        )
+        b = PerfCounters(
+            backend="native", native_calls=5, native_rows_relaxed=60,
+        )
+        a.merge(b)
+        assert a.backend == "native"  # same backend survives the merge
+        assert a.native_calls == 15 and a.native_rows_relaxed == 180
+        assert a.native_build_ms == 1800.0
+        digest = a.native_summary()
+        assert "15 kernel calls" in digest and "180 rows" in digest
+        assert "native 15 calls/180 rows" in a.summary()
+        d = a.as_dict()
+        assert d["backend"] == "native" and d["native_calls"] == 15
+        # Mixed backends relabel; zero native calls keep digests silent.
+        a.merge(PerfCounters(backend="block"))
+        assert a.backend == "mixed"
+        clean = PerfCounters()
+        assert clean.native_summary() == ""
+        assert "native" not in clean.summary()
+
     def test_distributed_batched_run_fills_delivery_counters(self, rng):
         from repro.matrices.laplacian import fd_laplacian_2d
         from repro.runtime.distributed import DistributedJacobi
