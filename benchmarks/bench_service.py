@@ -1,0 +1,119 @@
+"""Solver-service load generator (``benchmarks/results/service.json``).
+
+Two phases against :class:`repro.service.server.SolverService`:
+
+* **coalescing throughput** — a flood of unique concurrent requests
+  (``GROUPS`` coalescing classes x ``PER_GROUP`` right-hand-side seeds,
+  cache off so every request computes) measured twice over the same
+  specs: through the service (batched coalescing) and one-request-at-a-
+  time through the sequential executor. The ratio is the
+  ``coalescing_speedup`` that ``compare.py`` gates — both measurements
+  come from the same host in the same run, so the ratio is
+  machine-independent. Client-observed p50/p99 latency and throughput
+  ride along.
+* **dedup** — the same workload plus exact duplicates against a fresh
+  temporary cache, replayed twice: the first flood answers duplicates by
+  single-flight joins or cache hits, the replay is served almost
+  entirely from the cache (hit rate ~1.0).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the flood for CI (the full run fires
+>= 1000 concurrent requests; acceptance asserts the >= 3x coalescing
+speedup there and a relaxed floor in smoke mode).
+"""
+
+import os
+import tempfile
+
+from conftest import publish_json, run_once
+
+from repro.perf.cache import ExperimentCache, code_version
+from repro.service.loadgen import make_workload, run_load, run_serial
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Full mode fires GROUPS*PER_GROUP >= 1000 unique concurrent requests.
+GROUPS = 16 if SMOKE else 64
+PER_GROUP = 8 if SMOKE else 16
+GRID = 10 if SMOKE else 12
+TOL = 1e-4 if SMOKE else 1e-5
+#: The acceptance floor for the batched-coalescing throughput multiple;
+#: smoke floods are too small to amortize service overhead fully.
+SPEEDUP_FLOOR = 1.5 if SMOKE else 3.0
+
+SERVICE_KW = {"batch_window": 0.005, "max_batch": 64, "window_cap": 2048}
+
+
+def _workload(duplicates: int = 0):
+    return make_workload(
+        groups=GROUPS,
+        per_group=PER_GROUP,
+        grid=GRID,
+        tol=TOL,
+        max_steps=4000,
+        record_every=8,
+        duplicates=duplicates,
+    )
+
+
+def test_service_load(benchmark):
+    """Throughput, latency percentiles, coalescing and dedup under load."""
+    unique = _workload()
+    n_unique = len(unique)
+
+    # Phase 1: pure coalescing (cache off) vs the serial baseline.
+    report = run_once(
+        benchmark, lambda: run_load(unique, use_cache=False, **SERVICE_KW)
+    )
+    assert report.failures == 0, f"{report.failures} requests failed"
+    assert report.completed == n_unique
+    serial_seconds = run_serial(unique)
+    speedup = serial_seconds / report.wall_seconds
+    assert report.stats["coalescing_factor"] > 1.5, report.stats
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"coalescing speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor "
+        f"(serial {serial_seconds:.2f}s, service {report.wall_seconds:.2f}s)"
+    )
+
+    # Phase 2: duplicates against a shared on-disk cache, then a replay.
+    with tempfile.TemporaryDirectory() as tmp:
+        dup = _workload(duplicates=n_unique // 2)
+        first = run_load(dup, cache=ExperimentCache(root=tmp), **SERVICE_KW)
+        replay = run_load(dup, cache=ExperimentCache(root=tmp), **SERVICE_KW)
+    assert first.failures == 0 and replay.failures == 0
+    deduped = (
+        first.stats["single_flight_joins"] + first.stats["cache_hits"]
+    )
+    assert deduped >= n_unique // 2, first.stats
+    assert replay.stats["cache_hit_rate"] > 0.95, replay.stats
+
+    payload = {
+        "load_gen": {
+            "requests": n_unique,
+            "groups": GROUPS,
+            "serial_seconds": serial_seconds,
+            "service_seconds": report.wall_seconds,
+            "coalescing_speedup": speedup,
+            "throughput_rps": report.throughput,
+            "p50_seconds": report.percentile(50),
+            "p99_seconds": report.percentile(99),
+            "coalescing_factor": report.stats["coalescing_factor"],
+            "max_coalesced": report.stats["max_coalesced"],
+        },
+        "dedup": {
+            "requests": len(dup),
+            "single_flight_joins": first.stats["single_flight_joins"],
+            "first_hit_rate": first.stats["cache_hit_rate"],
+            "replay_hit_rate": replay.stats["cache_hit_rate"],
+        },
+        "meta": {"smoke": SMOKE, "code_version": code_version()},
+    }
+    lg = payload["load_gen"]
+    print(
+        f"\nservice load-gen: {lg['requests']} requests, "
+        f"{lg['throughput_rps']:.0f} req/s, "
+        f"p50 {lg['p50_seconds'] * 1e3:.1f} ms / p99 {lg['p99_seconds'] * 1e3:.1f} ms, "
+        f"coalescing {lg['coalescing_factor']:.1f}x -> "
+        f"{lg['coalescing_speedup']:.2f}x vs serial; "
+        f"replay hit rate {payload['dedup']['replay_hit_rate']:.0%}"
+    )
+    publish_json("service", payload)

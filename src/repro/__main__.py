@@ -6,6 +6,7 @@ Usage::
     python -m repro table1 fig3 fig6     # run specific experiments
     python -m repro all                  # run everything (several minutes)
     python -m repro chaos --budget 200   # adversarial property fuzzing
+    python -m repro serve --requests 96  # solver-service load demo
     python -m repro scale --matrix thermal2   # Table I problem sweep
     python -m repro --no-cache fig3      # ignore the on-disk result cache
     python -m repro --profile fig3       # profile the run, dump profile.pstats
@@ -31,6 +32,13 @@ through the cached parallel runner, check Theorem-1 monotonicity, liveness,
 finiteness, telemetry and batch-identity, optionally ``--shrink`` failures
 to minimal corpus reproducers, and write a JSONL ``--report``. See
 docs/chaos.md.
+
+``serve`` demos the solver service (:mod:`repro.service`): flood a
+coalescing :class:`~repro.service.server.SolverService` with ``--requests``
+concurrent solve requests, print p50/p99 latency, the coalescing factor,
+dedup counters and the speedup over the one-request-at-a-time serial
+baseline; ``--trace`` archives the per-request JSONL lifecycle trace. See
+docs/service.md.
 
 Each experiment prints the same rows/series the paper's table or figure
 reports (see EXPERIMENTS.md for the paper-vs-measured comparison).
@@ -108,6 +116,8 @@ def _print_listing() -> None:
     print("  tools:")
     print(f"    {'chaos':<12}adversarial scenario fuzzing with property checks"
           " (--budget N [--seed S] [--shrink])")
+    print(f"    {'serve':<12}solver-service load demo: coalescing, p50/p99,"
+          " dedup (--requests N [--trace PATH])")
 
 
 def _delivery_digest() -> None:
@@ -189,6 +199,46 @@ def _chaos_main(args) -> int:
     return 0
 
 
+def _serve_main(args) -> int:
+    """The ``serve`` subcommand: run the service load demo, print a digest."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Solver-service load demo: coalescing, p50/p99, dedup.",
+    )
+    parser.add_argument("--requests", type=int, default=96,
+                        help="unique concurrent requests to fire (default 96)")
+    parser.add_argument("--groups", type=int, default=6,
+                        help="coalescing classes in the workload (default 6)")
+    parser.add_argument("--window", type=float, default=0.005,
+                        help="batching window in seconds (default 0.005)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="largest coalesced execution (default 64)")
+    parser.add_argument("--trace", default=None,
+                        help="write the per-request JSONL lifecycle trace here")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the serial one-at-a-time baseline timing")
+    opts = parser.parse_args(args)
+    if opts.requests < 1 or opts.groups < 1:
+        print("--requests/--groups must be positive", file=sys.stderr)
+        return 2
+
+    from repro.service.loadgen import demo, format_summary
+
+    summary = demo(
+        requests=opts.requests,
+        groups=opts.groups,
+        batch_window=opts.window,
+        max_batch=opts.max_batch,
+        baseline=not opts.no_baseline,
+        trace_path=opts.trace,
+    )
+    print("=== serve " + "=" * 60)
+    print(format_summary(summary))
+    if opts.trace:
+        print(f"request trace written to {opts.trace}")
+    return 0 if summary["failures"] == 0 else 1
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -201,6 +251,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_NO_CACHE"] = "1"
     if args and args[0] == "chaos":
         return _chaos_main(args[1:])
+    if args and args[0] == "serve":
+        return _serve_main(args[1:])
     matrix = None
     if "--matrix" in args:
         at = args.index("--matrix")

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 #: Version of the event schema; written by file sinks, checked by readers.
-SCHEMA_VERSION = 1
+#: v2 added the ``request`` kind (solver-service request lifecycle).
+SCHEMA_VERSION = 2
 
 #: One parallel step / block commit: ``rows`` relaxed at ``time``. Payload:
 #: ``rows`` (list), optional ``reads`` (per-row ``{neighbor: version}``
@@ -50,6 +51,14 @@ CONVERGENCE = "convergence"
 #: config on start; ``converged``, ``relaxations`` on end.
 RUN_START = "run_start"
 RUN_END = "run_end"
+#: A solver-service request changed lifecycle phase
+#: (:mod:`repro.service`). Payload: ``phase`` ("submit" | "joined" |
+#: "cache_hit" | "reject" | "expire" | "dispatch" | "complete" |
+#: "error"), ``key`` (short request hash), optional ``group`` (short
+#: coalescing-class hash), optional ``batch`` (requests coalesced into
+#: the same execution), optional ``latency`` (submit-to-complete wall
+#: seconds), optional ``reason`` (reject/error detail).
+REQUEST = "request"
 
 #: Every kind the current schema defines.
 KINDS = frozenset(
@@ -65,6 +74,7 @@ KINDS = frozenset(
         CONVERGENCE,
         RUN_START,
         RUN_END,
+        REQUEST,
     }
 )
 

@@ -182,6 +182,13 @@ class Metrics:
                 self._update_decay_rate()
         elif kind == ev.CONVERGENCE:
             self.gauge("converged_at").set(event.time)
+        elif kind == ev.REQUEST:
+            # Solver-service lifecycle: one counter per phase, plus the
+            # submit-to-complete latency distribution when reported.
+            self.counter(f"service.{data.get('phase', 'unknown')}").inc()
+            latency = data.get("latency")
+            if latency is not None:
+                self.histogram("service.latency").observe(latency)
 
     def _update_decay_rate(self) -> None:
         """Residual-decay rate in decades per unit simulated time."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import deque
 
 from repro.observability.events import SCHEMA_VERSION, TraceEvent
@@ -94,6 +95,12 @@ class JSONLSink(Sink):
     (shifting older rotations to ``.2`` ... ``.<backups>``, the oldest
     falling off), and a fresh file (with a fresh header) is started.
 
+    Emission is thread-safe: a lock serializes the serialize-write-rotate
+    sequence, so concurrent writers (the solver service's asyncio tasks
+    hand events over from executor threads) never interleave partial
+    lines or race a rotation. Single-threaded emitters pay one uncontended
+    lock acquisition per event.
+
     Parameters
     ----------
     path
@@ -112,6 +119,7 @@ class JSONLSink(Sink):
         self.path = os.fspath(path)
         self.max_bytes = max_bytes
         self.backups = int(backups)
+        self._lock = threading.Lock()
         self._fh = open(self.path, "w", encoding="utf-8")
         self._written = self._write_header()
 
@@ -133,15 +141,17 @@ class JSONLSink(Sink):
     def emit(self, event: TraceEvent) -> None:
         """Write one event line, rotating first if it would overflow."""
         line = json.dumps(event.to_json_dict()) + "\n"
-        if self.max_bytes is not None and self._written + len(line) > self.max_bytes:
-            self._rotate()
-        self._fh.write(line)
-        self._written += len(line)
+        with self._lock:
+            if self.max_bytes is not None and self._written + len(line) > self.max_bytes:
+                self._rotate()
+            self._fh.write(line)
+            self._written += len(line)
 
     def close(self) -> None:
         """Flush and close the current file."""
-        if not self._fh.closed:
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
     @staticmethod
     def read(path) -> list:

@@ -134,6 +134,17 @@ class Tracer:
             ev.CONVERGENCE, time, None, residual=float(residual), tol=float(tol)
         )
 
+    def request(self, time, phase: str, key: str, **data) -> None:
+        """A solver-service request changed lifecycle phase.
+
+        ``time`` is service wall-clock seconds since the server started
+        (the service has no simulated clock); ``key`` is the short
+        content hash identifying the request. Extra payload keys —
+        ``group``, ``batch``, ``latency``, ``reason`` — are documented
+        on :data:`repro.observability.events.REQUEST`.
+        """
+        self.emit(ev.REQUEST, time, None, phase=str(phase), key=str(key), **data)
+
     def run_start(self, executor: str, n: int, **config) -> None:
         """A run began (``executor`` names the emitting class)."""
         self.emit(ev.RUN_START, 0.0, None, executor=executor, n=int(n), **config)

@@ -18,8 +18,16 @@ Keys are content hashes of two things:
 The cache is disabled when ``REPRO_NO_CACHE=1`` (or via the ``--no-cache``
 CLI flag, which sets that variable) so CI and fault-injection runs never
 read stale results. ``REPRO_CACHE_DIR`` overrides the on-disk location.
-Writes are atomic (temp file + rename), so a crashed run never leaves a
-truncated cell behind; unreadable entries are treated as misses.
+
+**Concurrency contract.** One cache instance may be shared by any number
+of threads and processes (the solver service shares one across all
+requests; ``run_cells`` workers write from a process pool). Writes are
+atomic: each writer pickles into its own ``mkstemp`` temp file and
+``os.replace``\\ s it over the final path, so readers never observe a
+truncated cell — a concurrent ``lookup`` sees either the complete old
+value or the complete new one, and the last writer wins whole-file.
+Unreadable or torn entries are treated as misses. The ``hits``/``misses``
+statistics are guarded by a lock so shared-service accounting stays exact.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 
 _TRUTHY = {"1", "true", "yes", "on"}
@@ -100,6 +109,9 @@ class ExperimentCache:
         self._forced = enabled
         self.hits = 0
         self.misses = 0
+        # Guards the statistics only; file operations are lock-free
+        # because temp-file + os.replace writes are already atomic.
+        self._stats_lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
@@ -119,21 +131,35 @@ class ExperimentCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def lookup(self, config) -> tuple:
-        """``(hit, value)`` — ``(False, None)`` on miss or disabled cache."""
+        """``(hit, value)`` — ``(False, None)`` on miss or disabled cache.
+
+        Safe to race against concurrent :meth:`store` calls for the same
+        key: the open file handle keeps the torn-down inode alive on
+        POSIX, so the read completes against whichever complete value was
+        current when the file was opened.
+        """
         if not self.enabled:
             return False, None
         path = self._path(self.key(config))
         try:
             with open(path, "rb") as fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            self.misses += 1
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            with self._stats_lock:
+                self.misses += 1
             return False, None
-        self.hits += 1
+        with self._stats_lock:
+            self.hits += 1
         return True, value
 
     def store(self, config, value) -> None:
-        """Atomically persist ``value`` for ``config`` (no-op if disabled)."""
+        """Atomically persist ``value`` for ``config`` (no-op if disabled).
+
+        Concurrent writers for the same key each stage into a private
+        ``mkstemp`` file and race only on the final ``os.replace``, which
+        is atomic — the cell is always one writer's complete pickle,
+        never an interleaving.
+        """
         if not self.enabled:
             return
         path = self._path(self.key(config))

@@ -1,0 +1,52 @@
+"""Solver-as-a-service: concurrent solve requests over the repro engines.
+
+The package composes the repo's perf and observability subsystems behind
+one asyncio boundary (the ROADMAP's "millions of users" direction):
+
+* :mod:`repro.service.requests` — the wire format:
+  :class:`SolveRequest`, content-hash keys, and the typed
+  :class:`ServiceError` taxonomy.
+* :mod:`repro.service.batching` — the coalescer that turns a dispatch
+  window into batched executions plus singletons.
+* :mod:`repro.service.executor` — the cell functions (sequential
+  reference path, batched group path) with the bit-identity contract.
+* :mod:`repro.service.server` — :class:`SolverService`: admission
+  control, single-flight dedup, shared cache, metrics and JSONL request
+  traces.
+* :mod:`repro.service.loadgen` — workload generator and the p50/p99
+  load report behind ``python -m repro serve`` and
+  ``benchmarks/bench_service.py``.
+
+See ``docs/service.md`` for the architecture guide.
+"""
+
+from repro.service.batching import CoalescePlan, coalesce
+from repro.service.executor import run_group, run_single
+from repro.service.loadgen import LoadReport, make_workload, run_load, run_serial
+from repro.service.requests import (
+    BadRequestError,
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    SolveRequest,
+)
+from repro.service.server import SolverService
+
+__all__ = [
+    "BadRequestError",
+    "CoalescePlan",
+    "DeadlineExceededError",
+    "LoadReport",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "SolveRequest",
+    "SolverService",
+    "coalesce",
+    "make_workload",
+    "run_group",
+    "run_load",
+    "run_serial",
+    "run_single",
+]

@@ -1,0 +1,99 @@
+"""Request coalescing: group compatible concurrent requests into batches.
+
+The server drains its admission queue in *windows* (everything that
+arrived within ``batch_window`` seconds, up to a size cap) and hands the
+window to :func:`coalesce`, which partitions it into execution units:
+
+* **batches** — two or more requests sharing a
+  :func:`~repro.service.requests.group_key` (same matrix, same schedule
+  realization, same method and stopping parameters, different
+  ``b_seed``/``x0_seed``). A batch runs as one
+  :class:`~repro.perf.batched.BatchedAsyncJacobiModel` execution; the
+  per-step Python dispatch cost is paid once for the whole batch instead
+  of once per request, which is where the service's throughput
+  multiplier comes from. Oversized classes are chunked at
+  ``max_batch`` so one hot group cannot monopolize a dispatch cycle.
+* **singletons** — requests whose class has no companion in the window.
+  They take the sequential path, optionally fanned out across a process
+  pool via :func:`repro.perf.runner.run_cells`.
+
+Coalescing is a pure scheduling decision: results are bit-identical
+either way (see :mod:`repro.service.executor`), so the grouping can be
+greedy and window-local without affecting answers — only latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoalescePlan:
+    """The execution units one dispatch window was partitioned into.
+
+    Attributes
+    ----------
+    batches
+        Lists of window entries, each list one batched execution (every
+        list has >= 2 entries and one shared group key).
+    singletons
+        Entries left to the sequential/process-pool path.
+    """
+
+    batches: list = field(default_factory=list)
+    singletons: list = field(default_factory=list)
+
+    @property
+    def coalesced(self) -> int:
+        """How many requests ride in batches (the coalescing win)."""
+        return sum(len(b) for b in self.batches)
+
+    @property
+    def executions(self) -> int:
+        """Solver executions this plan costs (batches + singletons)."""
+        return len(self.batches) + len(self.singletons)
+
+
+def coalesce(entries, group_key_of, max_batch: int = 64) -> CoalescePlan:
+    """Partition a dispatch window into batches and singletons.
+
+    Parameters
+    ----------
+    entries
+        The window's requests, in arrival order.
+    group_key_of
+        Callable mapping an entry to its coalescing-class key.
+    max_batch
+        Largest batch to emit; bigger classes are chunked (arrival order
+        preserved inside each chunk). A trailing chunk of size 1 stays a
+        batch of its class only if a full companion chunk exists;
+        otherwise it is a singleton.
+
+    Returns
+    -------
+    CoalescePlan
+        Batches of mutually compatible entries plus leftover singletons.
+    """
+    if max_batch < 2:
+        raise ValueError(f"max_batch must be >= 2, got {max_batch}")
+    by_class: dict = {}
+    order: list = []
+    for entry in entries:
+        key = group_key_of(entry)
+        if key not in by_class:
+            by_class[key] = []
+            order.append(key)
+        by_class[key].append(entry)
+    plan = CoalescePlan()
+    for key in order:
+        members = by_class[key]
+        if len(members) == 1:
+            plan.singletons.append(members[0])
+            continue
+        for at in range(0, len(members), max_batch):
+            chunk = members[at : at + max_batch]
+            if len(chunk) == 1:
+                plan.singletons.append(chunk[0])
+            else:
+                plan.batches.append(chunk)
+    return plan

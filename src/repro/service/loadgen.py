@@ -1,0 +1,225 @@
+"""Load generation: synthetic request floods for benchmarks and the CLI.
+
+The workload generator produces the service's canonical stress shape —
+``groups`` coalescing classes (distinct schedule seeds over one stencil)
+times ``per_group`` trials (distinct right-hand-side seeds), optionally
+with duplicated requests sprinkled in to exercise the cache and
+single-flight paths. :func:`run_load` fires the whole workload as
+concurrent asyncio tasks against a :class:`~repro.service.server.
+SolverService` and reports client-observed latencies (p50/p99),
+throughput and the service's own counters; :func:`run_serial` times the
+one-request-at-a-time baseline on the same specs, which is what the
+``coalescing_speedup`` metric in ``benchmarks/results/service.json`` is
+measured against.
+
+``python -m repro serve`` wraps :func:`demo` around these pieces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.service import executor as _executor
+from repro.service.requests import SolveRequest
+from repro.service.server import SolverService
+
+
+def make_workload(
+    groups: int = 8,
+    per_group: int = 16,
+    grid: int = 12,
+    tol: float = 1e-5,
+    max_steps: int = 4000,
+    record_every: int = 8,
+    duplicates: int = 0,
+    fraction: float = 0.5,
+) -> list:
+    """Build ``groups * per_group + duplicates`` solve requests.
+
+    Each group is one coalescing class: a ``grid`` x ``grid`` Laplacian
+    driven by a random-subset schedule with a group-specific seed; the
+    trials within a group differ only in ``b_seed``. ``duplicates``
+    appends exact copies of the first requests (round-robin), which the
+    service must answer from the cache or by joining an in-flight twin —
+    never by recomputing.
+    """
+    requests = []
+    for g in range(groups):
+        for t in range(per_group):
+            requests.append(
+                SolveRequest(
+                    matrix={"family": "fd_2d", "args": {"nx": grid, "ny": grid}},
+                    schedule={
+                        "kind": "random_subset",
+                        "fraction": fraction,
+                        "seed": 100 + g,
+                    },
+                    b_seed=t,
+                    tol=tol,
+                    max_steps=max_steps,
+                    record_every=record_every,
+                )
+            )
+    base = len(requests)
+    for d in range(duplicates):
+        requests.append(requests[d % base])
+    return requests
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run against the service.
+
+    ``latencies`` are client-observed submit-to-response times in
+    seconds, sorted ascending; ``failures`` counts typed rejections and
+    errors; ``stats`` is the service's counter snapshot at drain time.
+    """
+
+    wall_seconds: float
+    latencies: list = field(default_factory=list)
+    failures: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        """Requests that produced a result."""
+        return len(self.latencies)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the latency distribution."""
+        if not self.latencies:
+            return float("nan")
+        rank = min(len(self.latencies) - 1, int(p / 100.0 * len(self.latencies)))
+        return self.latencies[rank]
+
+
+async def _drive(requests, service: SolverService) -> LoadReport:
+    async def one(request):
+        t0 = time.perf_counter()
+        result = await service.submit(request)
+        return time.perf_counter() - t0, result
+
+    async with service:
+        t0 = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(one(r) for r in requests), return_exceptions=True
+        )
+        wall = time.perf_counter() - t0
+        stats = service.stats()
+    latencies = sorted(o[0] for o in outcomes if not isinstance(o, BaseException))
+    failures = sum(1 for o in outcomes if isinstance(o, BaseException))
+    return LoadReport(
+        wall_seconds=wall, latencies=latencies, failures=failures, stats=stats
+    )
+
+
+def run_load(requests, **service_kwargs) -> LoadReport:
+    """Fire all ``requests`` concurrently at a fresh service; block, report.
+
+    Keyword arguments configure the :class:`SolverService`; ``max_queue``
+    defaults to the workload size so the full flood is admissible (pass a
+    smaller bound to study shedding).
+    """
+    service_kwargs.setdefault("max_queue", max(1, len(requests)))
+    return asyncio.run(_drive(list(requests), SolverService(**service_kwargs)))
+
+
+def run_serial(requests) -> float:
+    """Wall seconds to solve every request one at a time, uncached.
+
+    This is the baseline the coalescing speedup is quoted against: the
+    same specs through :func:`repro.service.executor.run_single`, no
+    batching, no cache, no concurrency.
+    """
+    t0 = time.perf_counter()
+    for request in requests:
+        _executor.run_single(request.spec())
+    return time.perf_counter() - t0
+
+
+def demo(
+    requests: int = 96,
+    groups: int = 6,
+    batch_window: float = 0.005,
+    max_batch: int = 64,
+    baseline: bool = True,
+    trace_path=None,
+) -> dict:
+    """The ``python -m repro serve`` payload: flood, measure, summarize.
+
+    Builds a ``groups``-class workload of ``requests`` total requests
+    (plus ~12% duplicates to exercise dedup), runs it through the
+    service, optionally times the serial baseline, and returns a flat
+    summary dict (see :func:`format_summary`).
+    """
+    per_group = max(1, requests // max(1, groups))
+    unique = make_workload(groups=groups, per_group=per_group)
+    duplicated = make_workload(
+        groups=groups, per_group=per_group, duplicates=max(1, requests // 8)
+    )
+    report = run_load(
+        duplicated,
+        batch_window=batch_window,
+        max_batch=max_batch,
+        use_cache=False,
+        trace_path=trace_path,
+    )
+    summary = {
+        "requests": len(duplicated),
+        "completed": report.completed,
+        "failures": report.failures,
+        "wall_seconds": report.wall_seconds,
+        "throughput_rps": report.throughput,
+        "p50_seconds": report.percentile(50),
+        "p99_seconds": report.percentile(99),
+        "coalescing_factor": report.stats["coalescing_factor"],
+        "max_coalesced": report.stats["max_coalesced"],
+        "single_flight_joins": report.stats["single_flight_joins"],
+        "cache_hit_rate": report.stats["cache_hit_rate"],
+    }
+    if baseline:
+        serial_seconds = run_serial(unique)
+        service_unique = run_load(
+            unique,
+            batch_window=batch_window,
+            max_batch=max_batch,
+            use_cache=False,
+        )
+        summary["serial_seconds"] = serial_seconds
+        summary["service_seconds"] = service_unique.wall_seconds
+        summary["coalescing_speedup"] = (
+            serial_seconds / service_unique.wall_seconds
+            if service_unique.wall_seconds
+            else 0.0
+        )
+    return summary
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable digest of a :func:`demo` summary dict."""
+    lines = [
+        f"requests       {summary['requests']} "
+        f"({summary['completed']} completed, {summary['failures']} failed)",
+        f"wall           {summary['wall_seconds']:.3f}s "
+        f"({summary['throughput_rps']:.0f} req/s)",
+        f"latency        p50 {summary['p50_seconds'] * 1e3:.1f} ms, "
+        f"p99 {summary['p99_seconds'] * 1e3:.1f} ms",
+        f"coalescing     factor {summary['coalescing_factor']:.2f} "
+        f"(max batch {summary['max_coalesced']})",
+        f"dedup          {summary['single_flight_joins']} single-flight joins, "
+        f"cache hit rate {summary['cache_hit_rate']:.0%}",
+    ]
+    if "coalescing_speedup" in summary:
+        lines.append(
+            f"vs serial      {summary['serial_seconds']:.3f}s -> "
+            f"{summary['service_seconds']:.3f}s "
+            f"({summary['coalescing_speedup']:.2f}x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,416 @@
+"""The asyncio solver service: admission, coalescing, dispatch, tracing.
+
+:class:`SolverService` is the composition point the ROADMAP's
+"solver-as-a-service" item asks for: it accepts
+:class:`~repro.service.requests.SolveRequest` objects from any number of
+concurrent asyncio tasks and serves them through the repo's existing
+machinery — the batched trial engine for compatible groups, the cached
+parallel runner for singletons, one shared
+:class:`~repro.perf.cache.ExperimentCache` across all requests, and the
+observability :class:`~repro.observability.metrics.Metrics` registry plus
+a per-request ``TraceEvent`` JSONL sink for debugging.
+
+Request lifecycle::
+
+    submit ──► single-flight? ──► cache? ──► admission ──► queue
+                (join twin)      (answer)    (shed/accept)   │
+                                                             ▼
+    complete ◄── execute (batched / pooled) ◄── coalesce ◄── window
+
+Guarantees:
+
+* **bit-identity** — responses equal a direct
+  :class:`~repro.core.model.AsyncJacobiModel` /
+  :class:`~repro.perf.batched.BatchedAsyncJacobiModel` run of the same
+  config, byte for byte; coalescing reorders scheduling, never
+  arithmetic.
+* **single-flight** — concurrent identical requests trigger exactly one
+  computation; latecomers join the in-flight future.
+* **bounded queue** — at most ``max_queue`` requests wait for dispatch;
+  the next submit is shed *immediately* with a typed
+  :class:`~repro.service.requests.ServiceOverloadedError`, so overload
+  produces fast failures, not unbounded memory growth or hangs.
+* **deadlines** — a request still queued when its ``deadline`` (or the
+  service's ``default_deadline``) expires is dropped with
+  :class:`~repro.service.requests.DeadlineExceededError` instead of
+  wasting solver time.
+
+See ``docs/service.md`` for the architecture discussion and knob table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from dataclasses import dataclass
+
+from repro.observability.metrics import Metrics
+from repro.observability.sinks import JSONLSink
+from repro.observability.tracer import Tracer
+from repro.perf.cache import ExperimentCache
+from repro.perf.runner import run_cells
+from repro.service import executor as _executor
+from repro.service.batching import coalesce
+from repro.service.requests import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveRequest,
+    _short,
+    spec_key,
+)
+
+#: Queue sentinel telling the dispatcher to exit.
+_STOP = None
+
+
+@dataclass
+class _Job:
+    """One admitted request waiting for (or in) dispatch."""
+
+    key: str
+    group: str
+    spec: dict
+    future: asyncio.Future
+    submitted: float
+    deadline: float | None
+
+
+class SolverService:
+    """Serve concurrent solve requests with coalescing, caching, shedding.
+
+    Parameters
+    ----------
+    cache
+        Shared :class:`~repro.perf.cache.ExperimentCache`; defaults to a
+        fresh instance on the default directory (still honoring
+        ``REPRO_NO_CACHE``).
+    use_cache
+        ``False`` disables lookups *and* stores — every request computes.
+        Single-flight dedup stays active either way.
+    max_queue
+        Admission bound: maximum requests queued or executing. The next
+        submit beyond it is shed with ``ServiceOverloadedError``.
+    batch_window
+        Seconds the dispatcher lingers collecting companions for the
+        request that opened the window. Longer windows coalesce more but
+        add up to ``batch_window`` latency to the first request.
+    max_batch
+        Largest coalesced execution (bigger classes are chunked).
+    window_cap
+        Most requests drained into one dispatch cycle.
+    singleton_workers
+        ``max_workers`` for the :func:`~repro.perf.runner.run_cells`
+        singleton path: ``0`` (default) runs singletons serially in the
+        dispatch thread; ``> 1`` fans them out across a process pool.
+    default_deadline
+        Deadline in seconds applied to requests that carry none.
+    metrics
+        :class:`~repro.observability.metrics.Metrics` registry to wire
+        into the service tracer; defaults to a fresh registry, exposed
+        as :attr:`metrics`.
+    trace_path
+        When set, every request lifecycle event is appended to this
+        JSONL file (``request`` kind, schema v2) for offline debugging.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ExperimentCache | None = None,
+        use_cache: bool = True,
+        max_queue: int = 256,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        window_cap: int = 512,
+        singleton_workers: int = 0,
+        default_deadline: float | None = None,
+        metrics: Metrics | None = None,
+        trace_path=None,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if max_batch < 2:
+            raise ValueError(f"max_batch must be >= 2, got {max_batch}")
+        if window_cap < 1:
+            raise ValueError(f"window_cap must be >= 1, got {window_cap}")
+        self.cache = cache if cache is not None else ExperimentCache()
+        self.use_cache = bool(use_cache)
+        self.max_queue = int(max_queue)
+        self.batch_window = float(batch_window)
+        self.max_batch = int(max_batch)
+        self.window_cap = int(window_cap)
+        self.singleton_workers = int(singleton_workers)
+        self.default_deadline = default_deadline
+        self.metrics = metrics if metrics is not None else Metrics()
+        sinks = [JSONLSink(trace_path)] if trace_path is not None else []
+        self.tracer = Tracer(sinks=sinks, metrics=self.metrics)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._inflight: dict = {}
+        self._pending = 0
+        self._idle: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._running = False
+        self._closed = False
+        self._t0 = 0.0
+        # Counters (event-loop-thread only; also derivable from metrics).
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.joined = 0
+        self.executions = 0
+        self.executed_requests = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_coalesced = 0
+        self.max_pending_seen = 0
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "SolverService":
+        """Start the dispatcher (idempotent); returns self for chaining."""
+        if self._running:
+            return self
+        self._t0 = time.perf_counter()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._task = asyncio.create_task(self._dispatch_loop())
+        self._running = True
+        self._closed = False
+        return self
+
+    async def stop(self) -> None:
+        """Drain admitted work, stop the dispatcher, close the trace."""
+        if not self._running:
+            return
+        self._closed = True
+        await self._idle.wait()
+        self._queue.put_nowait(_STOP)
+        await self._task
+        self._running = False
+        self.tracer.close()
+
+    async def __aenter__(self) -> "SolverService":
+        """``async with SolverService(...) as svc:`` starts the service."""
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Drain and stop on context exit."""
+        await self.stop()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _trace(self, phase: str, key: str, **data) -> None:
+        if self.tracer.enabled:
+            self.tracer.request(self._now(), phase, _short(key), **data)
+
+    # -- submission ------------------------------------------------------
+    async def submit(self, request: SolveRequest) -> dict:
+        """Submit one request; await its result dict.
+
+        Raises the typed :class:`~repro.service.requests.ServiceError`
+        subclasses on shed (queue full), expiry (deadline passed while
+        queued), closed service, or a bad spec.
+        """
+        if self._closed or not self._running:
+            raise ServiceClosedError("service is not accepting requests")
+        spec = request.spec()
+        key = spec_key(spec)
+        group = request.group_key()
+        self.submitted += 1
+        self._trace("submit", key, group=_short(group))
+        twin = self._inflight.get(key)
+        if twin is not None:
+            # Single-flight: identical request already queued/executing.
+            self.joined += 1
+            self._trace("joined", key)
+            return await asyncio.shield(twin)
+        if self.use_cache:
+            hit, value = self.cache.lookup(_executor.cache_token(spec))
+            if hit:
+                self.cache_hits += 1
+                self._trace("cache_hit", key, latency=0.0)
+                return value
+        if self._pending >= self.max_queue:
+            self.rejected += 1
+            self._trace("reject", key, reason="queue_full")
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.max_queue} pending); retry later"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._pending += 1
+        self.max_pending_seen = max(self.max_pending_seen, self._pending)
+        self._idle.clear()
+        deadline = request.deadline
+        if deadline is None:
+            deadline = self.default_deadline
+        self._queue.put_nowait(
+            _Job(
+                key=key,
+                group=group,
+                spec=spec,
+                future=future,
+                submitted=self._now(),
+                deadline=deadline,
+            )
+        )
+        return await asyncio.shield(future)
+
+    # -- dispatch --------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            if job is _STOP:
+                return
+            window = [job]
+            horizon = loop.time() + self.batch_window
+            stop_after = False
+            while len(window) < self.window_cap:
+                remaining = horizon - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _STOP:
+                    stop_after = True
+                    break
+                window.append(nxt)
+            await self._run_window(window)
+            if stop_after:
+                return
+
+    async def _run_window(self, window: list) -> None:
+        now = self._now()
+        live = []
+        for job in window:
+            if job.deadline is not None and now - job.submitted > job.deadline:
+                self.expired += 1
+                self._trace("expire", job.key, reason="deadline")
+                self._finish(job, exc=DeadlineExceededError(
+                    f"deadline {job.deadline:.3f}s passed while queued"
+                ))
+            else:
+                live.append(job)
+        plan = coalesce(live, lambda j: j.group, max_batch=self.max_batch)
+        loop = asyncio.get_running_loop()
+        for batch in plan.batches:
+            for job in batch:
+                self._trace("dispatch", job.key, batch=len(batch))
+            try:
+                results = await loop.run_in_executor(
+                    None, _executor.run_group, [j.spec for j in batch]
+                )
+            except Exception as exc:  # typed BadRequestError included
+                for job in batch:
+                    self._finish(job, exc=exc)
+                continue
+            self.executions += 1
+            self.batches += 1
+            self.batched_requests += len(batch)
+            self.executed_requests += len(batch)
+            self.max_coalesced = max(self.max_coalesced, len(batch))
+            for job, result in zip(batch, results):
+                if self.use_cache:
+                    self.cache.store(_executor.cache_token(job.spec), result)
+                self._finish(job, result=result)
+        if plan.singletons:
+            await self._run_singletons(loop, plan.singletons)
+
+    async def _run_singletons(self, loop, singles: list) -> None:
+        for job in singles:
+            self._trace("dispatch", job.key, batch=1)
+        specs = [j.spec for j in singles]
+        try:
+            # The process-pool dispatch path: run_cells re-checks the
+            # shared cache, fans misses out (when singleton_workers > 1),
+            # and stores results under the same tokens submit() consults.
+            results = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    run_cells,
+                    _executor.run_single,
+                    specs,
+                    cache=self.cache,
+                    use_cache=self.use_cache,
+                    max_workers=self.singleton_workers,
+                ),
+            )
+        except Exception:
+            # A failing spec poisons the set; re-run individually so one
+            # bad request cannot fail its window-mates.
+            for job in singles:
+                try:
+                    result = await loop.run_in_executor(
+                        None, _executor.run_single, job.spec
+                    )
+                except Exception as exc:
+                    self._finish(job, exc=exc)
+                else:
+                    self.executions += 1
+                    self.executed_requests += 1
+                    if self.use_cache:
+                        self.cache.store(_executor.cache_token(job.spec), result)
+                    self._finish(job, result=result)
+            return
+        self.executions += len(singles)
+        self.executed_requests += len(singles)
+        for job, result in zip(singles, results):
+            self._finish(job, result=result)
+
+    def _finish(self, job: _Job, result=None, exc=None) -> None:
+        self._inflight.pop(job.key, None)
+        self._pending -= 1
+        if self._pending == 0:
+            self._idle.set()
+        if job.future.done():
+            return  # the waiter went away; nothing to deliver
+        if exc is not None:
+            if not isinstance(exc, DeadlineExceededError):
+                # Deadline expiry was already traced/counted as "expire".
+                self.errors += 1
+                self._trace("error", job.key, reason=type(exc).__name__)
+            job.future.set_exception(exc)
+        else:
+            self.completed += 1
+            self._trace("complete", job.key, latency=self._now() - job.submitted)
+            job.future.set_result(result)
+
+    # -- reporting -------------------------------------------------------
+    def stats(self) -> dict:
+        """Flat counter snapshot plus derived ratios (JSON-ready).
+
+        ``coalescing_factor`` is executed requests per solver execution
+        (1.0 means no batching won); ``cache_hit_rate`` counts submit-time
+        hits against everything submitted.
+        """
+        executions = self.executions
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "single_flight_joins": self.joined,
+            "executions": executions,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_coalesced": self.max_coalesced,
+            "max_pending_seen": self.max_pending_seen,
+            "coalescing_factor": (
+                self.executed_requests / executions if executions else 0.0
+            ),
+            "cache_hit_rate": (
+                self.cache_hits / self.submitted if self.submitted else 0.0
+            ),
+        }

@@ -41,7 +41,8 @@ class TestTraceEvent:
     def test_all_kind_constants_registered(self):
         assert ev.RELAX in ev.KINDS
         assert ev.RUN_END in ev.KINDS
-        assert len(ev.KINDS) == 11
+        assert ev.REQUEST in ev.KINDS  # schema v2
+        assert len(ev.KINDS) == 12
 
 
 class TestSinks:
@@ -85,6 +86,50 @@ class TestSinks:
         (tmp_path / "headerless.jsonl").write_text('{"kind": "relax"}\n')
         with pytest.raises(ValueError, match="header"):
             JSONLSink.read(tmp_path / "headerless.jsonl")
+
+    def test_jsonl_concurrent_emitters_never_interleave(self, tmp_path):
+        """Thread-safety regression: parallel emits, whole lines, no loss.
+
+        The solver service hands events to one JSONLSink from executor
+        threads; without the sink's lock, concurrent writes interleave
+        partial lines or tear a rotation. Every line must parse, every
+        event must survive, rotated files included.
+        """
+        import threading
+
+        path = tmp_path / "threads.jsonl"
+        sink = JSONLSink(path, max_bytes=32768, backups=50)
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def emit(worker):
+            barrier.wait()
+            for k in range(per_thread):
+                sink.emit(
+                    TraceEvent(
+                        kind=ev.REQUEST,
+                        time=float(k),
+                        seq=worker * per_thread + k,
+                        data={"phase": "submit", "worker": worker, "k": k},
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=emit, args=(w,)) for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        seen = set()
+        for p in tmp_path.glob("threads.jsonl*"):
+            for line in p.read_text().splitlines():
+                payload = json.loads(line)  # torn lines would fail here
+                if payload.get("kind") == "__header__":
+                    continue
+                seen.add((payload["data"]["worker"], payload["data"]["k"]))
+        assert len(seen) == n_threads * per_thread
 
     def test_jsonl_rotation(self, tmp_path):
         path = tmp_path / "rot.jsonl"

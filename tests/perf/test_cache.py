@@ -2,6 +2,8 @@
 
 import os
 import pickle
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -97,6 +99,98 @@ class TestStorage:
         hit, back = cache.lookup({"k": 1})
         assert hit
         np.testing.assert_array_equal(back["arr"], value["arr"])
+
+
+class TestConcurrency:
+    """The service shares one cache across threads; races must be benign."""
+
+    def test_concurrent_writers_one_complete_value_survives(self, cache, tmp_path):
+        config = {"contended": True}
+        payloads = [{"writer": w, "data": list(range(2000))} for w in range(8)]
+        barrier = threading.Barrier(len(payloads))
+
+        def write(payload):
+            barrier.wait()
+            for _ in range(20):
+                cache.store(config, payload)
+
+        threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hit, value = cache.lookup(config)
+        assert hit
+        # Last-writer-wins is fine; a torn/merged value is not.
+        assert value in payloads
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_reader_never_sees_a_partial_write(self, cache):
+        """The double-read race: lookups racing os.replace stay complete.
+
+        A reader that opened the old file keeps reading the old complete
+        pickle; one that opens after the rename sees the new complete
+        pickle. Nothing in between may surface — not a torn value, not a
+        spurious exception.
+        """
+        config = {"raced": True}
+        a = {"tag": "a", "blob": bytes(200_000)}
+        b = {"tag": "b", "blob": bytes(200_001)}
+        cache.store(config, a)
+        stop = threading.Event()
+        problems = []
+
+        def writer():
+            while not stop.is_set():
+                cache.store(config, a)
+                cache.store(config, b)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    hit, value = cache.lookup(config)
+                except Exception as exc:  # noqa: BLE001 - the race under test
+                    problems.append(f"lookup raised {exc!r}")
+                    return
+                if hit and value["tag"] not in ("a", "b"):
+                    problems.append(f"torn value {value['tag']!r}")
+                    return
+                if hit and len(value["blob"]) not in (200_000, 200_001):
+                    problems.append("torn blob")
+                    return
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.4)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert problems == []
+
+    def test_hit_miss_counters_consistent_under_concurrent_lookups(self, cache):
+        cache.store({"present": True}, "value")
+        n_threads, per_thread = 8, 50
+        barrier = threading.Barrier(n_threads)
+
+        def look(i):
+            barrier.wait()
+            for j in range(per_thread):
+                # Alternate hits and misses from every thread.
+                if j % 2:
+                    cache.lookup({"present": True})
+                else:
+                    cache.lookup({"absent": (i, j)})
+
+        threads = [threading.Thread(target=look, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.hits + cache.misses == n_threads * per_thread
+        assert cache.hits == n_threads * per_thread // 2
 
 
 class TestEnvironmentControls:

@@ -83,6 +83,28 @@ class TestPerfCounters:
         assert clean.native_summary() == ""
         assert "native" not in clean.summary()
 
+    def test_merge_method_and_backend_mixing_semantics(self):
+        # Same labels survive a merge unchanged.
+        a = PerfCounters(method="jacobi", backend="block")
+        a.merge(PerfCounters(method="jacobi", backend="block"))
+        assert a.method == "jacobi" and a.backend == "block"
+        # A mismatch on either axis relabels that axis (and only it).
+        a.merge(PerfCounters(method="sor", backend="block"))
+        assert a.method == "mixed" and a.backend == "block"
+        a.merge(PerfCounters(method="sor", backend="native"))
+        assert a.method == "mixed" and a.backend == "mixed"
+        # "mixed" is sticky: no later merge can un-mix an axis, even one
+        # whose label matches what the aggregate started as.
+        a.merge(PerfCounters(method="jacobi", backend="block"))
+        assert a.method == "mixed" and a.backend == "mixed"
+        a.merge(PerfCounters(method="mixed", backend="mixed"))
+        assert a.method == "mixed" and a.backend == "mixed"
+        # Numeric accumulation is unaffected by label mixing.
+        totals = PerfCounters(method="jacobi", spmv_calls=1, native_calls=2)
+        totals.merge(PerfCounters(method="sor", spmv_calls=3, native_calls=4))
+        assert totals.spmv_calls == 4 and totals.native_calls == 6
+        assert totals.as_dict()["method"] == "mixed"
+
     def test_distributed_batched_run_fills_delivery_counters(self, rng):
         from repro.matrices.laplacian import fd_laplacian_2d
         from repro.runtime.distributed import DistributedJacobi

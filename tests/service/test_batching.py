@@ -1,0 +1,67 @@
+"""Window coalescing: class grouping, chunking, singleton fallout."""
+
+import pytest
+
+from repro.service.batching import CoalescePlan, coalesce
+
+
+def plan_of(groups, max_batch=64):
+    """Coalesce entries named ``(group, index)`` keyed on the group."""
+    entries = [(g, i) for i, g in enumerate(groups)]
+    return coalesce(entries, lambda e: e[0], max_batch=max_batch)
+
+
+class TestCoalesce:
+    def test_empty_window(self):
+        plan = plan_of([])
+        assert plan.batches == [] and plan.singletons == []
+        assert plan.executions == 0 and plan.coalesced == 0
+
+    def test_all_unique_become_singletons(self):
+        plan = plan_of(["a", "b", "c"])
+        assert plan.batches == []
+        assert [e[0] for e in plan.singletons] == ["a", "b", "c"]
+        assert plan.executions == 3
+
+    def test_one_class_becomes_one_batch(self):
+        plan = plan_of(["a"] * 5)
+        assert len(plan.batches) == 1 and len(plan.batches[0]) == 5
+        assert plan.singletons == []
+        assert plan.executions == 1 and plan.coalesced == 5
+
+    def test_mixed_window(self):
+        plan = plan_of(["a", "b", "a", "c", "b", "a"])
+        sizes = {b[0][0]: len(b) for b in plan.batches}
+        assert sizes == {"a": 3, "b": 2}
+        assert [e[0] for e in plan.singletons] == ["c"]
+        assert plan.executions == 3 and plan.coalesced == 5
+
+    def test_arrival_order_preserved_inside_batches(self):
+        plan = plan_of(["a", "b", "a", "b", "a"])
+        batch_a = next(b for b in plan.batches if b[0][0] == "a")
+        assert [e[1] for e in batch_a] == [0, 2, 4]
+
+    def test_oversized_class_chunked_at_max_batch(self):
+        plan = plan_of(["a"] * 7, max_batch=3)
+        assert [len(b) for b in plan.batches] == [3, 3]
+        # The trailing size-1 chunk cannot batch with itself.
+        assert len(plan.singletons) == 1
+        assert plan.executions == 3 and plan.coalesced == 6
+
+    def test_exact_multiple_chunks_cleanly(self):
+        plan = plan_of(["a"] * 6, max_batch=3)
+        assert [len(b) for b in plan.batches] == [3, 3]
+        assert plan.singletons == []
+
+    def test_max_batch_must_allow_pairs(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            plan_of(["a", "a"], max_batch=1)
+
+    def test_plan_counts_are_consistent(self):
+        plan = plan_of(["a"] * 9 + ["b"] + ["c"] * 2, max_batch=4)
+        assert plan.coalesced + len(plan.singletons) == 12
+        assert plan.executions == len(plan.batches) + len(plan.singletons)
+
+    def test_default_plan_is_empty(self):
+        plan = CoalescePlan()
+        assert plan.executions == 0 and plan.coalesced == 0

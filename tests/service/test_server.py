@@ -1,0 +1,335 @@
+"""SolverService behavior: single-flight, shedding, deadlines, tracing.
+
+Executor stubs (monkeypatched into :mod:`repro.service.executor`) make
+the scheduling behavior observable without paying for real solves; the
+real-solve end-to-end paths live in ``test_identity.py``.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.observability.sinks import JSONLSink
+from repro.service import executor
+from repro.service.requests import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveRequest,
+)
+from repro.service.server import SolverService
+
+
+def request(b_seed=0, seed=7, **overrides):
+    base = dict(
+        matrix={"family": "fd_2d", "args": {"nx": 4, "ny": 4}},
+        schedule={"kind": "random_subset", "fraction": 0.5, "seed": seed},
+        b_seed=b_seed,
+        tol=1e-4,
+        max_steps=200,
+    )
+    base.update(overrides)
+    return SolveRequest(**base)
+
+
+class SlowStub:
+    """Replacement executor that sleeps and counts calls (thread-safe)."""
+
+    def __init__(self, delay=0.0, fail_b_seeds=()):
+        self.delay = delay
+        self.fail_b_seeds = set(fail_b_seeds)
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def _one(self, spec):
+        if self.delay:
+            time.sleep(self.delay)
+        if spec["b_seed"] in self.fail_b_seeds:
+            raise RuntimeError(f"injected failure for b_seed={spec['b_seed']}")
+        return {"b_seed": spec["b_seed"], "stub": True}
+
+    def run_single(self, spec):
+        with self._lock:
+            self.calls += 1
+        return self._one(spec)
+
+    def run_group(self, specs):
+        with self._lock:
+            self.calls += 1
+        return [self._one(s) for s in specs]
+
+
+@pytest.fixture
+def stub(monkeypatch):
+    """Swap both executor entry points for one counting stub."""
+    stub = SlowStub()
+    monkeypatch.setattr(executor, "run_single", stub.run_single)
+    monkeypatch.setattr(executor, "run_group", stub.run_group)
+    return stub
+
+
+class TestSingleFlight:
+    def test_identical_concurrent_requests_compute_once(self, stub):
+        stub.delay = 0.02
+        req = request()
+
+        async def drive():
+            async with SolverService(use_cache=False, batch_window=0.01) as svc:
+                results = await asyncio.gather(*(svc.submit(req) for _ in range(6)))
+                return results, svc.stats()
+
+        results, stats = asyncio.run(drive())
+        assert stub.calls == 1
+        assert stats["single_flight_joins"] == 5
+        assert stats["executions"] == 1 and stats["completed"] == 1
+        assert all(r == results[0] for r in results)
+
+    def test_sequential_resubmission_recomputes_without_cache(self, stub):
+        req = request()
+
+        async def drive():
+            async with SolverService(use_cache=False, batch_window=0.0) as svc:
+                first = await svc.submit(req)
+                second = await svc.submit(req)
+                return first, second
+
+        first, second = asyncio.run(drive())
+        # The twin had already left flight; without a cache it recomputes.
+        assert stub.calls == 2 and first == second
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_typed_error_and_bounded_queue(self, stub):
+        stub.delay = 0.05
+        # Distinct coalescing classes: nothing joins, nothing batches.
+        reqs = [request(seed=s) for s in range(10)]
+
+        async def drive():
+            async with SolverService(
+                use_cache=False, batch_window=0.0, max_queue=2
+            ) as svc:
+                outcomes = await asyncio.gather(
+                    *(svc.submit(r) for r in reqs), return_exceptions=True
+                )
+                return outcomes, svc.stats()
+
+        outcomes, stats = asyncio.run(asyncio.wait_for(drive(), timeout=30))
+        shed = [o for o in outcomes if isinstance(o, ServiceOverloadedError)]
+        done = [o for o in outcomes if isinstance(o, dict)]
+        assert len(shed) == 8 and len(done) == 2
+        # No unbounded queue growth: pending never exceeded the bound.
+        assert stats["max_pending_seen"] <= 2
+        assert stats["rejected"] == 8 and stats["completed"] == 2
+
+    def test_sustained_overload_never_grows_the_queue(self, stub):
+        stub.delay = 0.01
+
+        async def drive():
+            async with SolverService(
+                use_cache=False, batch_window=0.0, max_queue=3
+            ) as svc:
+                for wave in range(5):
+                    await asyncio.gather(
+                        *(
+                            svc.submit(request(seed=100 * wave + i))
+                            for i in range(8)
+                        ),
+                        return_exceptions=True,
+                    )
+                return svc.stats()
+
+        stats = asyncio.run(asyncio.wait_for(drive(), timeout=30))
+        assert stats["max_pending_seen"] <= 3
+        assert stats["rejected"] + stats["completed"] == 40
+
+    def test_rejection_is_immediate_not_a_hang(self, stub):
+        stub.delay = 0.2
+
+        async def drive():
+            async with SolverService(
+                use_cache=False, batch_window=0.0, max_queue=1
+            ) as svc:
+                first = asyncio.ensure_future(svc.submit(request(seed=1)))
+                await asyncio.sleep(0)  # let it occupy the queue slot
+                t0 = time.perf_counter()
+                with pytest.raises(ServiceOverloadedError):
+                    await svc.submit(request(seed=2))
+                shed_latency = time.perf_counter() - t0
+                await first
+                return shed_latency
+
+        shed_latency = asyncio.run(drive())
+        assert shed_latency < 0.1  # shed while the slow solve still ran
+
+
+class TestDeadlines:
+    def test_expired_queued_request_is_shed_typed(self, stub):
+        stub.delay = 0.15
+
+        async def drive():
+            async with SolverService(use_cache=False, batch_window=0.0) as svc:
+                blocker = asyncio.ensure_future(svc.submit(request(seed=1)))
+                await asyncio.sleep(0.03)  # blocker now executing
+                with pytest.raises(DeadlineExceededError):
+                    await svc.submit(request(seed=2, deadline=0.01))
+                await blocker
+                return svc.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["expired"] == 1
+        assert stats["errors"] == 0  # expiry is not an error
+        assert stats["completed"] == 1
+
+    def test_default_deadline_applies_to_bare_requests(self, stub):
+        stub.delay = 0.15
+
+        async def drive():
+            async with SolverService(
+                use_cache=False, batch_window=0.0, default_deadline=0.01
+            ) as svc:
+                blocker = asyncio.ensure_future(
+                    svc.submit(request(seed=1, deadline=10.0))
+                )
+                await asyncio.sleep(0.03)
+                with pytest.raises(DeadlineExceededError):
+                    await svc.submit(request(seed=2))
+                await blocker
+                return svc.stats()
+
+        assert asyncio.run(drive())["expired"] == 1
+
+
+class TestFailureIsolation:
+    def test_bad_request_cannot_fail_its_window_mates(self, stub):
+        stub.fail_b_seeds = {13}
+        good, bad = request(seed=1), request(seed=2, b_seed=13)
+
+        async def drive():
+            async with SolverService(use_cache=False, batch_window=0.05) as svc:
+                outcomes = await asyncio.gather(
+                    svc.submit(good), svc.submit(bad), return_exceptions=True
+                )
+                return outcomes, svc.stats()
+
+        (good_out, bad_out), stats = asyncio.run(drive())
+        assert isinstance(good_out, dict) and good_out["b_seed"] == 0
+        assert isinstance(bad_out, RuntimeError)
+        assert stats["completed"] == 1 and stats["errors"] == 1
+
+
+class TestLifecycle:
+    def test_submit_before_start_and_after_stop_rejected(self, stub):
+        async def drive():
+            svc = SolverService(use_cache=False)
+            with pytest.raises(ServiceClosedError):
+                await svc.submit(request())
+            await svc.start()
+            await svc.submit(request())
+            await svc.stop()
+            with pytest.raises(ServiceClosedError):
+                await svc.submit(request())
+
+        asyncio.run(drive())
+
+    def test_stop_drains_admitted_work(self, stub):
+        stub.delay = 0.02
+
+        async def drive():
+            svc = SolverService(use_cache=False, batch_window=0.0)
+            await svc.start()
+            pending = [
+                asyncio.ensure_future(svc.submit(request(seed=s))) for s in range(3)
+            ]
+            await asyncio.sleep(0)  # enqueue before stopping
+            await svc.stop()
+            return await asyncio.gather(*pending), svc.stats()
+
+        results, stats = asyncio.run(asyncio.wait_for(drive(), timeout=30))
+        assert len(results) == 3 and stats["completed"] == 3
+
+    def test_constructor_validates_knobs(self):
+        for kwargs in (
+            {"max_queue": 0},
+            {"batch_window": -1.0},
+            {"max_batch": 1},
+            {"window_cap": 0},
+        ):
+            with pytest.raises(ValueError):
+                SolverService(**kwargs)
+
+
+class TestCaching:
+    def test_results_survive_service_restarts_via_shared_cache(self, tmp_path):
+        # Real executor on purpose: the singleton path's run_cells must
+        # store under the token submit() later consults, and that parity
+        # only holds for the real module-level cell function.
+        from repro.perf.cache import ExperimentCache
+
+        req = request()
+
+        async def drive(root):
+            async with SolverService(
+                cache=ExperimentCache(root=root), batch_window=0.0
+            ) as svc:
+                result = await svc.submit(req)
+                return result, svc.stats()
+
+        first, stats1 = asyncio.run(drive(tmp_path))
+        second, stats2 = asyncio.run(drive(tmp_path))
+        assert stats1["cache_hits"] == 0 and stats1["executions"] == 1
+        assert stats2["cache_hits"] == 1 and stats2["executions"] == 0
+        assert stats2["cache_hit_rate"] == 1.0
+        import numpy as np
+
+        assert np.array_equal(np.asarray(second["x"]), np.asarray(first["x"]))
+        assert second["residual_norms"] == first["residual_norms"]
+
+    def test_batched_results_land_in_the_shared_cache(self, tmp_path):
+        # Results split out of a coalesced batch must answer later
+        # identical requests from the cache, same as singleton results.
+        from repro.perf.cache import ExperimentCache
+
+        reqs = [request(b_seed=t) for t in range(3)]
+
+        async def drive(root):
+            async with SolverService(
+                cache=ExperimentCache(root=root), batch_window=0.05, max_queue=8
+            ) as svc:
+                await asyncio.gather(*(svc.submit(r) for r in reqs))
+                return svc.stats()
+
+        stats1 = asyncio.run(drive(tmp_path))
+        stats2 = asyncio.run(drive(tmp_path))
+        assert stats1["batches"] == 1 and stats1["cache_hits"] == 0
+        assert stats2["cache_hits"] == 3 and stats2["executions"] == 0
+
+
+class TestObservability:
+    def test_trace_jsonl_and_metrics_capture_the_lifecycle(self, stub, tmp_path):
+        trace = tmp_path / "service_trace.jsonl"
+        reqs = [request(b_seed=t) for t in range(3)]
+
+        async def drive():
+            async with SolverService(
+                use_cache=False, batch_window=0.05, trace_path=trace
+            ) as svc:
+                await asyncio.gather(*(svc.submit(r) for r in reqs))
+                return svc
+
+        svc = asyncio.run(drive())
+        events = JSONLSink.read(trace)
+        assert events and all(e.kind == "request" for e in events)
+        phases = [e.data["phase"] for e in events]
+        assert phases.count("submit") == 3
+        assert phases.count("dispatch") == 3
+        assert phases.count("complete") == 3
+        batch_sizes = {e.data["batch"] for e in events if e.data["phase"] == "dispatch"}
+        assert batch_sizes == {3}  # the class coalesced into one batch
+        completes = [e for e in events if e.data["phase"] == "complete"]
+        assert all(e.data["latency"] >= 0 for e in completes)
+        # The wired Metrics registry derived the same story from events.
+        assert svc.metrics.counter("service.submit").value == 3
+        assert svc.metrics.counter("service.complete").value == 3
+        assert svc.metrics.histogram("service.latency").count == 3

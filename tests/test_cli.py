@@ -73,6 +73,12 @@ class TestListGrouping:
         assert main(["list"]) == 0
         assert "chaos" in capsys.readouterr().out
 
+    def test_list_mentions_serve_tool(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "p50/p99" in out
+
 
 class TestChaosCommand:
     def test_chaos_small_budget(self, capsys, tmp_path, monkeypatch):
@@ -97,3 +103,35 @@ class TestChaosCommand:
             main(["chaos", "--help"])
         assert exc.value.code == 0
         assert "--shrink" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_tiny_demo(self, capsys):
+        # Small enough to finish in seconds; --no-baseline skips the
+        # serial timing pass (the benchmark covers the speedup claim).
+        assert main(["serve", "--requests", "8", "--groups", "2",
+                     "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "=== serve" in out
+        assert "p50" in out and "coalescing" in out
+        assert "0 failed" in out
+
+    def test_serve_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "serve_trace.jsonl"
+        assert main(["serve", "--requests", "4", "--groups", "1",
+                     "--no-baseline", "--trace", str(trace)]) == 0
+        assert f"request trace written to {trace}" in capsys.readouterr().out
+        from repro.observability.sinks import JSONLSink
+
+        events = JSONLSink.read(trace)
+        assert events and all(e.kind == "request" for e in events)
+
+    def test_serve_rejects_bad_counts(self, capsys):
+        assert main(["serve", "--requests", "0"]) == 2
+        assert main(["serve", "--groups", "0"]) == 2
+
+    def test_serve_help_does_not_run(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        assert "--max-batch" in capsys.readouterr().out
